@@ -1,0 +1,364 @@
+package tart_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	tart "repro"
+)
+
+// TestDynamicSilenceStrategySwitch starts the Figure-1 app with LAZY
+// propagation (stalls whenever one sender is quiet), then switches the
+// senders to Curiosity at runtime — the stalled merge must unblock without
+// new data, and behaviour (payloads, virtual times) must be unaffected.
+func TestDynamicSilenceStrategySwitch(t *testing.T) {
+	app := tart.NewApp()
+	reg := func(name string, cost time.Duration) {
+		app.Register(name, &relay{},
+			tart.WithConstantCost(cost),
+			tart.WithSilence(tart.Lazy),
+			tart.WithProbeRetry(2*time.Millisecond))
+	}
+	reg("sender1", 50*time.Microsecond)
+	reg("sender2", 50*time.Microsecond)
+	reg("merger", 100*time.Microsecond)
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app,
+		tart.WithManualClock(func() tart.VirtualTime { return 50_000_000 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	out := newOutputs()
+	if err := cluster.Sink("out", out.fn); err != nil {
+		t.Fatal(err)
+	}
+	in1, _ := cluster.Source("in1")
+	in2, _ := cluster.Source("in2")
+
+	// One message through sender1; sender2 stays quiet. Under LAZY, the
+	// merger cannot learn sender2's silence: pessimism stall.
+	if err := in1.EmitAt(1_000_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.Quiesce(30_000_000); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	out.mu.Lock()
+	stalled := len(out.got)
+	out.mu.Unlock()
+	if stalled != 0 {
+		t.Fatalf("lazy merge delivered %d messages without silence knowledge", stalled)
+	}
+
+	// Switch the quiet sender (and merger, so it probes) to Curiosity at
+	// runtime — allowed without a determinism fault.
+	if err := cluster.SetSilenceStrategy("merger", tart.Curiosity); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.SetSilenceStrategy("sender2", tart.Curiosity); err != nil {
+		t.Fatal(err)
+	}
+	got := out.await(t, 1)
+	if got[0].Payload != 1 {
+		t.Errorf("payload = %v", got[0].Payload)
+	}
+
+	// Switching to hyper-aggressive with a bias is rejected (it would
+	// change output virtual times without a logged determinism fault).
+	err = cluster.SetSilenceStrategy("sender1", tart.HyperAggressive)
+	if err != nil {
+		t.Errorf("zero-bias hyper switch rejected: %v", err)
+	}
+	if err := cluster.SetSilenceStrategy("ghost", tart.Curiosity); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+// vault is a component that manages its own serialization via Snapshotter.
+type vault struct {
+	mu       sync.Mutex
+	secrets  map[string]string
+	restores int
+}
+
+func (v *vault) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	kv := payload.([]string)
+	v.mu.Lock()
+	v.secrets[kv[0]] = kv[1]
+	n := len(v.secrets)
+	v.mu.Unlock()
+	return nil, ctx.Send("out", n)
+}
+
+func (v *vault) Snapshot() ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var sb strings.Builder
+	for k, val := range v.secrets {
+		fmt.Fprintf(&sb, "%s=%s\n", k, val)
+	}
+	return []byte(sb.String()), nil
+}
+
+func (v *vault) Restore(data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.restores++
+	v.secrets = make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, val, ok := strings.Cut(line, "="); ok {
+			v.secrets[k] = val
+		}
+	}
+	return nil
+}
+
+var _ tart.Snapshotter = (*vault)(nil)
+
+// TestSnapshotterComponentRecovery exercises the explicit-Snapshotter
+// capture path end to end through a crash.
+func TestSnapshotterComponentRecovery(t *testing.T) {
+	app := tart.NewApp()
+	app.Register("vault", &vault{secrets: map[string]string{}},
+		tart.WithConstantCost(20*time.Microsecond))
+	app.SourceInto("in", "vault", "put")
+	app.SinkFrom("out", "vault", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app, tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	out := newOutputs()
+	if err := cluster.Sink("out", out.fn); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := cluster.Source("in")
+	if err := src.EmitAt(1_000_000, []string{"alpha", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.EmitAt(2_000_000, []string{"beta", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out.await(t, 2)
+	if _, err := cluster.Checkpoint("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.EmitAt(3_000_000, []string{"gamma", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	before := out.await(t, 3)
+
+	if err := cluster.Fail("main"); err != nil {
+		t.Fatal(err)
+	}
+	out2 := newOutputs()
+	if err := cluster.Sink("out", out2.fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Recover("main"); err != nil {
+		t.Fatal(err)
+	}
+	after := out2.await(t, 1)
+	// The stuttered third output must be identical: the vault restored to
+	// {alpha, beta} (2 entries) and re-added gamma → 3.
+	if after[0].Seq != before[2].Seq || after[0].Payload != before[2].Payload || after[0].VT != before[2].VT {
+		t.Errorf("stutter differs: %+v vs %+v", after[0], before[2])
+	}
+}
+
+// ledger keeps big state in a StateMap (incremental checkpointing).
+type ledger struct {
+	Balances *tart.StateMap[string, int]
+}
+
+func (l *ledger) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	parts := payload.([]string)
+	bal, _ := l.Balances.Get(parts[0])
+	bal++
+	l.Balances.Put(parts[0], bal)
+	// Deterministic iteration over the map: SortedKeys.
+	total := 0
+	for _, k := range l.Balances.SortedKeys() {
+		v, _ := l.Balances.Get(k)
+		total += v
+	}
+	return nil, ctx.Send("out", total)
+}
+
+// TestStateMapComponentDeltaCheckpoints exercises incremental
+// checkpointing through the engine: repeated checkpoints of a StateMap
+// component ship deltas, and recovery reassembles full + deltas.
+func TestStateMapComponentDeltaCheckpoints(t *testing.T) {
+	app := tart.NewApp()
+	l := &ledger{Balances: tart.NewStateMap[string, int]()}
+	app.Register("ledger", l,
+		tart.WithConstantCost(20*time.Microsecond),
+		tart.WithState(l.Balances)) // checkpoint exactly the map
+	app.SourceInto("in", "ledger", "credit")
+	app.SinkFrom("out", "ledger", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app, tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	out := newOutputs()
+	if err := cluster.Sink("out", out.fn); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := cluster.Source("in")
+
+	// checkpoint 1 (full), mutate, checkpoint 2 (delta), mutate, crash.
+	if err := src.EmitAt(1_000_000, []string{"alice"}); err != nil {
+		t.Fatal(err)
+	}
+	out.await(t, 1)
+	if _, err := cluster.Checkpoint("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.EmitAt(2_000_000, []string{"bob"}); err != nil {
+		t.Fatal(err)
+	}
+	out.await(t, 2)
+	if _, err := cluster.Checkpoint("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.EmitAt(3_000_000, []string{"alice"}); err != nil {
+		t.Fatal(err)
+	}
+	before := out.await(t, 3)
+
+	if err := cluster.Fail("main"); err != nil {
+		t.Fatal(err)
+	}
+	out2 := newOutputs()
+	if err := cluster.Sink("out", out2.fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Recover("main"); err != nil {
+		t.Fatal(err)
+	}
+	after := out2.await(t, 1)
+	if after[0].Payload != before[2].Payload || after[0].VT != before[2].VT {
+		t.Errorf("delta-restored stutter differs: %+v vs %+v", after[0], before[2])
+	}
+	// alice=2, bob=1 → total 3.
+	if after[0].Payload != 3 {
+		t.Errorf("restored total = %v, want 3", after[0].Payload)
+	}
+}
+
+// TestCalibrationEndToEnd drives enough traffic through a deliberately
+// mis-calibrated linear estimator to trigger a determinism fault, then
+// verifies recovery replays it (the estimator history survives a crash).
+func TestCalibrationEndToEnd(t *testing.T) {
+	app := tart.NewApp()
+	app.Register("worker", &relay{},
+		tart.WithLinearCost(func(any) tart.Features { return tart.Features{1} },
+			[]float64{1}, time.Microsecond), // absurd initial estimate: 1ns/msg
+		tart.WithCalibration(20))
+	app.SourceInto("in", "worker", "in")
+	app.SinkFrom("out", "worker", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app, tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	out := newOutputs()
+	if err := cluster.Sink("out", out.fn); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := cluster.Source("in")
+	for i := 1; i <= 60; i++ {
+		if err := src.EmitAt(tart.VirtualTime(i*1_000_000), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.await(t, 60)
+	m, _ := cluster.Metrics("main")
+	if m.DeterminismFaults == 0 {
+		t.Fatal("no determinism fault committed despite a wildly wrong estimator")
+	}
+
+	// Recovery must replay the fault history (estimator state is part of
+	// the checkpoint + fault log).
+	if _, err := cluster.Checkpoint("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Fail("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Recover("main"); err != nil {
+		t.Fatal(err)
+	}
+	src2, _ := cluster.Source("in")
+	if err := src2.EmitAt(100_000_000, 999); err != nil {
+		t.Fatal(err)
+	}
+	out.await(t, 61)
+}
+
+// TestSourceHandleSurvivesFailover verifies the user-held Source facade
+// re-binds to the replacement engine after Recover.
+func TestSourceHandleSurvivesFailover(t *testing.T) {
+	cluster, err := tart.Launch(fig1App(), tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	out := newOutputs()
+	if err := cluster.Sink("out", out.fn); err != nil {
+		t.Fatal(err)
+	}
+	in1, _ := cluster.Source("in1")
+	in2, _ := cluster.Source("in2")
+	if err := in1.EmitAt(1_000_000, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.EmitAt(1_100_000, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	in1.Quiesce(2_000_000)
+	in2.Quiesce(2_000_000)
+	out.await(t, 2)
+	if _, err := cluster.Checkpoint("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Fail("main"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in1.Emit([]string{"x"}); !errors.Is(err, tart.ErrEngineDown) {
+		t.Errorf("emit on failed engine = %v, want ErrEngineDown", err)
+	}
+	if err := cluster.Recover("main"); err != nil {
+		t.Fatal(err)
+	}
+	// The SAME handle works against the replacement engine.
+	if err := in1.EmitAt(3_000_000, []string{"c"}); err != nil {
+		t.Fatalf("source handle did not re-bind: %v", err)
+	}
+	if err := in2.EmitAt(3_100_000, []string{"d"}); err != nil {
+		t.Fatal(err)
+	}
+	in1.Quiesce(4_000_000)
+	in2.Quiesce(4_000_000)
+	out.await(t, 4)
+}

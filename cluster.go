@@ -1,0 +1,470 @@
+package tart
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/msg"
+	"repro/internal/silence"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/vt"
+	"repro/internal/wal"
+)
+
+// ClusterOption configures Launch.
+type ClusterOption interface {
+	apply(*clusterConfig)
+}
+
+type clusterOptionFunc func(*clusterConfig)
+
+func (f clusterOptionFunc) apply(c *clusterConfig) { f(c) }
+
+type clusterConfig struct {
+	transport          transport.Transport
+	addrs              map[string]string
+	checkpointEvery    time.Duration
+	sourceSilenceEvery time.Duration
+	logDir             string
+	manualClock        func() VirtualTime
+}
+
+// WithTCP runs inter-engine wires over TCP; addrs maps engine names to
+// host:port listen addresses. Without this option multi-engine apps use an
+// in-process transport.
+func WithTCP(addrs map[string]string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		c.transport = transport.TCP{}
+		c.addrs = addrs
+	})
+}
+
+// WithCheckpointEvery sets the soft-checkpoint cadence (the paper's
+// checkpoint-frequency tuning knob: more frequent checkpoints shorten
+// recovery but cost more). Zero leaves checkpointing manual
+// (Cluster.Checkpoint).
+func WithCheckpointEvery(d time.Duration) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.checkpointEvery = d })
+}
+
+// WithSourceSilenceEvery sets how often real-time sources push silence
+// watermarks (default 1ms). Use 0 with WithManualClock for fully
+// deterministic tests driving EmitAt/Quiesce explicitly.
+func WithSourceSilenceEvery(d time.Duration) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.sourceSilenceEvery = d })
+}
+
+// WithFileLogs stores each engine's stable log (external inputs and
+// determinism faults) under dir instead of in memory.
+func WithFileLogs(dir string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.logDir = dir })
+}
+
+// WithManualClock replaces the real-time source clock — test and
+// experiment harnesses drive virtual time explicitly via EmitAt/Quiesce.
+// Implies no automatic source silence.
+func WithManualClock(clock func() VirtualTime) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		c.manualClock = clock
+		c.sourceSilenceEvery = -1
+	})
+}
+
+// Cluster is a running deployment: one engine per placement name, each
+// paired with a passive replica (a checkpoint store) and a stable input
+// log. Cluster survives engine failures: Fail simulates a crash and
+// Recover rebuilds the engine from its replica; user-held Source handles
+// and Sink registrations transparently re-attach to the replacement.
+type Cluster struct {
+	mu      sync.Mutex
+	tp      *topo.Topology
+	specs   map[string]engine.ComponentSpec
+	cfg     clusterConfig
+	engines map[string]*engineSlot
+	sources map[string]*Source
+	closed  bool
+}
+
+type engineSlot struct {
+	name   string
+	eng    *engine.Engine
+	store  *checkpoint.ReplicaStore
+	log    wal.Log
+	sinks  map[string]func(Output) // sink name -> user callback
+	failed bool
+}
+
+// Launch builds and starts a cluster from the application.
+func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
+	tp, specs, err := app.build()
+	if err != nil {
+		return nil, err
+	}
+	var cfg clusterConfig
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.sourceSilenceEvery == 0 {
+		cfg.sourceSilenceEvery = time.Millisecond
+	}
+	if cfg.transport == nil && len(tp.Engines()) > 1 {
+		cfg.transport = transport.NewInproc()
+		cfg.addrs = make(map[string]string, len(tp.Engines()))
+		for _, e := range tp.Engines() {
+			cfg.addrs[e] = "inproc:" + e
+		}
+	}
+
+	c := &Cluster{
+		tp:      tp,
+		specs:   specs,
+		cfg:     cfg,
+		engines: make(map[string]*engineSlot),
+		sources: make(map[string]*Source),
+	}
+	for _, name := range tp.Engines() {
+		slot := &engineSlot{
+			name:  name,
+			store: checkpoint.NewReplicaStore(),
+			sinks: make(map[string]func(Output)),
+		}
+		slot.log, err = c.newLog(name)
+		if err != nil {
+			return nil, err
+		}
+		slot.eng, err = engine.New(c.engineConfig(slot))
+		if err != nil {
+			return nil, err
+		}
+		c.engines[name] = slot
+	}
+	for _, slot := range c.engines {
+		if err := slot.eng.Start(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) newLog(engineName string) (wal.Log, error) {
+	if c.cfg.logDir == "" {
+		return wal.NewMemLog(), nil
+	}
+	return wal.OpenFileLog(fmt.Sprintf("%s/%s.wal", c.cfg.logDir, engineName))
+}
+
+func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
+	comps := make(map[string]engine.ComponentSpec)
+	for _, id := range c.tp.ComponentsOn(slot.name) {
+		name := c.tp.Component(id).Name
+		comps[name] = c.specs[name]
+	}
+	silenceEvery := c.cfg.sourceSilenceEvery
+	if silenceEvery < 0 {
+		silenceEvery = 0
+	}
+	return engine.Config{
+		Name:               slot.name,
+		Topo:               c.tp,
+		Components:         comps,
+		Transport:          c.cfg.transport,
+		Addrs:              c.cfg.addrs,
+		Log:                slot.log,
+		Backup:             slot.store,
+		CheckpointEvery:    c.cfg.checkpointEvery,
+		SourceSilenceEvery: silenceEvery,
+		Clock:              c.cfg.manualClock,
+	}
+}
+
+// Source returns a handle for the named external source. The handle stays
+// valid across failovers of the hosting engine.
+func (c *Cluster) Source(name string) (*Source, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sources[name]; ok {
+		return s, nil
+	}
+	src, ok := c.tp.SourceByName(name)
+	if !ok {
+		return nil, fmt.Errorf("tart: unknown source %q", name)
+	}
+	w := c.tp.Wire(src.Wire)
+	engName := c.tp.EngineOf(w.To)
+	s := &Source{c: c, name: name, engine: engName}
+	c.sources[name] = s
+	return s, nil
+}
+
+// Sink registers the consumer for a named external sink. Registration
+// persists across failovers. Deliveries may stutter after recovery; wrap
+// the callback with DedupOutputs for exactly-once.
+func (c *Cluster) Sink(name string, fn func(Output)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sink, ok := c.tp.SinkByName(name)
+	if !ok {
+		return fmt.Errorf("tart: unknown sink %q", name)
+	}
+	w := c.tp.Wire(sink.Wire)
+	slot := c.engines[c.tp.EngineOf(w.From)]
+	slot.sinks[name] = fn
+	if slot.failed {
+		return nil // re-registered on Recover
+	}
+	return slot.eng.Sink(name, func(env msg.Envelope) {
+		fn(Output{Seq: env.Seq, VT: env.VT, Payload: env.Payload})
+	})
+}
+
+// DedupOutputs wraps a sink callback with stutter suppression (drops
+// outputs whose sequence number was already seen).
+func DedupOutputs(fn func(Output)) func(Output) {
+	var mu sync.Mutex
+	next := uint64(1)
+	return func(o Output) {
+		mu.Lock()
+		if o.Seq < next {
+			mu.Unlock()
+			return
+		}
+		next = o.Seq + 1
+		mu.Unlock()
+		fn(o)
+	}
+}
+
+// Checkpoint takes an immediate soft checkpoint of the named engine and
+// returns its sequence number.
+func (c *Cluster) Checkpoint(engineName string) (uint64, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return 0, err
+	}
+	return slot.eng.Checkpoint()
+}
+
+// Fail simulates a fail-stop crash of the named engine: all volatile state
+// is lost; the stable log and passive replica survive.
+func (c *Cluster) Fail(engineName string) error {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	slot.failed = true
+	c.mu.Unlock()
+	slot.eng.Kill()
+	return nil
+}
+
+// Recover activates the named engine's passive replica: a replacement
+// engine restores every component from the latest checkpoint, replays the
+// stable input log's suffix, reconnects to its peers (which re-drives
+// remote replay), and re-registers the cluster's sinks and sources.
+func (c *Cluster) Recover(engineName string) error {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if !slot.failed {
+		c.mu.Unlock()
+		return fmt.Errorf("tart: engine %q has not failed", engineName)
+	}
+	c.mu.Unlock()
+
+	if slot.store.Seq() == 0 {
+		return fmt.Errorf("tart: engine %q has no checkpoint to recover from", engineName)
+	}
+	eng, err := engine.NewFromBackup(c.engineConfig(slot), slot.store)
+	if err != nil {
+		return fmt.Errorf("tart: recover %q: %w", engineName, err)
+	}
+	for name, fn := range slot.sinks {
+		fn := fn
+		if err := eng.Sink(name, func(env msg.Envelope) {
+			fn(Output{Seq: env.Seq, VT: env.VT, Payload: env.Payload})
+		}); err != nil {
+			return err
+		}
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	slot.eng = eng
+	slot.failed = false
+	c.mu.Unlock()
+	return nil
+}
+
+// SetSilenceStrategy switches a component's silence-propagation strategy
+// at runtime. Lazy, Curiosity, and Aggressive can be changed freely —
+// silence communication never affects behaviour (paper §II.G.4); switching
+// hyper-aggressive bias on or off is rejected because it changes output
+// virtual times (it would need a logged determinism fault).
+func (c *Cluster) SetSilenceStrategy(component string, strategy SilenceStrategy) error {
+	comp, ok := c.tp.ComponentByName(component)
+	if !ok {
+		return fmt.Errorf("tart: unknown component %q", component)
+	}
+	slot, err := c.slot(comp.Engine)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	failed := slot.failed
+	eng := slot.eng
+	c.mu.Unlock()
+	if failed {
+		return fmt.Errorf("tart: component %q: %w", component, ErrEngineDown)
+	}
+	sch, ok := eng.Scheduler(component)
+	if !ok {
+		return fmt.Errorf("tart: component %q not hosted on %q", component, comp.Engine)
+	}
+	return sch.SetSilence(silence.Config{Strategy: strategy})
+}
+
+// Metrics returns the named engine's runtime counters.
+func (c *Cluster) Metrics(engineName string) (Metrics, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return slot.eng.Metrics().Snapshot(), nil
+}
+
+// Engines lists the cluster's engine names.
+func (c *Cluster) Engines() []string { return c.tp.Engines() }
+
+// PeerHealth describes one engine's view of a peer: whether a live
+// connection exists and when traffic (heartbeats included) last arrived.
+// A stale LastHeard is the fail-stop suspicion signal an external monitor
+// uses to decide on Recover.
+type PeerHealth = engine.PeerHealth
+
+// Health reports the named engine's connectivity to each of its peers.
+// A failed engine reports ErrEngineDown.
+func (c *Cluster) Health(engineName string) (map[string]PeerHealth, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	failed := slot.failed
+	eng := slot.eng
+	c.mu.Unlock()
+	if failed {
+		return nil, fmt.Errorf("tart: engine %q: %w", engineName, ErrEngineDown)
+	}
+	return eng.PeerHealth(), nil
+}
+
+// Stop shuts every engine down. Idempotent.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	slots := make([]*engineSlot, 0, len(c.engines))
+	for _, s := range c.engines {
+		slots = append(slots, s)
+	}
+	c.mu.Unlock()
+	for _, s := range slots {
+		if !s.failed {
+			s.eng.Stop()
+		}
+		_ = s.log.Close()
+	}
+}
+
+func (c *Cluster) slot(engineName string) (*engineSlot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.engines[engineName]
+	if !ok {
+		return nil, fmt.Errorf("tart: unknown engine %q", engineName)
+	}
+	return slot, nil
+}
+
+// Source is an external producer handle. It stays valid across failovers
+// of the engine hosting the receiving component.
+type Source struct {
+	c      *Cluster
+	name   string
+	engine string
+}
+
+// Name returns the source name.
+func (s *Source) Name() string { return s.name }
+
+func (s *Source) current() (*engine.Source, error) {
+	slot, err := s.c.slot(s.engine)
+	if err != nil {
+		return nil, err
+	}
+	s.c.mu.Lock()
+	failed := slot.failed
+	eng := slot.eng
+	s.c.mu.Unlock()
+	if failed {
+		return nil, fmt.Errorf("tart: source %q on engine %q: %w", s.name, s.engine, ErrEngineDown)
+	}
+	return eng.Source(s.name)
+}
+
+// Emit ingests one message stamped with the current time, returning the
+// assigned virtual time. The message is durably logged before delivery.
+func (s *Source) Emit(payload any) (VirtualTime, error) {
+	src, err := s.current()
+	if err != nil {
+		return vt.Never, err
+	}
+	return src.Emit(payload)
+}
+
+// EmitAt ingests one message with an explicit virtual time (deterministic
+// workloads); times must be strictly increasing per source.
+func (s *Source) EmitAt(t VirtualTime, payload any) error {
+	src, err := s.current()
+	if err != nil {
+		return err
+	}
+	return src.EmitAt(t, payload)
+}
+
+// Quiesce promises the source emits nothing at or before t, unblocking
+// downstream merges that wait on this source's silence.
+func (s *Source) Quiesce(t VirtualTime) error {
+	src, err := s.current()
+	if err != nil {
+		return err
+	}
+	src.Quiesce(t)
+	return nil
+}
+
+// End promises the source will never emit again.
+func (s *Source) End() error {
+	src, err := s.current()
+	if err != nil {
+		return err
+	}
+	src.End()
+	return nil
+}
+
+// ErrEngineDown reports operations against a failed engine.
+var ErrEngineDown = errors.New("tart: engine down")

@@ -1,0 +1,237 @@
+// Command tartdist reproduces Figure 5: a real (not simulated) two-engine
+// distributed run of the Figure-1 application over TCP sockets, with
+// constant-time services and ad-hoc (constant) estimators, comparing:
+//
+//   - non-deterministic execution — a conventional implementation (plain
+//     goroutines and sockets, arrival-order processing);
+//   - deterministic execution with lazy silence propagation;
+//   - deterministic execution with curiosity-driven silence propagation.
+//
+// The paper's result: lazy silence is far slower (the merger can only
+// learn silence from the next data message), while curiosity-based
+// propagation stays within ~20% of non-deterministic execution.
+//
+// Both engines run in this process but communicate over real TCP on
+// localhost, exercising serialization, the reliable-FIFO recovery layer,
+// and cross-engine probes end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	tart "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "all", "mode: nondet|lazy|curiosity|all")
+		requests = flag.Int("requests", 3000, "total web requests (split across two senders)")
+		rate     = flag.Float64("rate", 100, "requests/second per sender")
+		buckets  = flag.Int("buckets", 10, "latency buckets printed per run")
+		portBase = flag.Int("port", 39500, "first TCP port to use")
+	)
+	flag.Parse()
+	if err := run(*mode, *requests, *rate, *buckets, *portBase); err != nil {
+		fmt.Fprintln(os.Stderr, "tartdist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode string, requests int, rate float64, buckets, portBase int) error {
+	fmt.Println("== Figure 5: real two-engine distributed run over TCP ==")
+	fmt.Printf("   %d web requests, %.0f req/s/sender, senders on engine A, merger on engine B\n\n",
+		requests, rate)
+	modes := []string{"nondet", "lazy", "curiosity"}
+	if mode != "all" {
+		modes = []string{mode}
+	}
+	port := portBase
+	var rows []resultRow
+	for _, m := range modes {
+		var lat []float64
+		var err error
+		switch m {
+		case "nondet":
+			lat, err = runBaseline(requests, rate, port)
+		case "lazy":
+			lat, err = runTART(tart.Lazy, requests, rate, port)
+		case "curiosity":
+			lat, err = runTART(tart.Curiosity, requests, rate, port)
+		default:
+			return fmt.Errorf("unknown mode %q", m)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		port += 4
+		rows = append(rows, resultRow{mode: m, latencies: lat})
+		printSeries(m, lat, buckets)
+	}
+	if len(rows) > 1 {
+		printComparison(rows)
+	}
+	return nil
+}
+
+type resultRow struct {
+	mode      string
+	latencies []float64
+}
+
+func printSeries(mode string, lat []float64, buckets int) {
+	if len(lat) == 0 {
+		fmt.Printf("   %s: no measurements\n", mode)
+		return
+	}
+	s := stats.Summarize(lat)
+	fmt.Printf("   -- %s: avg %.2f ms, median %.2f ms, p95 %.2f ms over %d requests --\n",
+		mode, s.Mean/1e6, s.Median/1e6, s.P95/1e6, s.N)
+	per := len(lat) / buckets
+	if per == 0 {
+		per = 1
+	}
+	fmt.Printf("   %-16s %-12s\n", "request range", "avg ms")
+	for i := 0; i < len(lat); i += per {
+		end := i + per
+		if end > len(lat) {
+			end = len(lat)
+		}
+		var sum float64
+		for _, v := range lat[i:end] {
+			sum += v
+		}
+		fmt.Printf("   %6d..%-8d %8.2f\n", i+1, end, sum/float64(end-i)/1e6)
+	}
+	fmt.Println()
+}
+
+func printComparison(rows []resultRow) {
+	base := -1.0
+	for _, r := range rows {
+		if r.mode == "nondet" {
+			base = stats.Summarize(r.latencies).Mean
+		}
+	}
+	fmt.Println("   -- comparison (paper: lazy >> curiosity; curiosity < 20% over non-det) --")
+	for _, r := range rows {
+		mean := stats.Summarize(r.latencies).Mean
+		if base > 0 && r.mode != "nondet" {
+			fmt.Printf("   %-10s %8.2f ms   (%+.0f%% vs non-det)\n", r.mode, mean/1e6, 100*(mean-base)/base)
+		} else {
+			fmt.Printf("   %-10s %8.2f ms\n", r.mode, mean/1e6)
+		}
+	}
+}
+
+// forward is a constant-time passthrough component.
+type forward struct{ Seen int }
+
+func (f *forward) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	f.Seen++
+	return nil, ctx.Send("out", payload)
+}
+
+// runTART measures per-request latency through a two-engine TART cluster
+// over TCP with the given silence strategy.
+func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int) ([]float64, error) {
+	app := tart.NewApp()
+	// Ad-hoc constant estimators, constant-time services (§III.C).
+	for _, name := range []string{"sender1", "sender2"} {
+		app.Register(name, &forward{},
+			tart.WithConstantCost(50*time.Microsecond),
+			tart.WithSilence(strategy),
+			tart.WithProbeRetry(time.Millisecond))
+	}
+	app.Register("merger", &forward{},
+		tart.WithConstantCost(100*time.Microsecond),
+		tart.WithSilence(strategy),
+		tart.WithProbeRetry(time.Millisecond))
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.Place("sender1", "A")
+	app.Place("sender2", "A")
+	app.Place("merger", "B")
+
+	silenceEvery := 500 * time.Microsecond
+	if strategy == tart.Lazy {
+		// Lazy propagation: silence flows only with data messages — disable
+		// the engine's periodic source watermarks too, or the sources would
+		// leak silence lazily-configured components never send.
+		silenceEvery = 50 * time.Millisecond
+	}
+	cluster, err := tart.Launch(app,
+		tart.WithTCP(map[string]string{
+			"A": fmt.Sprintf("127.0.0.1:%d", port),
+			"B": fmt.Sprintf("127.0.0.1:%d", port+1),
+		}),
+		tart.WithSourceSilenceEvery(silenceEvery))
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	var (
+		mu       sync.Mutex
+		emitted  = make(map[uint64]time.Time) // request id -> emit time
+		lat      = make([]float64, 0, requests)
+		done     = make(chan struct{})
+		received int
+	)
+	err = cluster.Sink("out", func(o tart.Output) {
+		id, _ := o.Payload.(uint64)
+		mu.Lock()
+		if t0, ok := emitted[id]; ok {
+			lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+			delete(emitted, id)
+		}
+		received++
+		if received == requests {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	in1, _ := cluster.Source("in1")
+	in2, _ := cluster.Source("in2")
+	gap := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	emitLoop := func(src *tart.Source, base uint64) {
+		defer wg.Done()
+		for i := 0; i < requests/2; i++ {
+			id := base + uint64(i)
+			mu.Lock()
+			emitted[id] = time.Now()
+			mu.Unlock()
+			if _, err := src.Emit(id); err != nil {
+				return
+			}
+			time.Sleep(gap)
+		}
+	}
+	wg.Add(2)
+	go emitLoop(in1, 0)
+	go emitLoop(in2, 1_000_000)
+	wg.Wait()
+	// Drain: end-of-stream promises release the merge's final messages.
+	_ = in1.End()
+	_ = in2.End()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return nil, fmt.Errorf("timed out: %d of %d outputs", received, requests)
+	}
+	// Latencies are in output order — the paper's Figure-5 x-axis is the
+	// request number in completion order.
+	return lat, nil
+}

@@ -1,0 +1,149 @@
+// Command tartsim runs the paper's simulation studies (§III.A–§III.B) and
+// prints the series behind each figure:
+//
+//	tartsim -exp fig2        Figure 2: service-time regression (real measurement)
+//	tartsim -exp fig3        Figure 3: latency vs sender variability, 3 modes
+//	tartsim -exp fig4        Figure 4: sensitivity to the estimator coefficient
+//	tartsim -exp throughput  Saturation search (det vs non-det)
+//	tartsim -exp dumb        The 600 µs constant ("dumb") estimator study
+//	tartsim -exp bias        §II.G.1 bias algorithm under asymmetric rates
+//	tartsim -exp all         Everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|all")
+		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
+		reps     = flag.Int("fig2reps", 300, "Figure-2 inner repetitions per sample")
+	)
+	flag.Parse()
+	if err := run(*exp, *duration, *seed, *samples, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "tartsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) error {
+	switch exp {
+	case "fig2":
+		fig2(fig2n, fig2reps, seed)
+	case "fig3":
+		fig3(duration, seed, 0)
+	case "dumb":
+		fig3(duration, seed, 600*time.Microsecond)
+	case "fig4":
+		fig4(duration, seed, fig2n, fig2reps)
+	case "throughput":
+		throughput(duration, seed)
+	case "bias":
+		bias(duration, seed)
+	case "all":
+		fig2(fig2n, fig2reps, seed)
+		fig3(duration, seed, 0)
+		fig3(duration, seed, 600*time.Microsecond)
+		fig4(duration, seed, fig2n, fig2reps)
+		throughput(duration, seed)
+		bias(duration, seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func fig2(n, reps int, seed uint64) {
+	fmt.Println("== Figure 2: service time vs iteration count (real measurement) ==")
+	fmt.Printf("   paper: coefficient 61.827 µs/iter on a 2004 ThinkPad T42 (JDK 5), R² 0.9154,\n")
+	fmt.Printf("   residuals highly right-skewed, iteration↔residual correlation ≈ 0\n\n")
+	r := sim.MeasureFig2(n, 1, 19, reps, seed)
+	fmt.Printf("   samples                     %d (iterations U{1..19}, %d inner reps)\n", len(r.Samples), reps)
+	fmt.Printf("   fitted coefficient          %.3f ns/iter (raw OLS through origin)\n", r.CoefNsPerIter)
+	fmt.Printf("   fitted coefficient (median) %.3f ns/iter\n", r.MedianCoefNsPerIter)
+	fmt.Printf("   R² (raw / median fit)       %.4f / %.4f\n", r.R2, r.MedianR2)
+	fmt.Printf("   residual skewness           %+.2f (right-skewed > 0)\n", r.ResidualSkewness)
+	fmt.Printf("   iteration↔residual corr     %+.4f\n\n", r.ResidualCorrelation)
+}
+
+func fig3(duration time.Duration, seed uint64, dumb time.Duration) {
+	if dumb > 0 {
+		fmt.Println("== Dumb-estimator study: constant 600 µs estimate (§III.A) ==")
+		fmt.Println("   paper: overhead grows with variability, reaching ~13% at U{1..19}")
+	} else {
+		fmt.Println("== Figure 3: latency vs sender compute variability ==")
+		fmt.Println("   paper: det overhead 2.8–4.1% of non-det, prescient slightly better")
+	}
+	fmt.Printf("\n   %-10s %-10s %-12s %-12s %-12s %-8s %-8s\n",
+		"halfwidth", "sd(µs)", "nondet(µs)", "det(µs)", "presc(µs)", "det-ovh", "pr-ovh")
+	pts := sim.RunFig3(sim.Fig3Config{Duration: duration, Seed: seed, DumbEstimate: dumb})
+	for _, p := range pts {
+		fmt.Printf("   %-10d %-10.1f %-12.1f %-12.1f %-12.1f %+7.1f%% %+7.1f%%\n",
+			p.HalfWidth,
+			p.ComputeSD.Seconds()*1e6,
+			p.NonDet.AvgLatency.Seconds()*1e6,
+			p.Det.AvgLatency.Seconds()*1e6,
+			p.Prescient.AvgLatency.Seconds()*1e6,
+			100*p.OverheadDet(),
+			100*p.OverheadPrescient())
+	}
+	fmt.Println()
+}
+
+func fig4(duration time.Duration, seed uint64, fig2n, fig2reps int) {
+	fmt.Println("== Figure 4: sensitivity to the estimator coefficient (empirical jitter) ==")
+	fmt.Println("   paper: minimum near the regression coefficient (60–62 µs/iter), <10%")
+	fmt.Println("   out-of-order and ~1.5 probes/msg at the minimum; edges degrade")
+	fmt.Println("   (jitter imported from a fresh Figure-2 measurement, rescaled to 60 µs/iter)")
+	f2 := sim.MeasureFig2(fig2n, 1, 19, fig2reps, seed)
+	jit := sim.EmpiricalJitterFromFig2(f2, 60*time.Microsecond)
+	pts := sim.RunFig4(sim.Fig4Config{Jitter: jit, Duration: duration, Seed: seed})
+	fmt.Printf("\n   %-12s %-12s %-12s %-12s %-12s\n",
+		"coef(µs/it)", "det(µs)", "nondet(µs)", "out-of-ord", "probes/msg")
+	for _, p := range pts {
+		fmt.Printf("   %-12.0f %-12.1f %-12.1f %-12.3f %-12.2f\n",
+			p.CoefMicros,
+			p.Det.AvgLatency.Seconds()*1e6,
+			p.NonDet.AvgLatency.Seconds()*1e6,
+			p.Det.OutOfOrderFraction(),
+			p.Det.ProbesPerMessage())
+	}
+	fmt.Println()
+}
+
+func bias(duration time.Duration, seed uint64) {
+	fmt.Println("== Bias algorithm (§II.G.1 ablation) ==")
+	fmt.Println("   the slower of two asymmetric senders eagerly promises extra silence,")
+	fmt.Println("   delaying its own future messages; pays off when probing is expensive")
+	for _, probe := range []time.Duration{10 * time.Microsecond, 150 * time.Microsecond} {
+		fmt.Printf("\n   probe transit %v (fast sender 1ms, slow sender 8ms inter-arrival):\n", probe)
+		fmt.Printf("   %-10s %-12s %-16s %-12s\n", "bias", "latency(µs)", "pessimism(µs/m)", "probes/msg")
+		for _, p := range sim.RunBias(sim.BiasConfig{Duration: duration, Seed: seed, ProbeDelay: probe}) {
+			fmt.Printf("   %-10v %-12.1f %-16.2f %-12.2f\n",
+				p.Bias,
+				p.Det.AvgLatency.Seconds()*1e6,
+				p.Det.AvgPessimism().Seconds()*1e6,
+				p.Det.ProbesPerMessage())
+		}
+	}
+	fmt.Println()
+}
+
+func throughput(duration time.Duration, seed uint64) {
+	fmt.Println("== Throughput saturation (§III.A) ==")
+	fmt.Println("   paper: both modes saturated at the identical 1235 msg/s/sender")
+	res := sim.RunThroughput(sim.ThroughputConfig{Duration: duration, Seed: seed})
+	fmt.Println()
+	for _, r := range res {
+		fmt.Printf("   %-20s saturates at %.0f msg/s/sender\n", r.Mode, r.SaturationPerSender)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,174 @@
+package tart_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	tart "repro"
+	"repro/internal/stats"
+)
+
+// TestRandomCrashSchedulesEquivalence is the paper's correctness criterion
+// (§II.A) as a property test: "despite fail-stop failures ... the behavior
+// of the application will be the same as the behavior of some correct
+// execution of the application in the absence of failure, except for
+// possible output stutter."
+//
+// A fixed workload runs once without failures (the reference), then
+// repeatedly under randomized crash/checkpoint schedules. Every run's
+// deduplicated output stream — payloads AND virtual times — must equal the
+// reference exactly.
+func TestRandomCrashSchedulesEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run crash property test")
+	}
+	const messages = 24
+
+	reference := runCrashWorkload(t, 0 /* no crashes */, 0)
+	if len(reference) != messages {
+		t.Fatalf("reference run produced %d outputs, want %d", len(reference), messages)
+	}
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		got := runCrashWorkload(t, seed, 2)
+		if !reflect.DeepEqual(reference, got) {
+			for i := range reference {
+				if i >= len(got) || reference[i] != got[i] {
+					t.Fatalf("seed %d diverged at output %d:\n  want %+v\n  got  %+v",
+						seed, i, reference[i], safeIndex(got, i))
+				}
+			}
+			t.Fatalf("seed %d: length mismatch %d vs %d", seed, len(reference), len(got))
+		}
+	}
+}
+
+func safeIndex(xs []crashRecord, i int) any {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return "<missing>"
+}
+
+type crashRecord struct {
+	Seq     uint64
+	VT      tart.VirtualTime
+	Payload string
+}
+
+// runCrashWorkload pushes a fixed 24-message workload through the Figure-1
+// app. With crashes > 0, the engine is checkpointed, killed, and recovered
+// at `crashes` random points chosen by seed. Returns the deduplicated
+// output stream.
+func runCrashWorkload(t *testing.T, seed uint64, crashes int) []crashRecord {
+	t.Helper()
+	const messages = 24
+
+	app := tart.NewApp()
+	app.Register("sender1", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(40*time.Microsecond))
+	app.Register("sender2", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(70*time.Microsecond))
+	app.Register("merger", &crashMerger{},
+		tart.WithConstantCost(100*time.Microsecond))
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.PlaceAll("node")
+
+	cluster, err := tart.Launch(app, tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	outCh := make(chan crashRecord, 256)
+	deduped := tart.DedupOutputs(func(o tart.Output) {
+		outCh <- crashRecord{Seq: o.Seq, VT: o.VT, Payload: o.Payload.(string)}
+	})
+	if err := cluster.Sink("out", deduped); err != nil {
+		t.Fatal(err)
+	}
+
+	in1, _ := cluster.Source("in1")
+	in2, _ := cluster.Source("in2")
+
+	// Fixed logical schedule; crash points chosen by seed.
+	rng := stats.NewRNG(seed)
+	crashAfter := make(map[int]bool, crashes)
+	for len(crashAfter) < crashes {
+		// Crash somewhere strictly inside the run, never twice at one spot.
+		crashAfter[2+rng.Intn(messages/2-3)] = true
+	}
+
+	var got []crashRecord
+	collect := func(n int) {
+		deadline := time.After(20 * time.Second)
+		for len(got) < n {
+			select {
+			case r := <-outCh:
+				got = append(got, r)
+			case <-deadline:
+				t.Fatalf("seed %d: timed out at %d of %d outputs", seed, len(got), n)
+			}
+		}
+	}
+
+	words := []string{"ash", "birch", "cedar", "fir"}
+	for i := 0; i < messages/2; i++ {
+		vtBase := tart.VirtualTime((i + 1) * 1_000_000)
+		if err := in1.EmitAt(vtBase, words[i%len(words)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := in2.EmitAt(vtBase+333_000, words[(i+1)%len(words)]); err != nil {
+			t.Fatal(err)
+		}
+		// Let this round drain completely so crash points are well-defined
+		// logical positions, not races.
+		q := vtBase + 500_000
+		in1.Quiesce(q)
+		in2.Quiesce(q)
+		collect(2 * (i + 1))
+
+		if crashAfter[i] {
+			if _, err := cluster.Checkpoint("node"); err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.Fail("node"); err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.Recover("node"); err != nil {
+				t.Fatal(err)
+			}
+			// Re-establish volatile source promises lost in the crash.
+			in1.Quiesce(q)
+			in2.Quiesce(q)
+		}
+	}
+	return got
+}
+
+// crashCounter is the per-word counter with checkpointable state.
+type crashCounter struct {
+	Counts map[string]int
+}
+
+func (c *crashCounter) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	w := payload.(string)
+	c.Counts[w]++
+	return nil, ctx.Send("out", fmt.Sprintf("%s#%d", w, c.Counts[w]))
+}
+
+// crashMerger concatenates a running tally.
+type crashMerger struct {
+	N int
+}
+
+func (m *crashMerger) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	m.N++
+	return nil, ctx.Send("out", fmt.Sprintf("%03d:%v", m.N, payload))
+}

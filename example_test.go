@@ -1,0 +1,133 @@
+package tart_test
+
+import (
+	"fmt"
+	"time"
+
+	tart "repro"
+)
+
+// echoTotals accumulates integers and emits the running total.
+type echoTotals struct {
+	Total int
+}
+
+func (e *echoTotals) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	e.Total += payload.(int)
+	return nil, ctx.Send("out", e.Total)
+}
+
+// Example runs a minimal one-component application with deterministic
+// virtual timestamps: the output values AND virtual times are identical on
+// every run — the property that makes checkpoint-replay recovery work.
+func Example() {
+	app := tart.NewApp()
+	app.Register("totals", &echoTotals{}, tart.WithConstantCost(50*time.Microsecond))
+	app.SourceInto("numbers", "totals", "in")
+	app.SinkFrom("out", "totals", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app,
+		tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		fmt.Println("launch:", err)
+		return
+	}
+	defer cluster.Stop()
+
+	done := make(chan struct{})
+	outputs := 0
+	if err := cluster.Sink("out", func(o tart.Output) {
+		fmt.Printf("vt=%d total=%v\n", int64(o.VT), o.Payload)
+		if outputs++; outputs == 3 {
+			close(done)
+		}
+	}); err != nil {
+		fmt.Println("sink:", err)
+		return
+	}
+
+	src, err := cluster.Source("numbers")
+	if err != nil {
+		fmt.Println("source:", err)
+		return
+	}
+	for i, n := range []int{5, 7, 30} {
+		// Explicit virtual timestamps make the run fully deterministic.
+		if err := src.EmitAt(tart.VirtualTime((i+1)*1_000_000), n); err != nil {
+			fmt.Println("emit:", err)
+			return
+		}
+	}
+	<-done
+
+	// Output:
+	// vt=1051000 total=5
+	// vt=2051000 total=12
+	// vt=3051000 total=42
+}
+
+// ExampleCluster_Recover shows transparent recovery: checkpoint, crash,
+// recover — the deduplicated consumer sees an uninterrupted exactly-once
+// stream.
+func ExampleCluster_Recover() {
+	app := tart.NewApp()
+	app.Register("totals", &echoTotals{}, tart.WithConstantCost(50*time.Microsecond))
+	app.SourceInto("numbers", "totals", "in")
+	app.SinkFrom("out", "totals", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app,
+		tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+	if err != nil {
+		fmt.Println("launch:", err)
+		return
+	}
+	defer cluster.Stop()
+
+	outCh := make(chan tart.Output, 16)
+	dedup := tart.DedupOutputs(func(o tart.Output) { outCh <- o })
+	if err := cluster.Sink("out", dedup); err != nil {
+		fmt.Println("sink:", err)
+		return
+	}
+	src, _ := cluster.Source("numbers")
+
+	emit := func(i, n int) {
+		if err := src.EmitAt(tart.VirtualTime(i*1_000_000), n); err != nil {
+			fmt.Println("emit:", err)
+		}
+	}
+	show := func() {
+		o := <-outCh
+		fmt.Printf("vt=%d total=%v\n", int64(o.VT), o.Payload)
+	}
+
+	emit(1, 10)
+	show()
+	if _, err := cluster.Checkpoint("main"); err != nil {
+		fmt.Println("checkpoint:", err)
+		return
+	}
+	emit(2, 20)
+	show()
+
+	// Fail-stop crash; the replica holds the checkpoint, the stable log
+	// holds the inputs. Recovery replays — the consumer sees no gap and no
+	// duplicate (output 2 is regenerated identically and deduplicated).
+	if err := cluster.Fail("main"); err != nil {
+		fmt.Println("fail:", err)
+		return
+	}
+	if err := cluster.Recover("main"); err != nil {
+		fmt.Println("recover:", err)
+		return
+	}
+	emit(3, 12)
+	show()
+
+	// Output:
+	// vt=1051000 total=10
+	// vt=2051000 total=30
+	// vt=3051000 total=42
+}

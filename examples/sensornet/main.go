@@ -1,0 +1,205 @@
+// The sensornet example shows TART on a wide fan-in: eight sensor relays
+// on an "edge" engine feed one aggregator on a "hub" engine. High fan-in
+// is exactly where the paper says curiosity probing needs help (§IV), so
+// the relays use AGGRESSIVE silence propagation — pushing watermarks
+// unprompted as their clocks advance — and the aggregator still delivers a
+// strict virtual-time merge of all eight streams.
+//
+// A watchdog goroutine uses the cluster Health API as a failure detector:
+// when the hub engine is killed mid-run, the watchdog notices the silence
+// and activates the passive replica; the merged stream resumes exactly
+// where the checkpoint left it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	tart "repro"
+)
+
+// Reading is one sensor sample.
+type Reading struct {
+	Sensor string
+	Value  float64
+}
+
+// Relay forwards readings, tagging them with its own count.
+type Relay struct {
+	Forwarded int
+}
+
+// OnMessage implements tart.Component.
+func (r *Relay) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	r.Forwarded++
+	return nil, ctx.Send("out", payload)
+}
+
+// Aggregate maintains per-sensor running means over the merged stream.
+type Aggregate struct {
+	Sums   *tart.StateMap[string, float64]
+	Counts *tart.StateMap[string, int]
+	Seen   int
+}
+
+// OnMessage implements tart.Component.
+func (a *Aggregate) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	rd := payload.(Reading)
+	sum, _ := a.Sums.Get(rd.Sensor)
+	n, _ := a.Counts.Get(rd.Sensor)
+	a.Sums.Put(rd.Sensor, sum+rd.Value)
+	a.Counts.Put(rd.Sensor, n+1)
+	a.Seen++
+	if a.Seen%16 == 0 {
+		// Periodic digest over ALL sensors — deterministic iteration.
+		var total float64
+		for _, k := range a.Sums.SortedKeys() {
+			s, _ := a.Sums.Get(k)
+			c, _ := a.Counts.Get(k)
+			total += s / float64(c)
+		}
+		return nil, ctx.Send("digests", fmt.Sprintf("after %d readings, mean-of-means %.2f", a.Seen, total/float64(a.Sums.Len())))
+	}
+	return nil, nil
+}
+
+const sensors = 8
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := tart.RegisterPayload(Reading{}); err != nil {
+		return err
+	}
+	app := tart.NewApp()
+	app.Register("hub", &Aggregate{
+		Sums:   tart.NewStateMap[string, float64](),
+		Counts: tart.NewStateMap[string, int](),
+	}, tart.WithConstantCost(50*time.Microsecond))
+	for i := 0; i < sensors; i++ {
+		name := fmt.Sprintf("relay%d", i)
+		app.Register(name, &Relay{},
+			tart.WithConstantCost(20*time.Microsecond),
+			// High fan-in: push silence unprompted (§IV's suggestion).
+			tart.WithSilence(tart.Aggressive))
+		app.SourceInto(fmt.Sprintf("sensor%d", i), name, "in")
+		app.Connect(name, "out", "hub", fmt.Sprintf("s%d", i))
+		app.Place(name, "edge")
+	}
+	app.SinkFrom("digests", "hub", "digests")
+	app.Place("hub", "hub")
+
+	cluster, err := tart.Launch(app,
+		tart.WithCheckpointEvery(50*time.Millisecond),
+		tart.WithSourceSilenceEvery(500*time.Microsecond))
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	var mu sync.Mutex
+	var digests []string
+	exactly := tart.DedupOutputs(func(o tart.Output) {
+		mu.Lock()
+		digests = append(digests, fmt.Sprint(o.Payload))
+		mu.Unlock()
+	})
+	if err := cluster.Sink("digests", exactly); err != nil {
+		return err
+	}
+
+	// Watchdog: the edge engine's view of the hub is the failure detector.
+	watchdogDone := make(chan struct{})
+	var recovered bool
+	go func() {
+		defer close(watchdogDone)
+		for i := 0; i < 400; i++ {
+			time.Sleep(10 * time.Millisecond)
+			h, err := cluster.Health("edge")
+			if err != nil {
+				return
+			}
+			if ph, ok := h["hub"]; ok && !ph.Connected && !recovered {
+				fmt.Println("watchdog: hub unreachable — activating its replica")
+				if err := cluster.Recover("hub"); err != nil {
+					fmt.Println("watchdog: recover failed:", err)
+					return
+				}
+				recovered = true
+				return
+			}
+		}
+	}()
+
+	// Drive the sensors.
+	var srcs []*tart.Source
+	for i := 0; i < sensors; i++ {
+		s, err := cluster.Source(fmt.Sprintf("sensor%d", i))
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, s)
+	}
+	emit := func(rounds int) error {
+		for r := 0; r < rounds; r++ {
+			for i, s := range srcs {
+				if _, err := s.Emit(Reading{Sensor: fmt.Sprintf("t%d", i), Value: float64(r + i)}); err != nil &&
+					!recovered {
+					return err
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := emit(8); err != nil { // 64 readings → 4 digests
+		return err
+	}
+	awaitDigests := func(n int) {
+		for i := 0; i < 500; i++ {
+			mu.Lock()
+			got := len(digests)
+			mu.Unlock()
+			if got >= n {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	awaitDigests(4)
+	time.Sleep(100 * time.Millisecond) // a periodic checkpoint lands
+
+	fmt.Println("killing the hub engine mid-run...")
+	if err := cluster.Fail("hub"); err != nil {
+		return err
+	}
+	<-watchdogDone
+	if !recovered {
+		return fmt.Errorf("watchdog never recovered the hub")
+	}
+
+	if err := emit(8); err != nil {
+		return err
+	}
+	awaitDigests(8)
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\n%d digests from the 8-way deterministic merge (exactly-once):\n", len(digests))
+	for _, d := range digests {
+		fmt.Println("  ", d)
+	}
+	if len(digests) < 8 {
+		return fmt.Errorf("only %d digests, want >= 8", len(digests))
+	}
+	m, _ := cluster.Metrics("hub")
+	fmt.Printf("\nhub metrics: delivered=%d out-of-order=%d failovers=%d\n",
+		m.Delivered, m.OutOfOrder, m.Failovers)
+	return nil
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/sched"
+	"repro/internal/topo"
+	"repro/internal/vt"
+)
+
+// fullCheckpointEvery bounds delta chains: every Nth checkpoint captures
+// full handler state even for incremental components, so a replica's
+// restore cost stays bounded.
+const fullCheckpointEvery = 10
+
+// Checkpoint takes one soft checkpoint: a quiescent capture of every
+// hosted component plus the replay buffers, applied to the configured
+// backup. On success it trims the stable log and local buffers and sends
+// stability acks to remote senders. It returns the checkpoint sequence
+// number.
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.cfg.Backup == nil {
+		return 0, fmt.Errorf("engine: %q has no backup configured", e.name)
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	comps := make(map[string]checkpoint.ComponentState, len(e.comps))
+	var captureErr error
+	var bytesTotal int
+	for _, h := range e.sortedHosted() {
+		var cs checkpoint.ComponentState
+		h.sch.WithQuiescent(func(st sched.State) {
+			cs.Sched = st
+			wantFull := !h.shippedFull || h.deltasSince >= fullCheckpointEvery
+			if wantFull {
+				data, err := checkpoint.Capture(h.spec.State)
+				if err != nil {
+					captureErr = err
+					return
+				}
+				cs.Kind = checkpoint.HandlerFull
+				cs.Handler = data
+				return
+			}
+			data, full, err := checkpoint.CaptureDelta(h.spec.State)
+			if err != nil {
+				captureErr = err
+				return
+			}
+			if full {
+				cs.Kind = checkpoint.HandlerFull
+			} else {
+				cs.Kind = checkpoint.HandlerDelta
+			}
+			cs.Handler = data
+		})
+		if captureErr != nil {
+			// A failed capture may have consumed dirty sets; force the next
+			// checkpoint to be full for every component.
+			e.forceFullNext()
+			return 0, fmt.Errorf("engine: checkpoint %q: %w", h.name, captureErr)
+		}
+		if h.cal != nil {
+			st := h.cal.State()
+			cs.Estimator = &st
+		}
+		bytesTotal += len(cs.Handler)
+		comps[h.name] = cs
+	}
+
+	ck := &checkpoint.Checkpoint{
+		Engine:     e.name,
+		Seq:        e.ckptSeq + 1,
+		Components: comps,
+		Buffers:    e.buffers.snapshot(),
+	}
+	if err := e.cfg.Backup.Apply(ck); err != nil {
+		e.forceFullNext()
+		return 0, fmt.Errorf("engine: apply checkpoint: %w", err)
+	}
+	e.ckptSeq = ck.Seq
+	for _, h := range e.comps {
+		cs := comps[h.name]
+		if cs.Kind == checkpoint.HandlerFull {
+			h.shippedFull = true
+			h.deltasSince = 0
+		} else {
+			h.deltasSince++
+		}
+	}
+	e.metrics.AddCheckpoint(bytesTotal)
+	e.afterCheckpoint(ck)
+	return ck.Seq, nil
+}
+
+// forceFullNext marks every component so the next checkpoint ships full
+// handler state (after a failed capture or apply, deltas may be lost).
+func (e *Engine) forceFullNext() {
+	for _, h := range e.comps {
+		h.shippedFull = false
+	}
+}
+
+// afterCheckpoint performs the stability housekeeping a durable checkpoint
+// enables: trim the input log, trim local replay buffers, and acknowledge
+// remote senders so they can trim theirs (paper: checkpoints bound both
+// recovery time and replay-buffer growth).
+func (e *Engine) afterCheckpoint(ck *checkpoint.Checkpoint) {
+	type ackTarget struct {
+		engine string
+		env    msg.Envelope
+	}
+	var acks []ackTarget
+	for _, h := range e.sortedHosted() {
+		cs := ck.Components[h.name]
+		// Input wires: sorted for deterministic ack order.
+		wires := make([]msg.WireID, 0, len(cs.Sched.Inputs))
+		for wid := range cs.Sched.Inputs {
+			wires = append(wires, wid)
+		}
+		sort.Slice(wires, func(i, j int) bool { return wires[i] < wires[j] })
+		for _, wid := range wires {
+			cursor := cs.Sched.Inputs[wid].NextSeq // next needed; delivered through cursor-1
+			if cursor == 0 {
+				continue
+			}
+			delivered := cursor - 1
+			w := e.tp.Wire(wid)
+			switch {
+			case w.From == topo.External:
+				if src := e.sourceByWire(wid); src != nil {
+					_ = e.log.TrimInputs(src.name, delivered)
+				}
+			case e.tp.EngineOf(w.From) == e.name:
+				e.buffers.trim(wid, delivered)
+			default:
+				acks = append(acks, ackTarget{
+					engine: e.tp.EngineOf(w.From),
+					env:    msg.NewAck(wid, delivered),
+				})
+			}
+		}
+		// Reply wires: every call with ID <= NextCall completed before the
+		// snapshot (snapshots are quiescent), so its reply is stable.
+		for _, wid := range h.comp.ReplyInputs {
+			if cs.Sched.NextCall == 0 {
+				continue
+			}
+			w := e.tp.Wire(wid)
+			if e.tp.EngineOf(w.From) == e.name {
+				e.buffers.trimReplies(wid, cs.Sched.NextCall)
+			} else {
+				acks = append(acks, ackTarget{
+					engine: e.tp.EngineOf(w.From),
+					env:    msg.NewAck(wid, cs.Sched.NextCall),
+				})
+			}
+		}
+	}
+	for _, a := range acks {
+		e.peers.send(a.engine, a.env)
+	}
+}
+
+func (e *Engine) sourceByWire(w msg.WireID) *Source {
+	for _, s := range e.sources {
+		if s.wire.ID == w {
+			return s
+		}
+	}
+	return nil
+}
+
+// NewFromBackup builds a replacement engine from the passive replica's
+// stored state: the paper's failover (§II.F.3). The returned engine is
+// inert; Start brings it up, replays the input-log suffix into restored
+// components, and re-establishes connections (which re-drives remote
+// replay).
+func NewFromBackup(cfg Config, store *checkpoint.ReplicaStore) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range e.sortedHosted() {
+		schedState, estState, err := store.RestoreInto(h.name, h.spec.State)
+		if err != nil {
+			return nil, fmt.Errorf("engine: restore %q: %w", h.name, err)
+		}
+		if err := h.sch.Restore(schedState); err != nil {
+			return nil, err
+		}
+		h.restoredState = schedState
+		if h.cal != nil {
+			if estState != nil {
+				if err := h.cal.SetState(*estState); err != nil {
+					return nil, fmt.Errorf("engine: restore estimator of %q: %w", h.name, err)
+				}
+			}
+			// Re-apply determinism faults logged after the checkpoint; the
+			// synchronous fault log is the source of truth (§II.G.4).
+			faults, err := e.log.Faults(h.name)
+			if err != nil {
+				return nil, err
+			}
+			last := lastEpochStart(h.cal)
+			for _, f := range faults {
+				if f.Fault.EffectiveVT < last {
+					continue // already reflected in the checkpointed state
+				}
+				if err := h.cal.Apply(f.Fault); err != nil {
+					return nil, fmt.Errorf("engine: replay fault for %q: %w", h.name, err)
+				}
+			}
+		}
+		h.shippedFull = false // first post-recovery checkpoint ships full state
+	}
+	e.buffers.restore(e.tp, store.Buffers())
+	e.ckptSeq = store.Seq()
+	e.restored = true
+	return e, nil
+}
+
+func lastEpochStart(cal *estimator.Calibrated) vt.Time {
+	st := cal.State()
+	if n := len(st.Epochs); n > 0 {
+		return st.Epochs[n-1].From
+	}
+	return 0
+}
+
+// replayAfterRestore re-drives local recovery once schedulers are running:
+// buffered local-wire messages are re-delivered (duplicates discard), and
+// each source's logged suffix is re-injected. Remote replay is driven by
+// the connection hooks (onPeerConnected).
+func (e *Engine) replayAfterRestore() {
+	// Local wire buffers: deliver everything; receivers dedup by sequence.
+	for wid, buf := range e.buffers.snapshot() {
+		w := e.tp.Wire(wid)
+		if w.To == topo.External || e.tp.EngineOf(w.To) != e.name {
+			continue
+		}
+		for _, env := range buf {
+			e.forward(w, env)
+		}
+	}
+	// Source logs: replay from each restored component's delivery cursor.
+	for _, h := range e.sortedHosted() {
+		for wid, ist := range h.restoredState.Inputs {
+			w := e.tp.Wire(wid)
+			if w.From != topo.External {
+				continue
+			}
+			if src := e.sourceByWire(wid); src != nil {
+				if err := src.restoreCursor(ist.NextSeq, ist.LastVT); err != nil {
+					// Log replay failure leaves the component waiting for the
+					// missing range; surfaced via metrics rather than a crash.
+					continue
+				}
+			}
+		}
+	}
+	e.metrics.AddFailover()
+}

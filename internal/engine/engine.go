@@ -1,0 +1,419 @@
+// Package engine implements the TART execution engine: the container that
+// hosts a placement's components, routes messages between them (in memory
+// locally, over a transport remotely), ingests external input through
+// logged sources, delivers external output through sinks, takes periodic
+// soft checkpoints shipped to a passive backup, and performs the recovery
+// protocol — replay-range requests, duplicate discard, and buffer trimming
+// by stability acknowledgements (paper §II.C, §II.F).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/sched"
+	"repro/internal/silence"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/vt"
+	"repro/internal/wal"
+)
+
+// Backup receives soft checkpoints. A checkpoint.ReplicaStore implements it
+// directly for in-process passive replicas; a remote backup would forward
+// the encoded checkpoint over its own channel.
+type Backup interface {
+	Apply(c *checkpoint.Checkpoint) error
+}
+
+// ComponentSpec supplies the application half of one hosted component.
+type ComponentSpec struct {
+	// Handler is the component's message-processing logic.
+	Handler sched.Handler
+	// State is the object whose fields hold the component's persistent
+	// state (often the Handler itself). It is captured via the checkpoint
+	// package: transparently through gob unless it implements Snapshotter.
+	State any
+	// Est is the component's virtual-time estimator. Required.
+	Est estimator.Estimator
+	// Silence configures the component's silence propagation.
+	Silence silence.Config
+	// Extract supplies message features when Est is a *estimator.Calibrated
+	// (enables determinism-fault recalibration).
+	Extract estimator.FeatureFunc
+	// ProbeRetry overrides the scheduler's probe retry interval.
+	ProbeRetry time.Duration
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Name is the engine's name in the topology placement.
+	Name string
+	// Topo is the application topology.
+	Topo *topo.Topology
+	// Components maps component name to spec, for every component the
+	// placement assigns to this engine.
+	Components map[string]ComponentSpec
+	// Transport connects engines; required when the topology places
+	// components on more than one engine.
+	Transport transport.Transport
+	// Addrs maps engine name to transport address, for this engine and all
+	// peers it exchanges wires with.
+	Addrs map[string]string
+	// Log is the stable store for external inputs and determinism faults.
+	// Defaults to an in-memory log.
+	Log wal.Log
+	// Backup receives soft checkpoints; nil disables checkpointing.
+	Backup Backup
+	// CheckpointEvery is the soft-checkpoint cadence (the paper's tunable
+	// checkpoint frequency). Zero disables the periodic loop; Checkpoint
+	// can still be called manually.
+	CheckpointEvery time.Duration
+	// SourceSilenceEvery is how often real-time sources advance their
+	// silence watermark unprompted. Zero disables (manual-clock tests).
+	SourceSilenceEvery time.Duration
+	// GapRepairEvery is how often the engine scans for sequence gaps and
+	// issues replay requests. Default 50ms.
+	GapRepairEvery time.Duration
+	// HeartbeatEvery is the keepalive cadence on peer connections.
+	// Default 250ms.
+	HeartbeatEvery time.Duration
+	// RedialEvery is the reconnection retry cadence. Default 100ms.
+	RedialEvery time.Duration
+	// Metrics receives runtime counters; optional.
+	Metrics *trace.Metrics
+	// Clock supplies virtual time for real-time sources. Defaults to
+	// nanoseconds since engine start.
+	Clock func() vt.Time
+}
+
+// Engine hosts the components placed on one engine name.
+type Engine struct {
+	cfg  Config
+	name string
+	tp   *topo.Topology
+
+	comps    map[string]*hosted
+	byID     map[topo.ComponentID]*hosted
+	sources  map[string]*Source
+	sinksMu  sync.Mutex
+	sinks    map[msg.WireID]func(env msg.Envelope)
+	buffers  *bufferSet
+	peers    *peerSet
+	log      wal.Log
+	metrics  *trace.Metrics
+	ckptSeq  uint64
+	ckptMu   sync.Mutex
+	epoch    time.Time
+	clock    func() vt.Time
+	restored bool
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	stop    chan struct{}
+	done    sync.WaitGroup
+}
+
+type hosted struct {
+	name string
+	comp *topo.Component
+	spec ComponentSpec
+	sch  *sched.Scheduler
+	cal  *estimator.Calibrated // non-nil when Est is calibrated
+
+	// Checkpoint bookkeeping (guarded by Engine.ckptMu).
+	shippedFull   bool
+	deltasSince   int
+	restoredState sched.State
+}
+
+// New builds an engine. The engine is inert until Start.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Name == "" || cfg.Topo == nil {
+		return nil, errors.New("engine: Name and Topo are required")
+	}
+	if cfg.Log == nil {
+		cfg.Log = wal.NewMemLog()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &trace.Metrics{}
+	}
+	if cfg.GapRepairEvery <= 0 {
+		cfg.GapRepairEvery = 50 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if cfg.RedialEvery <= 0 {
+		cfg.RedialEvery = 100 * time.Millisecond
+	}
+	e := &Engine{
+		cfg:     cfg,
+		name:    cfg.Name,
+		tp:      cfg.Topo,
+		comps:   make(map[string]*hosted),
+		byID:    make(map[topo.ComponentID]*hosted),
+		sources: make(map[string]*Source),
+		sinks:   make(map[msg.WireID]func(msg.Envelope)),
+		log:     cfg.Log,
+		metrics: cfg.Metrics,
+		stop:    make(chan struct{}),
+	}
+	e.buffers = newBufferSet()
+	e.peers = newPeerSet(e)
+	if cfg.Clock != nil {
+		e.clock = cfg.Clock
+	} else {
+		e.clock = func() vt.Time { return vt.Time(time.Since(e.epoch).Nanoseconds()) }
+	}
+
+	placed := cfg.Topo.ComponentsOn(cfg.Name)
+	if len(placed) == 0 {
+		return nil, fmt.Errorf("engine: no components placed on %q", cfg.Name)
+	}
+	for _, id := range placed {
+		comp := cfg.Topo.Component(id)
+		spec, ok := cfg.Components[comp.Name]
+		if !ok {
+			return nil, fmt.Errorf("engine: no spec for component %q placed on %q", comp.Name, cfg.Name)
+		}
+		if err := e.host(comp, spec); err != nil {
+			return nil, err
+		}
+	}
+	// Pre-create sources whose receiving component lives here.
+	for _, src := range cfg.Topo.Sources() {
+		w := cfg.Topo.Wire(src.Wire)
+		if h, ok := e.byID[w.To]; ok {
+			e.sources[src.Name] = newSource(e, src.Name, w, h)
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) host(comp *topo.Component, spec ComponentSpec) error {
+	if spec.Handler == nil || spec.Est == nil {
+		return fmt.Errorf("engine: component %q needs Handler and Est", comp.Name)
+	}
+	h := &hosted{name: comp.Name, comp: comp, spec: spec}
+	cfg := sched.Config{
+		Comp:       comp,
+		Topo:       e.tp,
+		Handler:    spec.Handler,
+		Est:        spec.Est,
+		Silence:    spec.Silence,
+		Router:     e,
+		Metrics:    e.metrics,
+		Seed:       nameSeed(comp.Name),
+		ProbeRetry: spec.ProbeRetry,
+		OnDuplicateCall: func(req msg.Envelope) {
+			e.resendBufferedReply(req)
+		},
+	}
+	if cal, ok := spec.Est.(*estimator.Calibrated); ok {
+		h.cal = cal
+		cfg.Calibration = &sched.Calibration{
+			Extract: spec.Extract,
+			Observe: cal.Observe,
+			Commit: func(fault estimator.Fault) error {
+				// Determinism faults must hit stable storage before they
+				// take effect (paper §II.G.4).
+				rec := wal.FaultRecord{Component: comp.Name, Fault: fault}
+				if err := e.log.AppendFault(rec); err != nil {
+					return err
+				}
+				return cal.Apply(fault)
+			},
+		}
+	}
+	sc, err := sched.New(cfg)
+	if err != nil {
+		return err
+	}
+	h.sch = sc
+	e.comps[comp.Name] = h
+	e.byID[comp.ID] = h
+	// Register replay buffers for every outgoing message wire.
+	for _, w := range e.tp.Wires() {
+		if w.From != comp.ID {
+			continue
+		}
+		switch w.Kind {
+		case topo.WireSend, topo.WireCallRequest, topo.WireCallReply:
+			e.buffers.register(w.ID)
+		}
+	}
+	return nil
+}
+
+// Name returns the engine name.
+func (e *Engine) Name() string { return e.name }
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *trace.Metrics { return e.metrics }
+
+// Source returns the handle for a named external source whose component is
+// hosted on this engine.
+func (e *Engine) Source(name string) (*Source, error) {
+	s, ok := e.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: source %q is not hosted on %q", name, e.name)
+	}
+	return s, nil
+}
+
+// Sink registers the consumer callback for a named external sink whose
+// component is hosted on this engine. Must be called before Start.
+// The callback receives raw envelopes and may see re-deliveries after a
+// failover (output stutter); wrap it with DedupSink to suppress them.
+func (e *Engine) Sink(name string, fn func(env msg.Envelope)) error {
+	sink, ok := e.tp.SinkByName(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown sink %q", name)
+	}
+	w := e.tp.Wire(sink.Wire)
+	if _, hostedHere := e.byID[w.From]; !hostedHere {
+		return fmt.Errorf("engine: sink %q feeds from a component not hosted on %q", name, e.name)
+	}
+	e.sinksMu.Lock()
+	defer e.sinksMu.Unlock()
+	e.sinks[w.ID] = fn
+	return nil
+}
+
+// Scheduler exposes a hosted component's scheduler (used by tests and the
+// checkpoint loop).
+func (e *Engine) Scheduler(component string) (*sched.Scheduler, bool) {
+	h, ok := e.comps[component]
+	if !ok {
+		return nil, false
+	}
+	return h.sch, true
+}
+
+// BufferedCount reports how many envelopes the replay buffer of a wire
+// currently holds (observability for tests and operators).
+func (e *Engine) BufferedCount(w msg.WireID) int {
+	return e.buffers.count(w)
+}
+
+// PeerHealth describes connectivity to one peer engine: whether a live
+// connection exists and when a frame (heartbeats included) was last
+// received. Monitors use a stale LastHeard as the fail-stop suspicion
+// signal that triggers replica activation.
+type PeerHealth struct {
+	Connected bool
+	LastHeard time.Time
+}
+
+// PeerHealth reports connectivity to every peer engine this engine shares
+// wires with.
+func (e *Engine) PeerHealth() map[string]PeerHealth {
+	return e.peers.health()
+}
+
+// Start brings the engine up: schedulers, peer links, background loops.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: %q already started", e.name)
+	}
+	e.started = true
+	e.epoch = time.Now()
+	e.mu.Unlock()
+
+	for _, h := range e.comps {
+		if err := h.sch.Run(); err != nil {
+			return err
+		}
+	}
+	if err := e.peers.start(); err != nil {
+		return err
+	}
+	if e.restored {
+		e.replayAfterRestore()
+	}
+	e.startLoops()
+	return nil
+}
+
+func (e *Engine) startLoops() {
+	if e.cfg.CheckpointEvery > 0 && e.cfg.Backup != nil {
+		e.spawnTicker(e.cfg.CheckpointEvery, func() {
+			if _, err := e.Checkpoint(); err != nil {
+				// Checkpoint failures degrade recovery freshness but must
+				// not stop the engine.
+				_ = err
+			}
+		})
+	}
+	if e.cfg.SourceSilenceEvery > 0 {
+		e.spawnTicker(e.cfg.SourceSilenceEvery, e.advanceSourceSilence)
+	}
+	e.spawnTicker(e.cfg.GapRepairEvery, e.repairGaps)
+	e.spawnTicker(e.cfg.HeartbeatEvery, e.peers.heartbeat)
+}
+
+func (e *Engine) spawnTicker(every time.Duration, fn func()) {
+	e.done.Add(1)
+	go func() {
+		defer e.done.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// Stop shuts the engine down gracefully (schedulers drained of their
+// current handler, connections closed). Idempotent.
+func (e *Engine) Stop() {
+	e.shutdown()
+}
+
+// Kill simulates a fail-stop crash: everything stops immediately and all
+// volatile state (queues, buffers, un-checkpointed component state) is
+// abandoned. The stable log and the backup survive, and a replacement can
+// be built with NewFromBackup.
+func (e *Engine) Kill() {
+	e.shutdown()
+}
+
+func (e *Engine) shutdown() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	close(e.stop)
+	for _, h := range e.comps {
+		h.sch.Stop()
+	}
+	e.peers.stop()
+	e.done.Wait()
+}
+
+// nameSeed derives a deterministic PRNG seed from a component name, so the
+// active engine and every replica/replay agree on component randomness.
+func nameSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}

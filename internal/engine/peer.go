@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// peerSet manages the engine's connections to the other engines it shares
+// wires with: listening, dialing (the lexicographically smaller engine name
+// dials), handshaking, reconnecting after failures, and re-driving the
+// recovery protocol on every (re)connect.
+type peerSet struct {
+	e *Engine
+
+	mu        sync.Mutex
+	conns     map[string]transport.Conn
+	needed    map[string]bool
+	lastHeard map[string]time.Time
+	listener  transport.Listener
+	stopped   bool
+	wg        sync.WaitGroup
+}
+
+func newPeerSet(e *Engine) *peerSet {
+	return &peerSet{
+		e:         e,
+		conns:     make(map[string]transport.Conn),
+		needed:    make(map[string]bool),
+		lastHeard: make(map[string]time.Time),
+	}
+}
+
+// start computes the peer set from the topology and brings up the listener
+// and dialer loops.
+func (p *peerSet) start() error {
+	e := p.e
+	for _, w := range e.tp.Wires() {
+		if w.From == topo.External || w.To == topo.External {
+			continue
+		}
+		fromEng, toEng := e.tp.EngineOf(w.From), e.tp.EngineOf(w.To)
+		if fromEng == e.name && toEng != e.name {
+			p.needed[toEng] = true
+		}
+		if toEng == e.name && fromEng != e.name {
+			p.needed[fromEng] = true
+		}
+	}
+	if len(p.needed) == 0 {
+		return nil
+	}
+	if e.cfg.Transport == nil {
+		return fmt.Errorf("engine: %q has remote wires but no transport", e.name)
+	}
+	addr, ok := e.cfg.Addrs[e.name]
+	if !ok {
+		return fmt.Errorf("engine: no address configured for %q", e.name)
+	}
+	l, err := e.cfg.Transport.Listen(addr)
+	if err != nil {
+		return fmt.Errorf("engine: %q listen: %w", e.name, err)
+	}
+	p.mu.Lock()
+	p.listener = l
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go p.acceptLoop(l)
+
+	for peer := range p.needed {
+		if e.name < peer {
+			p.wg.Add(1)
+			go p.dialLoop(peer)
+		}
+	}
+	return nil
+}
+
+func (p *peerSet) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	if p.listener != nil {
+		p.listener.Close()
+	}
+	conns := make([]transport.Conn, 0, len(p.conns))
+	for _, c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = make(map[string]transport.Conn)
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// send transmits an envelope to a named peer engine, dropping it if the
+// link is down (replay buffers and retry loops provide recovery).
+func (p *peerSet) send(peer string, env msg.Envelope) {
+	p.mu.Lock()
+	c := p.conns[peer]
+	p.mu.Unlock()
+	if c == nil {
+		return
+	}
+	if err := c.Send(env); err != nil {
+		p.dropConn(peer, c)
+	}
+}
+
+// heartbeat sends a hello on every live connection.
+func (p *peerSet) heartbeat() {
+	p.mu.Lock()
+	type pc struct {
+		name string
+		c    transport.Conn
+	}
+	var conns []pc
+	for name, c := range p.conns {
+		conns = append(conns, pc{name: name, c: c})
+	}
+	p.mu.Unlock()
+	for _, x := range conns {
+		if err := x.c.Send(msg.Envelope{Kind: msg.KindHello, Payload: p.e.name}); err != nil {
+			p.dropConn(x.name, x.c)
+		}
+	}
+}
+
+func (p *peerSet) acceptLoop(l transport.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handleInbound(conn)
+		}()
+	}
+}
+
+// handleInbound performs the accept-side handshake: the dialer announces
+// itself with a hello frame, then the connection joins the peer set.
+func (p *peerSet) handleInbound(conn transport.Conn) {
+	env, err := conn.Recv()
+	if err != nil || env.Kind != msg.KindHello {
+		conn.Close()
+		return
+	}
+	peer, ok := env.Payload.(string)
+	if !ok || !p.neededPeer(peer) {
+		conn.Close()
+		return
+	}
+	if err := conn.Send(msg.Envelope{Kind: msg.KindHello, Payload: p.e.name}); err != nil {
+		conn.Close()
+		return
+	}
+	p.register(peer, conn)
+	p.readLoop(peer, conn)
+}
+
+func (p *peerSet) dialLoop(peer string) {
+	defer p.wg.Done()
+	for {
+		if p.isStopped() {
+			return
+		}
+		conn := p.tryDial(peer)
+		if conn == nil {
+			select {
+			case <-p.e.stop:
+				return
+			case <-time.After(p.e.cfg.RedialEvery):
+			}
+			continue
+		}
+		p.register(peer, conn)
+		p.readLoop(peer, conn)
+		// Connection died; loop to redial.
+	}
+}
+
+func (p *peerSet) tryDial(peer string) transport.Conn {
+	addr, ok := p.e.cfg.Addrs[peer]
+	if !ok {
+		return nil
+	}
+	conn, err := p.e.cfg.Transport.Dial(addr)
+	if err != nil {
+		return nil
+	}
+	if err := conn.Send(msg.Envelope{Kind: msg.KindHello, Payload: p.e.name}); err != nil {
+		conn.Close()
+		return nil
+	}
+	reply, err := conn.Recv()
+	if err != nil || reply.Kind != msg.KindHello {
+		conn.Close()
+		return nil
+	}
+	return conn
+}
+
+// register installs a (re)established connection and re-drives the
+// recovery protocol: resend every unacked buffered envelope headed to that
+// peer, and re-request replay for every remote input wire fed from it.
+func (p *peerSet) register(peer string, conn transport.Conn) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, ok := p.conns[peer]; ok && old != conn {
+		old.Close()
+	}
+	p.conns[peer] = conn
+	p.mu.Unlock()
+	p.e.onPeerConnected(peer)
+}
+
+func (p *peerSet) readLoop(peer string, conn transport.Conn) {
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			p.dropConn(peer, conn)
+			return
+		}
+		p.mu.Lock()
+		p.lastHeard[peer] = time.Now()
+		p.mu.Unlock()
+		if env.Kind == msg.KindHello {
+			continue
+		}
+		p.e.deliverInbound(env)
+	}
+}
+
+func (p *peerSet) dropConn(peer string, conn transport.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	if p.conns[peer] == conn {
+		delete(p.conns, peer)
+	}
+	p.mu.Unlock()
+}
+
+func (p *peerSet) neededPeer(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.needed[name]
+}
+
+func (p *peerSet) isStopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopped
+}
+
+// health summarizes per-peer connectivity.
+func (p *peerSet) health() map[string]PeerHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PeerHealth, len(p.needed))
+	for peer := range p.needed {
+		_, connected := p.conns[peer]
+		out[peer] = PeerHealth{
+			Connected: connected,
+			LastHeard: p.lastHeard[peer],
+		}
+	}
+	return out
+}
+
+// onPeerConnected re-drives the recovery protocol after a (re)connect.
+func (e *Engine) onPeerConnected(peer string) {
+	// Resend unacked buffered envelopes whose receiver lives on the peer:
+	// anything the peer missed while the link was down (or that a restored
+	// peer needs again) — duplicates are discarded by sequence number.
+	for _, env := range e.buffers.unacked() {
+		w := e.tp.Wire(env.Wire)
+		if w.To != topo.External && e.tp.EngineOf(w.To) == peer {
+			e.peers.send(peer, env)
+		}
+	}
+	// Ask the peer to replay every remote input wire it feeds, from our
+	// current delivery cursor (a fresh engine needs nothing; a restored one
+	// gets the suffix its checkpoint missed).
+	for _, h := range e.sortedHosted() {
+		needs := h.sch.ReplayNeeds()
+		wires := make([]msg.WireID, 0, len(needs))
+		for wid := range needs {
+			wires = append(wires, wid)
+		}
+		sort.Slice(wires, func(i, j int) bool { return wires[i] < wires[j] })
+		for _, wid := range wires {
+			w := e.tp.Wire(wid)
+			if w.From == topo.External || e.tp.EngineOf(w.From) != peer {
+				continue
+			}
+			e.peers.send(peer, msg.NewReplayRequest(wid, needs[wid]))
+		}
+	}
+}

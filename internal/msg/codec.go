@@ -1,0 +1,90 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Payloads crossing engine boundaries (and entering checkpoints or logs)
+// are encoded with encoding/gob. Concrete payload types must be registered
+// once before use; RegisterPayload is safe to call multiple times with the
+// same type and from multiple goroutines.
+
+var registerMu sync.Mutex
+
+// RegisterPayload registers a concrete payload type with the gob codec.
+// It tolerates duplicate registration of the identical type, which gob
+// itself treats as an error only for conflicting registrations.
+func RegisterPayload(v any) (err error) {
+	registerMu.Lock()
+	defer registerMu.Unlock()
+	defer func() {
+		// gob.Register panics on conflicting duplicate names; surface that
+		// as an error so library callers can handle it.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("msg: register payload: %v", r)
+		}
+	}()
+	gob.Register(v)
+	return nil
+}
+
+// Encoder writes length-delimited gob-encoded envelopes to a stream.
+// It is safe for use by one goroutine at a time.
+type Encoder struct {
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: gob.NewEncoder(w)}
+}
+
+// Encode writes one envelope.
+func (e *Encoder) Encode(env Envelope) error {
+	if err := e.enc.Encode(env); err != nil {
+		return fmt.Errorf("msg: encode envelope: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads envelopes written by Encoder.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: gob.NewDecoder(r)}
+}
+
+// Decode reads one envelope. It returns io.EOF at a clean end of stream.
+func (d *Decoder) Decode() (Envelope, error) {
+	var env Envelope
+	if err := d.dec.Decode(&env); err != nil {
+		if err == io.EOF {
+			return Envelope{}, io.EOF
+		}
+		return Envelope{}, fmt.Errorf("msg: decode envelope: %w", err)
+	}
+	return env, nil
+}
+
+// Marshal encodes a single envelope to bytes. Each call uses a fresh gob
+// stream, so the result is self-contained (suitable for logs and replay
+// buffers, at the cost of repeating type descriptors).
+func Marshal(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a single envelope produced by Marshal.
+func Unmarshal(data []byte) (Envelope, error) {
+	return NewDecoder(bytes.NewReader(data)).Decode()
+}

@@ -1,0 +1,171 @@
+// Package msg defines the message envelopes exchanged between TART
+// components and engines: data messages stamped with virtual times, silence
+// promises, curiosity probes, two-way call requests/replies, and the
+// recovery-protocol messages (replay requests and stability acks).
+//
+// Every envelope travels on a wire. Wires are numbered deterministically by
+// the topology (package topo), which gives the runtime its deterministic
+// tie-breaking rule: when two messages carry the identical virtual time, the
+// one on the lower-numbered wire is delivered first (paper §II.E, fn. 2).
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/vt"
+)
+
+// WireID identifies a directed wire between two components (or between an
+// external source/sink and a component). IDs are assigned deterministically
+// from the topology so every engine, replica, and replay agrees on them.
+type WireID int32
+
+// String renders the wire ID.
+func (w WireID) String() string { return fmt.Sprintf("w%d", int32(w)) }
+
+// Kind discriminates envelope types.
+type Kind int8
+
+// Envelope kinds. Data carries an application payload; Silence carries a
+// promise; Probe requests a fresh promise; CallRequest/CallReply implement
+// two-way calls; ReplayRequest and Ack implement the recovery protocol.
+const (
+	KindData Kind = iota + 1
+	KindSilence
+	KindProbe
+	KindCallRequest
+	KindCallReply
+	KindReplayRequest
+	KindAck
+	// KindHello is the connection handshake/heartbeat between engines;
+	// Payload carries the sending engine's name. It never touches wires.
+	KindHello
+)
+
+var kindNames = map[Kind]string{
+	KindData:          "data",
+	KindSilence:       "silence",
+	KindProbe:         "probe",
+	KindCallRequest:   "call",
+	KindCallReply:     "reply",
+	KindReplayRequest: "replay-request",
+	KindAck:           "ack",
+	KindHello:         "hello",
+}
+
+// String renders the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int8(k))
+}
+
+// Envelope is the unit of communication on a wire.
+//
+// For KindData and KindCallRequest/KindCallReply, VT is the virtual time at
+// which the message arrives at the receiver's logical queue and Seq is the
+// per-wire sequence number (starting at 1) used for reliable-FIFO delivery,
+// gap detection, and duplicate discard. A data message at VT t additionally
+// implies silence on its wire through t (per-wire VTs are strictly
+// increasing).
+//
+// For KindSilence, Promise is the time through which the sender guarantees
+// it will send no further message on this wire; VT and Seq are unused.
+//
+// For KindProbe, Promise carries the receiver's target time: the sender
+// should keep answering with extended promises until its promise reaches the
+// target (curiosity-driven silence, paper §II.G.3).
+//
+// For KindReplayRequest, Seq is the first sequence number the receiver is
+// missing (resend everything from Seq onward).
+//
+// For KindAck, Seq acknowledges stable receipt (the receiver has covered
+// this prefix with a checkpoint), letting the sender trim its replay buffer.
+type Envelope struct {
+	Wire    WireID
+	Kind    Kind
+	Seq     uint64
+	VT      vt.Time
+	Promise vt.Time
+	CallID  uint64
+	Payload any
+}
+
+// NewData constructs a data envelope.
+func NewData(w WireID, seq uint64, t vt.Time, payload any) Envelope {
+	return Envelope{Wire: w, Kind: KindData, Seq: seq, VT: t, Payload: payload}
+}
+
+// NewSilence constructs a silence-promise envelope.
+func NewSilence(w WireID, through vt.Time) Envelope {
+	return Envelope{Wire: w, Kind: KindSilence, Promise: through}
+}
+
+// NewProbe constructs a curiosity probe asking the sender of wire w for a
+// silence promise reaching target.
+func NewProbe(w WireID, target vt.Time) Envelope {
+	return Envelope{Wire: w, Kind: KindProbe, Promise: target}
+}
+
+// NewCallRequest constructs a two-way call request.
+func NewCallRequest(w WireID, seq uint64, t vt.Time, callID uint64, payload any) Envelope {
+	return Envelope{Wire: w, Kind: KindCallRequest, Seq: seq, VT: t, CallID: callID, Payload: payload}
+}
+
+// NewCallReply constructs the reply to a two-way call.
+func NewCallReply(w WireID, seq uint64, t vt.Time, callID uint64, payload any) Envelope {
+	return Envelope{Wire: w, Kind: KindCallReply, Seq: seq, VT: t, CallID: callID, Payload: payload}
+}
+
+// NewReplayRequest asks the sender of wire w to resend from sequence seq.
+func NewReplayRequest(w WireID, fromSeq uint64) Envelope {
+	return Envelope{Wire: w, Kind: KindReplayRequest, Seq: fromSeq}
+}
+
+// NewAck acknowledges stable receipt of wire w through sequence seq.
+func NewAck(w WireID, throughSeq uint64) Envelope {
+	return Envelope{Wire: w, Kind: KindAck, Seq: throughSeq}
+}
+
+// IsMessage reports whether the envelope occupies a tick in the receiver's
+// logical queue (data, call request, or call reply), as opposed to control
+// traffic (silence, probes, recovery protocol).
+func (e Envelope) IsMessage() bool {
+	return e.Kind == KindData || e.Kind == KindCallRequest || e.Kind == KindCallReply
+}
+
+// String renders the envelope for debugging and traces.
+func (e Envelope) String() string {
+	switch e.Kind {
+	case KindData:
+		return fmt.Sprintf("%s data seq=%d %s", e.Wire, e.Seq, e.VT)
+	case KindSilence:
+		return fmt.Sprintf("%s silence through %s", e.Wire, e.Promise)
+	case KindProbe:
+		return fmt.Sprintf("%s probe target %s", e.Wire, e.Promise)
+	case KindCallRequest:
+		return fmt.Sprintf("%s call id=%d seq=%d %s", e.Wire, e.CallID, e.Seq, e.VT)
+	case KindCallReply:
+		return fmt.Sprintf("%s reply id=%d seq=%d %s", e.Wire, e.CallID, e.Seq, e.VT)
+	case KindReplayRequest:
+		return fmt.Sprintf("%s replay from seq=%d", e.Wire, e.Seq)
+	case KindAck:
+		return fmt.Sprintf("%s ack through seq=%d", e.Wire, e.Seq)
+	default:
+		return fmt.Sprintf("%s %s", e.Wire, e.Kind)
+	}
+}
+
+// Less is the deterministic delivery order for messages: primarily by
+// virtual time, tie-broken by wire ID, then by sequence number. It must only
+// be called on envelopes for which IsMessage is true.
+func Less(a, b Envelope) bool {
+	if a.VT != b.VT {
+		return a.VT < b.VT
+	}
+	if a.Wire != b.Wire {
+		return a.Wire < b.Wire
+	}
+	return a.Seq < b.Seq
+}

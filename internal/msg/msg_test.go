@@ -1,0 +1,216 @@
+package msg
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vt"
+)
+
+func TestConstructors(t *testing.T) {
+	d := NewData(3, 7, 100, "hello")
+	if d.Kind != KindData || d.Wire != 3 || d.Seq != 7 || d.VT != 100 || d.Payload != "hello" {
+		t.Errorf("NewData = %+v", d)
+	}
+	s := NewSilence(2, 500)
+	if s.Kind != KindSilence || s.Promise != 500 {
+		t.Errorf("NewSilence = %+v", s)
+	}
+	p := NewProbe(1, 300)
+	if p.Kind != KindProbe || p.Promise != 300 {
+		t.Errorf("NewProbe = %+v", p)
+	}
+	cr := NewCallRequest(4, 1, 50, 99, "req")
+	if cr.Kind != KindCallRequest || cr.CallID != 99 {
+		t.Errorf("NewCallRequest = %+v", cr)
+	}
+	rp := NewCallReply(5, 2, 80, 99, "resp")
+	if rp.Kind != KindCallReply || rp.CallID != 99 || rp.VT != 80 {
+		t.Errorf("NewCallReply = %+v", rp)
+	}
+	rr := NewReplayRequest(6, 42)
+	if rr.Kind != KindReplayRequest || rr.Seq != 42 {
+		t.Errorf("NewReplayRequest = %+v", rr)
+	}
+	a := NewAck(7, 10)
+	if a.Kind != KindAck || a.Seq != 10 {
+		t.Errorf("NewAck = %+v", a)
+	}
+}
+
+func TestIsMessage(t *testing.T) {
+	tests := []struct {
+		env  Envelope
+		want bool
+	}{
+		{NewData(1, 1, 1, nil), true},
+		{NewCallRequest(1, 1, 1, 1, nil), true},
+		{NewCallReply(1, 1, 1, 1, nil), true},
+		{NewSilence(1, 1), false},
+		{NewProbe(1, 1), false},
+		{NewReplayRequest(1, 1), false},
+		{NewAck(1, 1), false},
+	}
+	for _, tt := range tests {
+		if got := tt.env.IsMessage(); got != tt.want {
+			t.Errorf("IsMessage(%v) = %v, want %v", tt.env.Kind, got, tt.want)
+		}
+	}
+}
+
+func TestLessOrdering(t *testing.T) {
+	a := NewData(1, 1, 100, nil)
+	b := NewData(2, 1, 200, nil)
+	if !Less(a, b) || Less(b, a) {
+		t.Error("VT ordering wrong")
+	}
+	// Tie on VT: lower wire wins (the paper's deterministic tie-break).
+	c := NewData(1, 1, 100, nil)
+	d := NewData(2, 1, 100, nil)
+	if !Less(c, d) || Less(d, c) {
+		t.Error("wire tie-break wrong")
+	}
+	// Tie on VT and wire: lower seq wins.
+	e := NewData(1, 1, 100, nil)
+	f := NewData(1, 2, 100, nil)
+	if !Less(e, f) || Less(f, e) {
+		t.Error("seq tie-break wrong")
+	}
+}
+
+// Less must be a strict weak ordering: irreflexive, asymmetric, transitive.
+func TestLessQuickStrictWeakOrdering(t *testing.T) {
+	gen := func(seed int64) []Envelope {
+		out := make([]Envelope, 12)
+		s := uint64(seed)
+		next := func() uint64 { s = s*6364136223846793005 + 1; return s >> 33 }
+		for i := range out {
+			out[i] = NewData(WireID(next()%3), next()%3, vt.Time(next()%4), nil)
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		envs := gen(seed)
+		for _, a := range envs {
+			if Less(a, a) {
+				return false
+			}
+			for _, b := range envs {
+				if Less(a, b) && Less(b, a) {
+					return false
+				}
+				for _, c := range envs {
+					if Less(a, b) && Less(b, c) && !Less(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		// Sorting with Less must terminate and yield a non-decreasing order.
+		sort.Slice(envs, func(i, j int) bool { return Less(envs[i], envs[j]) })
+		for i := 1; i < len(envs); i++ {
+			if Less(envs[i], envs[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindAck.String() != "ack" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	// Smoke test every branch renders without panicking and mentions the wire.
+	envs := []Envelope{
+		NewData(1, 2, 3, nil),
+		NewSilence(1, 3),
+		NewProbe(1, 3),
+		NewCallRequest(1, 2, 3, 4, nil),
+		NewCallReply(1, 2, 3, 4, nil),
+		NewReplayRequest(1, 2),
+		NewAck(1, 2),
+		{Wire: 1, Kind: Kind(42)},
+	}
+	for _, e := range envs {
+		if s := e.String(); len(s) == 0 || s[:2] != "w1" {
+			t.Errorf("String(%v) = %q", e.Kind, s)
+		}
+	}
+}
+
+type testPayload struct {
+	Words []string
+	Count int
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	if err := RegisterPayload(testPayload{}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration of the same type must be tolerated.
+	if err := RegisterPayload(testPayload{}); err != nil {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+
+	in := NewData(5, 9, 12345, testPayload{Words: []string{"a", "b"}, Count: 2})
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Wire != in.Wire || out.Seq != in.Seq || out.VT != in.VT || out.Kind != in.Kind {
+		t.Errorf("round trip header mismatch: %+v vs %+v", out, in)
+	}
+	p, ok := out.Payload.(testPayload)
+	if !ok {
+		t.Fatalf("payload type = %T", out.Payload)
+	}
+	if p.Count != 2 || len(p.Words) != 2 || p.Words[0] != "a" {
+		t.Errorf("payload = %+v", p)
+	}
+}
+
+func TestCodecStream(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i := 0; i < 5; i++ {
+		if err := enc.Encode(NewData(1, uint64(i+1), vt.Time(i*10), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := 0; i < 5; i++ {
+		env, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Seq != uint64(i+1) {
+			t.Errorf("seq = %d, want %d", env.Seq, i+1)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xff, 0x01, 0x02}); err == nil {
+		t.Error("expected error for garbage input")
+	}
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/vt"
+)
+
+// Ctx is the deterministic execution context passed to a handler for one
+// message. It provides the component's only sanctioned views of time and
+// randomness, and the output operations (one-way Send, two-way Call).
+//
+// A Ctx is valid only for the duration of the OnMessage invocation it was
+// created for and must not be retained or shared across goroutines.
+type Ctx struct {
+	s *Scheduler
+	// dequeue is the virtual time at which the message was dequeued.
+	dequeue vt.Time
+	// handlerVT is the virtual completion time of the handler so far: the
+	// dequeue time plus the estimator's cost, advanced further by call
+	// replies. Outputs are stamped relative to it.
+	handlerVT vt.Time
+}
+
+// Now returns the virtual time at which the current message was dequeued —
+// the component's deterministic substitute for reading the wall clock
+// (the paper's permitted "timing service").
+func (c *Ctx) Now() vt.Time { return c.dequeue }
+
+// Rand returns the component's deterministic random generator. Its state
+// is checkpointed, so replayed executions draw identical values.
+func (c *Ctx) Rand() *stats.RNG { return c.s.rng }
+
+// Send emits a one-way message on the named output port. The message is
+// stamped with the deterministic virtual time at which it will arrive at
+// the receiver: the handler's estimated completion time plus the wire's
+// delay estimate (and past any hyper-aggressive silence floor).
+func (c *Ctx) Send(port string, payload any) error {
+	s := c.s
+	s.mu.Lock()
+	ow, ok := s.byPort[port]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: component %q has no output port %q", s.comp.Name, port)
+	}
+	if ow.w.Kind == topo.WireCallRequest {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: port %q of %q is a call port; use Call", port, s.comp.Name)
+	}
+	stamp := c.handlerVT.Add(ow.w.Delay)
+	if floor := s.gov.OutputFloor(); floor != vt.Never && stamp <= floor {
+		stamp = floor.Add(1)
+	}
+	seq, stamped := ow.next(stamp)
+	s.gov.NoteData(ow.w.ID, stamped)
+	s.mu.Unlock()
+
+	s.cfg.Router.Route(msg.NewData(ow.w.ID, seq, stamped, payload))
+	return nil
+}
+
+// Call performs a blocking two-way call on the named call port and returns
+// the reply payload. The caller's virtual clock advances to the reply's
+// virtual time, so computation after the call is stamped later than the
+// callee's processing — preserving causal virtual-time order.
+func (c *Ctx) Call(port string, payload any) (any, error) {
+	s := c.s
+	s.mu.Lock()
+	ow, ok := s.byPort[port]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: component %q has no output port %q", s.comp.Name, port)
+	}
+	if ow.w.Kind != topo.WireCallRequest {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: port %q of %q is not a call port; use Send", port, s.comp.Name)
+	}
+	stamp := c.handlerVT.Add(ow.w.Delay)
+	if floor := s.gov.OutputFloor(); floor != vt.Never && stamp <= floor {
+		stamp = floor.Add(1)
+	}
+	seq, stamped := ow.next(stamp)
+	s.nextCall++
+	callID := s.nextCall
+	replyCh := make(chan msg.Envelope, 1)
+	s.waiters[callID] = replyCh
+	s.gov.NoteData(ow.w.ID, stamped)
+	s.mu.Unlock()
+
+	s.cfg.Router.Route(msg.NewCallRequest(ow.w.ID, seq, stamped, callID, payload))
+
+	select {
+	case reply := <-replyCh:
+		if reply.VT > c.handlerVT {
+			c.handlerVT = reply.VT
+		}
+		return reply.Payload, nil
+	case <-s.stop:
+		s.mu.Lock()
+		delete(s.waiters, callID)
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+}

@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/silence"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// fabric is a minimal in-process engine for tests: it routes envelopes
+// between schedulers, captures sink output, and lets tests play the role of
+// external sources (emitting data and silence on source wires).
+type fabric struct {
+	t      *testing.T
+	topo   *topo.Topology
+	mu     sync.Mutex
+	sched  map[topo.ComponentID]*Scheduler
+	sunk   []msg.Envelope
+	srcSeq map[msg.WireID]uint64
+	sinkCh chan msg.Envelope
+}
+
+func newFabric(t *testing.T, tp *topo.Topology) *fabric {
+	t.Helper()
+	return &fabric{
+		t:      t,
+		topo:   tp,
+		sched:  make(map[topo.ComponentID]*Scheduler),
+		srcSeq: make(map[msg.WireID]uint64),
+		sinkCh: make(chan msg.Envelope, 1024),
+	}
+}
+
+// Route implements Router.
+func (f *fabric) Route(env msg.Envelope) {
+	w := f.topo.Wire(env.Wire)
+	var target topo.ComponentID
+	switch env.Kind {
+	case msg.KindProbe:
+		target = w.From // probes travel to the sender
+	default:
+		target = w.To
+	}
+	if target == topo.External {
+		if w.Kind == topo.WireSink && env.IsMessage() {
+			f.mu.Lock()
+			f.sunk = append(f.sunk, env)
+			f.mu.Unlock()
+			f.sinkCh <- env
+		}
+		return
+	}
+	f.mu.Lock()
+	s := f.sched[target]
+	f.mu.Unlock()
+	if s != nil {
+		s.Deliver(env)
+	}
+}
+
+// add builds and registers a scheduler for the named component.
+func (f *fabric) add(name string, h Handler, cfgMut ...func(*Config)) *Scheduler {
+	f.t.Helper()
+	comp, ok := f.topo.ComponentByName(name)
+	if !ok {
+		f.t.Fatalf("component %q not in topology", name)
+	}
+	cfg := Config{
+		Comp:    comp,
+		Topo:    f.topo,
+		Handler: h,
+		Est:     estimator.Constant{C: 100},
+		Silence: silence.Config{Strategy: silence.Curiosity},
+		Router:  f,
+		Metrics: &trace.Metrics{},
+		Seed:    uint64(comp.ID) + 1,
+	}
+	for _, m := range cfgMut {
+		m(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		f.t.Fatalf("New(%s): %v", name, err)
+	}
+	f.mu.Lock()
+	f.sched[comp.ID] = s
+	f.mu.Unlock()
+	return s
+}
+
+func (f *fabric) start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.sched {
+		if err := s.Run(); err != nil {
+			f.t.Fatalf("Run: %v", err)
+		}
+	}
+}
+
+func (f *fabric) stop() {
+	f.mu.Lock()
+	scheds := make([]*Scheduler, 0, len(f.sched))
+	for _, s := range f.sched {
+		scheds = append(scheds, s)
+	}
+	f.mu.Unlock()
+	for _, s := range scheds {
+		s.Stop()
+	}
+}
+
+// emit plays an external source: it injects a data message on the named
+// source's wire with the next sequence number.
+func (f *fabric) emit(source string, t vt.Time, payload any) {
+	f.t.Helper()
+	src, ok := f.topo.SourceByName(source)
+	if !ok {
+		f.t.Fatalf("source %q not found", source)
+	}
+	f.mu.Lock()
+	f.srcSeq[src.Wire]++
+	seq := f.srcSeq[src.Wire]
+	f.mu.Unlock()
+	f.Route(msg.NewData(src.Wire, seq, t, payload))
+}
+
+// quiesce promises silence on a source wire through the given time.
+func (f *fabric) quiesce(source string, through vt.Time) {
+	f.t.Helper()
+	src, ok := f.topo.SourceByName(source)
+	if !ok {
+		f.t.Fatalf("source %q not found", source)
+	}
+	f.Route(msg.NewSilence(src.Wire, through))
+}
+
+// awaitSink waits for n envelopes to reach sinks and returns them in
+// arrival order.
+func (f *fabric) awaitSink(n int, timeout time.Duration) []msg.Envelope {
+	f.t.Helper()
+	deadline := time.After(timeout)
+	out := make([]msg.Envelope, 0, n)
+	for len(out) < n {
+		select {
+		case env := <-f.sinkCh:
+			out = append(out, env)
+		case <-deadline:
+			f.t.Fatalf("timed out waiting for sink output: got %d of %d", len(out), n)
+		}
+	}
+	return out
+}
+
+// fig1 builds the paper's Figure 1 topology on one engine.
+func fig1(t *testing.T) *topo.Topology {
+	t.Helper()
+	b := topo.NewBuilder()
+	b.AddComponent("sender1")
+	b.AddComponent("sender2")
+	b.AddComponent("merger")
+	b.AddSource("in1", "sender1", "in")
+	b.AddSource("in2", "sender2", "in")
+	b.Connect("sender1", "out", "merger", "s1")
+	b.Connect("sender2", "out", "merger", "s2")
+	b.AddSink("out", "merger", "out")
+	b.PlaceAll("e0")
+	tp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// passthrough forwards every payload to the named port.
+func passthrough(port string) Handler {
+	return HandlerFunc(func(ctx *Ctx, _ string, payload any) (any, error) {
+		return nil, ctx.Send(port, payload)
+	})
+}

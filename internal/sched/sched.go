@@ -1,0 +1,354 @@
+// Package sched implements TART's deterministic per-component scheduler —
+// the paper's core mechanism (§II.D–§II.E).
+//
+// Each component owns one logical queue merging all of its input wires.
+// The scheduler delivers messages pessimistically in strict virtual-time
+// order: the earliest queued message is handed to the handler only when
+// every other input wire is known to be silent through that message's
+// virtual time (via an explicit silence promise or an already-queued later
+// message). Ties are broken deterministically by wire ID. The wait for that
+// knowledge is the pessimism delay, which the scheduler meters and — under
+// probing strategies — shortens by sending curiosity probes to the lagging
+// senders.
+//
+// The component clock advances deterministically: a message with virtual
+// time t dequeues at d = max(t, clock); the handler is charged its
+// estimator cost c; outputs are stamped d + c + wireDelay; and the clock
+// becomes d + c (or later, if the handler performed two-way calls). Given
+// identical inputs, a component therefore produces bit-identical outputs
+// with identical virtual times on every engine, replica, and replay.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/silence"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// Router delivers envelopes produced by a component onto their wires. The
+// engine implements it: local wires are delivered in memory; remote wires
+// cross a transport. Route must not block indefinitely and must be safe for
+// concurrent use.
+type Router interface {
+	Route(env msg.Envelope)
+}
+
+// Handler is the application logic of a component. OnMessage processes one
+// input message; for call-request messages the returned reply value is sent
+// back to the caller. Handlers must be deterministic functions of
+// (component state, port, payload, ctx.Now(), ctx.Rand()) and must not
+// block except through ctx.Call.
+type Handler interface {
+	OnMessage(ctx *Ctx, port string, payload any) (reply any, err error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Ctx, port string, payload any) (any, error)
+
+// OnMessage implements Handler.
+func (f HandlerFunc) OnMessage(ctx *Ctx, port string, payload any) (any, error) {
+	return f(ctx, port, payload)
+}
+
+// Calibration hooks estimator recalibration into the scheduler. After each
+// handled message the scheduler observes (features, measured cost); if the
+// calibrator proposes a coefficient change, the scheduler stamps it with a
+// safely-future virtual time and hands it to Commit, which must log the
+// determinism fault durably and apply it to the estimator (§II.G.4).
+type Calibration struct {
+	Extract estimator.FeatureFunc
+	Observe func(f estimator.Features, measured vt.Ticks) *estimator.Fault
+	Commit  func(fault estimator.Fault) error
+}
+
+// Config assembles a component scheduler.
+type Config struct {
+	Comp    *topo.Component
+	Topo    *topo.Topology
+	Handler Handler
+	// Est stamps virtual times; required.
+	Est estimator.Estimator
+	// Silence configures the component's silence-propagation governor.
+	Silence silence.Config
+	Router  Router
+	// Metrics receives counters; optional.
+	Metrics *trace.Metrics
+	// Seed seeds the component's deterministic PRNG.
+	Seed uint64
+	// ProbeRetry is how long a blocked scheduler waits before re-issuing
+	// curiosity probes for the same target (a robustness backstop; standing
+	// curiosities at the sender normally answer first). Default 50ms.
+	ProbeRetry time.Duration
+	// Calibration enables estimator recalibration; optional.
+	Calibration *Calibration
+	// OnDuplicateCall is invoked when an already-processed call request is
+	// received again (a recovering caller re-issuing a call); the engine
+	// uses it to re-send the buffered reply. Optional.
+	OnDuplicateCall func(req msg.Envelope)
+}
+
+// ErrStopped is returned by blocking operations when the scheduler stops.
+var ErrStopped = errors.New("sched: scheduler stopped")
+
+// Scheduler runs one component deterministically. Create with New, start
+// with Run, stop with Stop.
+type Scheduler struct {
+	cfg  Config
+	comp *topo.Component
+
+	mu               sync.Mutex
+	clock            vt.Time
+	inFlight         vt.Time // dequeue VT of the message being handled; Never if idle
+	inputs           map[msg.WireID]*inWire
+	byPort           map[string]*outWire
+	outputs          map[msg.WireID]*outWire
+	gov              *silence.Governor
+	rng              *stats.RNG
+	waiters          map[uint64]chan msg.Envelope
+	nextCall         uint64
+	arrival          uint64 // arrival counter for out-of-RT-order accounting
+	maxDlvd          uint64 // max arrival index among delivered messages
+	probed           map[msg.WireID]vt.Time
+	pessStart        time.Time
+	finalSilenceSent bool
+
+	poke    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	stopped bool
+}
+
+// New builds a scheduler for one component.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Comp == nil || cfg.Topo == nil {
+		return nil, errors.New("sched: Comp and Topo are required")
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("sched: component %q has no handler", cfg.Comp.Name)
+	}
+	if cfg.Est == nil {
+		return nil, fmt.Errorf("sched: component %q has no estimator", cfg.Comp.Name)
+	}
+	if cfg.Router == nil {
+		return nil, errors.New("sched: Router is required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &trace.Metrics{}
+	}
+	if cfg.ProbeRetry <= 0 {
+		cfg.ProbeRetry = 50 * time.Millisecond
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		comp:     cfg.Comp,
+		inFlight: vt.Never,
+		inputs:   make(map[msg.WireID]*inWire, len(cfg.Comp.Inputs)),
+		byPort:   make(map[string]*outWire, len(cfg.Comp.Outputs)),
+		outputs:  make(map[msg.WireID]*outWire, len(cfg.Comp.Outputs)),
+		gov:      silence.NewGovernor(cfg.Silence),
+		rng:      stats.NewRNG(cfg.Seed),
+		waiters:  make(map[uint64]chan msg.Envelope),
+		probed:   make(map[msg.WireID]vt.Time),
+		poke:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, wid := range cfg.Comp.Inputs {
+		s.inputs[wid] = newInWire(cfg.Topo.Wire(wid))
+	}
+	for port, wid := range cfg.Comp.Outputs {
+		ow := &outWire{w: cfg.Topo.Wire(wid), lastSentVT: vt.Never}
+		s.byPort[port] = ow
+		s.outputs[wid] = ow
+	}
+	return s, nil
+}
+
+// Name returns the component name.
+func (s *Scheduler) Name() string { return s.comp.Name }
+
+// Run starts the scheduler's worker goroutine. It returns an error if the
+// scheduler was already started.
+func (s *Scheduler) Run() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("sched: component %q already running", s.comp.Name)
+	}
+	s.started = true
+	go s.loop()
+	return nil
+}
+
+// Stop signals the worker to exit and waits for it. It is idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.started = true // prevent a future Run from starting a loop
+		s.stopped = true
+		s.mu.Unlock()
+		close(s.stop)
+		close(s.done)
+		return
+	}
+	if s.stopped {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}
+
+// Clock returns the component's current virtual clock.
+func (s *Scheduler) Clock() vt.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// SetSilence switches the component's silence-propagation discipline at
+// runtime (allowed without a determinism fault for lazy/curiosity/
+// aggressive; rejected when it would change a hyper-aggressive bias,
+// §II.G.4). The worker is poked so a newly eager strategy takes effect
+// immediately.
+func (s *Scheduler) SetSilence(cfg silence.Config) error {
+	s.mu.Lock()
+	err := s.gov.SetConfig(cfg)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.wake()
+	return nil
+}
+
+// Deliver hands an incoming envelope to the scheduler. Data and
+// call-request envelopes join the logical queue; silence promises advance
+// watermarks; probes (for wires this component sends on) are answered via
+// the governor; call replies wake blocked callers. Deliver never blocks on
+// the handler and is safe for concurrent use.
+func (s *Scheduler) Deliver(env msg.Envelope) {
+	switch env.Kind {
+	case msg.KindData, msg.KindCallRequest:
+		s.deliverMessage(env)
+	case msg.KindSilence:
+		s.deliverSilence(env)
+	case msg.KindProbe:
+		s.deliverProbe(env)
+	case msg.KindCallReply:
+		s.deliverReply(env)
+	default:
+		// Replay requests and acks are handled by the engine layer, never
+		// routed to a scheduler; ignore defensively.
+	}
+}
+
+func (s *Scheduler) deliverMessage(env msg.Envelope) {
+	s.mu.Lock()
+	in, ok := s.inputs[env.Wire]
+	if !ok {
+		s.mu.Unlock()
+		return // not one of our input wires; drop
+	}
+	s.arrival++
+	accepted := in.accept(env, s.arrival)
+	if !accepted {
+		s.cfg.Metrics.AddDuplicateDropped()
+	}
+	s.mu.Unlock()
+	if accepted {
+		s.wake()
+		return
+	}
+	if env.Kind == msg.KindCallRequest && s.cfg.OnDuplicateCall != nil {
+		// A recovering caller re-issued a call this component already
+		// processed; let the engine re-send the buffered reply.
+		s.cfg.OnDuplicateCall(env)
+	}
+}
+
+func (s *Scheduler) deliverSilence(env msg.Envelope) {
+	s.mu.Lock()
+	in, ok := s.inputs[env.Wire]
+	if ok && env.Promise > in.watermark {
+		in.watermark = env.Promise
+	}
+	s.mu.Unlock()
+	if ok {
+		s.wake()
+	}
+}
+
+// deliverProbe answers a curiosity probe for one of this component's
+// output wires.
+func (s *Scheduler) deliverProbe(env msg.Envelope) {
+	s.mu.Lock()
+	ow, ok := s.outputs[env.Wire]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	// Fold in any silence knowledge that arrived since the worker last ran,
+	// so the probe is answered with the freshest promise.
+	s.advanceFrontierLocked()
+	p := s.gov.OnProbe(env.Wire, env.Promise, s.viewLocked(ow))
+	s.mu.Unlock()
+	if p != nil {
+		s.cfg.Metrics.AddSilence()
+		s.cfg.Router.Route(msg.NewSilence(p.Wire, p.Through))
+	}
+	s.wake()
+}
+
+func (s *Scheduler) deliverReply(env msg.Envelope) {
+	s.mu.Lock()
+	ch, ok := s.waiters[env.CallID]
+	if ok {
+		delete(s.waiters, env.CallID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		// No waiter: a duplicate reply after replay. Discard.
+		s.cfg.Metrics.AddDuplicateDropped()
+		return
+	}
+	ch <- env
+}
+
+// viewLocked builds the silence view for an output wire. The promise is
+// based on how far this component has deterministically committed: its
+// clock, or the dequeue time of the in-flight message if busy (outputs of
+// the in-flight handler are stamped no earlier than inFlight + minCost).
+func (s *Scheduler) viewLocked(ow *outWire) silence.View {
+	base := s.clock
+	if s.inFlight != vt.Never && s.inFlight > base {
+		base = s.inFlight
+	}
+	return silence.View{
+		Clock:      base,
+		MinCost:    s.cfg.Est.MinCost(base),
+		WireDelay:  ow.w.Delay,
+		LastSentVT: ow.lastSentVT,
+	}
+}
+
+// wake nudges the worker loop without blocking.
+func (s *Scheduler) wake() {
+	select {
+	case s.poke <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/topo"
+	"repro/internal/vt"
+)
+
+// inWire is the receiver-side state of one input wire: the pending
+// messages, the silence watermark, the next expected sequence number (for
+// duplicate discard and gap hold-back), and the delivery cursor restored
+// from checkpoints.
+type inWire struct {
+	w *topo.Wire
+
+	// queue holds deliverable messages in sequence order, which — because
+	// per-wire virtual times are strictly increasing and the transport is
+	// FIFO — is also virtual-time order.
+	queue []queued
+
+	// holdback parks messages that arrived with a sequence gap (possible
+	// transiently around reconnects) until the gap fills.
+	holdback map[uint64]queued
+
+	// watermark: the sender will never send another message on this wire
+	// with VT <= watermark.
+	watermark vt.Time
+
+	// nextSeq is the next sequence number expected from the sender.
+	nextSeq uint64
+
+	// lastVT is the virtual time of the last delivered message.
+	lastVT vt.Time
+}
+
+// queued pairs an envelope with its real-time arrival index (for
+// out-of-real-time-order accounting).
+type queued struct {
+	env     msg.Envelope
+	arrival uint64
+}
+
+func newInWire(w *topo.Wire) *inWire {
+	return &inWire{
+		w:         w,
+		holdback:  make(map[uint64]queued),
+		watermark: vt.Never,
+		nextSeq:   1,
+		lastVT:    vt.Never,
+	}
+}
+
+// accept ingests a data or call-request envelope. It returns false for
+// duplicates (seq already delivered or queued). Messages beyond a sequence
+// gap are held back and released in order when the gap fills.
+func (in *inWire) accept(env msg.Envelope, arrival uint64) bool {
+	switch {
+	case env.Seq < in.nextSeq:
+		return false // duplicate of something already delivered/queued
+	case env.Seq > in.nextSeq:
+		if _, dup := in.holdback[env.Seq]; dup {
+			return false
+		}
+		in.holdback[env.Seq] = queued{env: env, arrival: arrival}
+		return true
+	}
+	in.enqueue(queued{env: env, arrival: arrival})
+	// Release any consecutive held-back successors.
+	for {
+		q, ok := in.holdback[in.nextSeq]
+		if !ok {
+			break
+		}
+		delete(in.holdback, in.nextSeq)
+		in.enqueue(q)
+	}
+	return true
+}
+
+func (in *inWire) enqueue(q queued) {
+	in.queue = append(in.queue, q)
+	in.nextSeq = q.env.Seq + 1
+	// A data message at VT t implies the sender is silent through t.
+	if q.env.VT > in.watermark {
+		in.watermark = q.env.VT
+	}
+}
+
+// head returns the earliest pending message, or nil.
+func (in *inWire) head() *queued {
+	if len(in.queue) == 0 {
+		return nil
+	}
+	return &in.queue[0]
+}
+
+// pop removes and returns the head. Caller must have checked head != nil.
+func (in *inWire) pop() queued {
+	q := in.queue[0]
+	in.queue = in.queue[1:]
+	in.lastVT = q.env.VT
+	return q
+}
+
+// gapFrom returns the first missing sequence number if messages are parked
+// behind a gap, and whether such a gap exists.
+func (in *inWire) gapFrom() (uint64, bool) {
+	if len(in.holdback) == 0 {
+		return 0, false
+	}
+	return in.nextSeq, true
+}
+
+// outWire is the sender-side state of one output wire: the sequence
+// counter and the last stamped virtual time (both checkpointed so that a
+// recovered component regenerates identical sequence numbers and virtual
+// times).
+type outWire struct {
+	w          *topo.Wire
+	seq        uint64
+	lastSentVT vt.Time
+}
+
+// nextData stamps the next data (or call) envelope metadata on the wire.
+func (ow *outWire) next(t vt.Time) (seq uint64, stamped vt.Time) {
+	// Per-wire virtual times must be strictly increasing; nudge forward if
+	// an estimator produced a non-advancing stamp.
+	if ow.lastSentVT != vt.Never && t <= ow.lastSentVT {
+		t = ow.lastSentVT.Add(1)
+	}
+	ow.seq++
+	ow.lastSentVT = t
+	return ow.seq, t
+}
+
+// sortedInputIDs returns the scheduler's input wire IDs in ascending order
+// (used for deterministic iteration).
+func (s *Scheduler) sortedInputIDs() []msg.WireID {
+	ids := make([]msg.WireID, 0, len(s.inputs))
+	for id := range s.inputs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/silence"
+	"repro/internal/topo"
+	"repro/internal/vt"
+)
+
+// loop is the component's single worker goroutine: it repeatedly selects
+// the earliest deliverable message, runs the handler, and publishes the
+// resulting silence knowledge.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	timer := time.NewTimer(s.cfg.ProbeRetry)
+	defer timer.Stop()
+	for {
+		delivered, control := s.step()
+		for _, env := range control {
+			s.cfg.Router.Route(env)
+		}
+		if delivered {
+			// Immediately try for the next message.
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(s.cfg.ProbeRetry)
+		select {
+		case <-s.stop:
+			return
+		case <-s.poke:
+		case <-timer.C:
+			// Allow probes for unchanged targets to be re-issued.
+			s.mu.Lock()
+			for w := range s.probed {
+				delete(s.probed, w)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// step attempts to deliver one message. It returns whether a message was
+// handled and any control envelopes (curiosity probes, silence promises
+// triggered by frontier advances) to send.
+func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
+	s.mu.Lock()
+	// Advance the clock over known-silent input ticks first: like a
+	// discrete-event simulator, a component whose inputs are all silent
+	// through T has deterministically "lived through" T, which extends the
+	// silence promises it can make downstream.
+	if s.advanceFrontierLocked() {
+		for _, p := range s.gov.OnAdvance(s.viewsLocked()) {
+			s.cfg.Metrics.AddSilence()
+			control = append(control, msg.NewSilence(p.Wire, p.Through))
+		}
+		// End of stream: when every input has promised silence forever, the
+		// component will never send again. Flush a final promise on every
+		// output wire regardless of strategy — even Lazy — so downstream
+		// merges can drain (there is no "next data message" to carry the
+		// silence implicitly).
+		if s.clock == vt.Max && !s.finalSilenceSent {
+			s.finalSilenceSent = true
+			for id, ow := range s.outputs {
+				if ow.w.Kind == topo.WireCallReply {
+					continue
+				}
+				s.gov.NoteData(id, vt.Max)
+				s.cfg.Metrics.AddSilence()
+				control = append(control, msg.NewSilence(id, vt.Max))
+			}
+		}
+	}
+	cand, candWire := s.candidateLocked()
+	if cand == nil {
+		s.mu.Unlock()
+		return false, control
+	}
+	blockers := s.blockersLocked(cand.env.VT, candWire)
+	if len(blockers) > 0 {
+		if s.pessStart.IsZero() {
+			s.pessStart = time.Now()
+		}
+		if s.gov.Strategy().Probes() {
+			for _, w := range blockers {
+				if s.probed[w] < cand.env.VT {
+					s.probed[w] = cand.env.VT
+					s.cfg.Metrics.AddProbe()
+					control = append(control, msg.NewProbe(w, cand.env.VT))
+				}
+			}
+		}
+		s.mu.Unlock()
+		return false, control
+	}
+
+	// Deliverable: commit the dequeue.
+	q := s.inputs[candWire].pop()
+	if !s.pessStart.IsZero() {
+		s.cfg.Metrics.AddPessimismDelay(time.Since(s.pessStart))
+		s.pessStart = time.Time{}
+	}
+	outOfOrder := q.arrival < s.maxDlvd
+	if q.arrival > s.maxDlvd {
+		s.maxDlvd = q.arrival
+	}
+	s.cfg.Metrics.AddDelivered(outOfOrder)
+
+	d := vt.MaxOf(q.env.VT, s.clock)
+	cost := s.cfg.Est.Cost(q.env.Payload, d)
+	s.inFlight = d
+	port := s.inputs[candWire].w.ToPort
+	s.mu.Unlock()
+
+	// Run the handler without holding the lock: it may Send (which locks
+	// briefly) and Call (which blocks awaiting a reply).
+	ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost)}
+	start := time.Now()
+	reply, err := s.cfg.Handler.OnMessage(ctx, port, q.env.Payload)
+	elapsed := time.Since(start)
+	_ = err // handler errors are the application's concern; state advances regardless
+
+	if q.env.Kind == msg.KindCallRequest {
+		s.sendReply(ctx, q.env, reply)
+	}
+
+	s.mu.Lock()
+	if ctx.handlerVT > s.clock {
+		s.clock = ctx.handlerVT
+	}
+	s.inFlight = vt.Never
+	views := s.viewsLocked()
+	promises := s.gov.OnAdvance(views)
+	s.mu.Unlock()
+
+	for _, p := range promises {
+		s.cfg.Metrics.AddSilence()
+		control = append(control, msg.NewSilence(p.Wire, p.Through))
+	}
+	s.observe(q.env.Payload, vt.FromDuration(elapsed))
+	return true, control
+}
+
+// advanceFrontierLocked moves the component clock up to the earliest
+// virtual time at which a yet-unknown input message could still occur: the
+// minimum over input wires of (head VT if a message is queued, else
+// watermark+1). This never changes any dequeue time — every future dequeue
+// has VT at or beyond the frontier — so it is deterministic-neutral; it
+// only lets the component promise more silence. It reports whether the
+// clock moved.
+func (s *Scheduler) advanceFrontierLocked() bool {
+	if s.inFlight != vt.Never || len(s.inputs) == 0 {
+		return false
+	}
+	frontier := vt.Max
+	for _, in := range s.inputs {
+		var h vt.Time
+		switch {
+		case in.head() != nil:
+			h = in.head().env.VT
+		case in.watermark == vt.Never:
+			h = vt.Zero
+		default:
+			h = in.watermark.Add(1)
+		}
+		if h < frontier {
+			frontier = h
+		}
+	}
+	if frontier > s.clock {
+		s.clock = frontier
+		return true
+	}
+	return false
+}
+
+// candidateLocked returns the earliest queued message across all input
+// wires (by VT, tie-broken by wire ID) and its wire.
+func (s *Scheduler) candidateLocked() (*queued, msg.WireID) {
+	var best *queued
+	var bestWire msg.WireID
+	for _, id := range s.sortedInputIDs() {
+		h := s.inputs[id].head()
+		if h == nil {
+			continue
+		}
+		if best == nil || msg.Less(h.env, best.env) {
+			best = h
+			bestWire = id
+		}
+	}
+	return best, bestWire
+}
+
+// blockersLocked returns the input wires that prevent delivering a message
+// with virtual time t on wire w: wires with no queued message whose
+// watermark has not reached t. (A wire with a queued message cannot hide an
+// earlier message: per-wire VTs are strictly increasing and delivery is
+// FIFO, so its head bounds everything behind it.)
+func (s *Scheduler) blockersLocked(t vt.Time, w msg.WireID) []msg.WireID {
+	var out []msg.WireID
+	for _, id := range s.sortedInputIDs() {
+		if id == w {
+			continue
+		}
+		in := s.inputs[id]
+		if in.head() != nil {
+			continue
+		}
+		if in.watermark < t {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// viewsLocked builds the governor's view of every output wire. Call-reply
+// wires are excluded: receivers never merge on them (exactly one reply per
+// call), so silence promises there would be useless traffic.
+func (s *Scheduler) viewsLocked() map[msg.WireID]silence.View {
+	views := make(map[msg.WireID]silence.View, len(s.outputs))
+	for id, ow := range s.outputs {
+		if ow.w.Kind == topo.WireCallReply {
+			continue
+		}
+		views[id] = s.viewLocked(ow)
+	}
+	return views
+}
+
+// sendReply emits the reply to a two-way call. The reply's virtual time is
+// the callee's handler completion time plus the reply wire's delay.
+func (s *Scheduler) sendReply(ctx *Ctx, req msg.Envelope, reply any) {
+	reqWire := s.cfg.Topo.Wire(req.Wire)
+	if reqWire.Peer < 0 {
+		return
+	}
+	s.mu.Lock()
+	ow, ok := s.replyOut(reqWire.Peer)
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	stampBase := ctx.handlerVT.Add(s.cfg.Topo.Wire(reqWire.Peer).Delay)
+	seq, stamped := ow.next(stampBase)
+	s.gov.NoteData(reqWire.Peer, stamped)
+	s.mu.Unlock()
+	s.cfg.Router.Route(msg.NewCallReply(reqWire.Peer, seq, stamped, req.CallID, reply))
+}
+
+// replyOut returns (lazily creating) the out-wire state for a call-reply
+// wire. Reply wires are not in Comp.Outputs (they have no port name), so
+// they are tracked on demand.
+func (s *Scheduler) replyOut(id msg.WireID) (*outWire, bool) {
+	if ow, ok := s.outputs[id]; ok {
+		return ow, true
+	}
+	w := s.cfg.Topo.Wire(id)
+	if w.From != s.comp.ID || w.Kind != topo.WireCallReply {
+		return nil, false
+	}
+	ow := &outWire{w: w, lastSentVT: vt.Never}
+	s.outputs[id] = ow
+	return ow, true
+}
+
+// observe feeds calibration and commits any proposed determinism fault.
+func (s *Scheduler) observe(payload any, measured vt.Ticks) {
+	cal := s.cfg.Calibration
+	if cal == nil || cal.Observe == nil {
+		return
+	}
+	var f estimator.Features
+	if cal.Extract != nil {
+		f = cal.Extract(payload)
+	}
+	fault := cal.Observe(f, measured)
+	if fault == nil || cal.Commit == nil {
+		return
+	}
+	s.mu.Lock()
+	fault.EffectiveVT = s.clock.Add(1)
+	s.mu.Unlock()
+	if err := cal.Commit(*fault); err == nil {
+		s.cfg.Metrics.AddDeterminismFault()
+	}
+}

@@ -1,0 +1,244 @@
+package silence
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/vt"
+)
+
+func TestStrategyString(t *testing.T) {
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{Lazy, "lazy"},
+		{Curiosity, "curiosity"},
+		{Aggressive, "aggressive"},
+		{HyperAggressive, "hyper-aggressive"},
+		{Strategy(9), "strategy(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestStrategyProbes(t *testing.T) {
+	if Lazy.Probes() {
+		t.Error("lazy should not probe")
+	}
+	for _, s := range []Strategy{Curiosity, Aggressive, HyperAggressive} {
+		if !s.Probes() {
+			t.Errorf("%v should probe", s)
+		}
+	}
+}
+
+func TestViewPromise(t *testing.T) {
+	// Idle at clock 1000, min cost 60, wire delay 10:
+	// silent through 1000 + 60 + 10 - 1 = 1069.
+	v := View{Clock: 1000, MinCost: 60, WireDelay: 10, LastSentVT: vt.Never}
+	if got := v.Promise(); got != 1069 {
+		t.Errorf("Promise = %v, want 1069", got)
+	}
+	// A later last-sent data message dominates (promises never regress).
+	v.LastSentVT = 5000
+	if got := v.Promise(); got != 5000 {
+		t.Errorf("Promise with later data = %v, want 5000", got)
+	}
+}
+
+func TestGovernorOnProbe(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Curiosity})
+	view := View{Clock: 1000, MinCost: 100, WireDelay: 1, LastSentVT: vt.Never}
+	// Promise = 1000+100+1-1 = 1100; target 2000 not reachable yet.
+	p := g.OnProbe(1, 2000, view)
+	if p == nil || p.Through != 1100 {
+		t.Fatalf("OnProbe = %+v, want promise through 1100", p)
+	}
+	if _, ok := g.PendingCuriosity(1); !ok {
+		t.Error("standing curiosity not recorded")
+	}
+	// Re-probing with no new knowledge re-sends the same promise (the
+	// receiver probing again means the earlier answer was lost).
+	if p := g.OnProbe(1, 2000, view); p == nil || p.Through != 1100 {
+		t.Errorf("duplicate probe answered %+v, want re-promise through 1100", p)
+	}
+	// Clock advance extends the promise; OnAdvance answers the standing
+	// curiosity.
+	view.Clock = 2500
+	out := g.OnAdvance(map[msg.WireID]View{1: view})
+	if len(out) != 1 || out[0].Through != 2600 {
+		t.Fatalf("OnAdvance = %+v, want promise through 2600", out)
+	}
+	if _, ok := g.PendingCuriosity(1); ok {
+		t.Error("satisfied curiosity not cleared")
+	}
+	// No further pushes without curiosity (Curiosity strategy is demand-driven).
+	view.Clock = 9000
+	if out := g.OnAdvance(map[msg.WireID]View{1: view}); out != nil {
+		t.Errorf("curiosity strategy pushed unprompted: %+v", out)
+	}
+}
+
+func TestGovernorProbeSatisfiedImmediately(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Curiosity})
+	view := View{Clock: 5000, MinCost: 100, WireDelay: 1, LastSentVT: vt.Never}
+	p := g.OnProbe(1, 3000, view) // target below current promise
+	if p == nil || p.Through < 3000 {
+		t.Fatalf("OnProbe = %+v", p)
+	}
+	if _, ok := g.PendingCuriosity(1); ok {
+		t.Error("curiosity recorded although target already satisfied")
+	}
+}
+
+func TestGovernorLazyNeverPushes(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Lazy})
+	views := map[msg.WireID]View{
+		1: {Clock: 100000, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never},
+	}
+	if out := g.OnAdvance(views); out != nil {
+		t.Errorf("lazy pushed promises: %+v", out)
+	}
+}
+
+func TestGovernorAggressivePushesOnStride(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Aggressive, Stride: 1000})
+	mk := func(clock vt.Time) map[msg.WireID]View {
+		return map[msg.WireID]View{
+			1: {Clock: clock, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never},
+		}
+	}
+	out := g.OnAdvance(mk(100))
+	if len(out) != 1 {
+		t.Fatalf("first advance did not push: %+v", out)
+	}
+	first := out[0].Through
+	// A small advance (less than the stride) is suppressed.
+	if out := g.OnAdvance(mk(200)); out != nil {
+		t.Errorf("sub-stride advance pushed: %+v", out)
+	}
+	// A stride-sized advance pushes again.
+	out = g.OnAdvance(mk(100 + 1000))
+	if len(out) != 1 || out[0].Through < first.Add(1000) {
+		t.Fatalf("stride advance = %+v", out)
+	}
+}
+
+func TestGovernorAggressiveAnswersCuriosityBelowStride(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Aggressive, Stride: 1_000_000})
+	view := View{Clock: 100, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never}
+	g.OnProbe(1, 5000, view)
+	// Even though the stride hasn't elapsed, the standing curiosity makes
+	// small promise advances flow.
+	view.Clock = 300
+	out := g.OnAdvance(map[msg.WireID]View{1: view})
+	if len(out) != 1 {
+		t.Fatalf("aggressive governor ignored standing curiosity: %+v", out)
+	}
+}
+
+func TestGovernorHyperBiasFloorsOutputs(t *testing.T) {
+	g := NewGovernor(Config{Strategy: HyperAggressive, Stride: 1, Bias: 500})
+	if g.OutputFloor() != vt.Never {
+		t.Error("fresh governor should not constrain outputs")
+	}
+	view := View{Clock: 1000, MinCost: 100, WireDelay: 1, LastSentVT: vt.Never}
+	out := g.OnAdvance(map[msg.WireID]View{1: view})
+	if len(out) != 1 {
+		t.Fatal("hyper governor did not push")
+	}
+	base := view.Promise()
+	if out[0].Through != base.Add(500) {
+		t.Errorf("biased promise = %v, want %v", out[0].Through, base.Add(500))
+	}
+	if g.OutputFloor() != base.Add(500) {
+		t.Errorf("output floor = %v, want %v", g.OutputFloor(), base.Add(500))
+	}
+}
+
+func TestGovernorNoteData(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Curiosity})
+	view := View{Clock: 100, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never}
+	g.OnProbe(1, 5000, view)
+	// Sending a data message at VT 6000 implies silence through 6000 and
+	// satisfies the standing curiosity.
+	g.NoteData(1, 6000)
+	if got := g.Promised(1); got != 6000 {
+		t.Errorf("Promised = %v, want 6000", got)
+	}
+	if _, ok := g.PendingCuriosity(1); ok {
+		t.Error("curiosity not cleared by data message")
+	}
+	// NoteData never regresses the promise.
+	g.NoteData(1, 100)
+	if got := g.Promised(1); got != 6000 {
+		t.Errorf("Promised regressed to %v", got)
+	}
+}
+
+func TestGovernorMultipleWiresSortedOutput(t *testing.T) {
+	g := NewGovernor(Config{Strategy: Aggressive, Stride: 1})
+	views := map[msg.WireID]View{
+		3: {Clock: 100, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never},
+		1: {Clock: 100, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never},
+		2: {Clock: 100, MinCost: 10, WireDelay: 1, LastSentVT: vt.Never},
+	}
+	out := g.OnAdvance(views)
+	if len(out) != 3 {
+		t.Fatalf("pushed %d promises, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Wire < out[i-1].Wire {
+			t.Errorf("promises not in wire order: %+v", out)
+		}
+	}
+}
+
+func TestSetConfigRules(t *testing.T) {
+	// Mixing lazy/curiosity/aggressive freely is allowed (§II.G.4).
+	g := NewGovernor(Config{Strategy: Lazy})
+	if err := g.SetConfig(Config{Strategy: Curiosity}); err != nil {
+		t.Errorf("lazy->curiosity rejected: %v", err)
+	}
+	if err := g.SetConfig(Config{Strategy: Aggressive, Stride: 10}); err != nil {
+		t.Errorf("curiosity->aggressive rejected: %v", err)
+	}
+	if g.Strategy() != Aggressive {
+		t.Errorf("strategy = %v", g.Strategy())
+	}
+	// Zero-bias hyper is communication-only, so it may be switched to.
+	if err := g.SetConfig(Config{Strategy: HyperAggressive, Bias: 0}); err != nil {
+		t.Errorf("hyper with zero bias rejected: %v", err)
+	}
+	// Introducing a bias changes output VTs — needs a determinism fault.
+	if err := g.SetConfig(Config{Strategy: HyperAggressive, Bias: 500}); err == nil {
+		t.Error("introducing a bias accepted without a determinism fault")
+	}
+	// Removing a bias likewise.
+	g2 := NewGovernor(Config{Strategy: HyperAggressive, Bias: 500})
+	if err := g2.SetConfig(Config{Strategy: Curiosity}); err == nil {
+		t.Error("removing a bias accepted without a determinism fault")
+	}
+	// Keeping the identical bias while hyper is fine (stride is free).
+	if err := g2.SetConfig(Config{Strategy: HyperAggressive, Bias: 500, Stride: 7}); err != nil {
+		t.Errorf("same-bias reconfig rejected: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := NewGovernor(Config{})
+	if g.Strategy() != Curiosity {
+		t.Errorf("default strategy = %v", g.Strategy())
+	}
+	cfg := Config{Strategy: Lazy, Bias: -5}.withDefaults()
+	if cfg.Bias != 0 {
+		t.Errorf("negative bias not clamped: %v", cfg.Bias)
+	}
+	if cfg.Stride != 100_000 {
+		t.Errorf("default stride = %v", cfg.Stride)
+	}
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// This file packages the paper's §III simulation studies as reusable
+// experiment runners; cmd/tartsim and the benchmarks print their outputs
+// as the paper's series.
+
+// Fig3Point is one x-position of Figure 3: the three modes' latencies at a
+// given sender-compute-time variability.
+type Fig3Point struct {
+	// HalfWidth is the iteration-count half-width: iterations are drawn
+	// from U{10−HalfWidth .. 10+HalfWidth}.
+	HalfWidth int
+	// ComputeSD is the resulting sender compute-time standard deviation
+	// (the paper's x-axis).
+	ComputeSD time.Duration
+	NonDet    Result
+	Det       Result
+	Prescient Result
+}
+
+// OverheadDet returns the deterministic mode's latency overhead relative
+// to non-deterministic execution (the paper reports 2.8–4.1%).
+func (p Fig3Point) OverheadDet() float64 {
+	if p.NonDet.AvgLatency == 0 {
+		return 0
+	}
+	return float64(p.Det.AvgLatency-p.NonDet.AvgLatency) / float64(p.NonDet.AvgLatency)
+}
+
+// OverheadPrescient returns the prescient mode's relative latency overhead.
+func (p Fig3Point) OverheadPrescient() float64 {
+	if p.NonDet.AvgLatency == 0 {
+		return 0
+	}
+	return float64(p.Prescient.AvgLatency-p.NonDet.AvgLatency) / float64(p.NonDet.AvgLatency)
+}
+
+// Fig3Config tunes the Figure-3 sweep.
+type Fig3Config struct {
+	// HalfWidths lists the variability stages (paper: constant 10 up to
+	// U{1..19}, i.e. half-widths 0..9).
+	HalfWidths []int
+	// Duration per run.
+	Duration time.Duration
+	Seed     uint64
+	// DumbEstimate switches every run to the constant estimator (the
+	// §III.A "dumb estimator" variant).
+	DumbEstimate time.Duration
+}
+
+// RunFig3 executes the Figure-3 study: latency as a function of sender
+// compute variability, for the three modes.
+func RunFig3(cfg Fig3Config) []Fig3Point {
+	if len(cfg.HalfWidths) == 0 {
+		cfg.HalfWidths = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 20 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	out := make([]Fig3Point, 0, len(cfg.HalfWidths))
+	for _, hw := range cfg.HalfWidths {
+		iter := stats.UniformInt{Lo: 10 - hw, Hi: 10 + hw}
+		base := DefaultParams()
+		base.Iterations = iter
+		base.Duration = cfg.Duration
+		base.DumbEstimate = cfg.DumbEstimate
+		pt := Fig3Point{
+			HalfWidth: hw,
+			ComputeSD: time.Duration(iter.SD() * float64(base.IterVirtual.Nanoseconds())),
+		}
+		for _, mode := range []Mode{NonDeterministic, Deterministic, Prescient} {
+			p := base
+			p.Mode = mode
+			p.Seed = cfg.Seed // same seed: identical arrivals & iteration draws
+			r := Run(p)
+			switch mode {
+			case NonDeterministic:
+				pt.NonDet = r
+			case Deterministic:
+				pt.Det = r
+			case Prescient:
+				pt.Prescient = r
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Fig4Point is one estimator-coefficient position of Figure 4.
+type Fig4Point struct {
+	// CoefMicros is the estimator coefficient in µs/iteration (x-axis,
+	// paper sweeps 48..70 around the fitted 61.827).
+	CoefMicros float64
+	Det        Result
+	NonDet     Result
+}
+
+// Fig4Config tunes the Figure-4 sweep.
+type Fig4Config struct {
+	// Coefs lists the µs/iteration sweep values.
+	Coefs []float64
+	// Jitter supplies the realistic (empirical) jitter. Required; build it
+	// from MeasureFig2 via EmpiricalJitterFromFig2.
+	Jitter Jitter
+	// Duration per run (paper: one simulated minute at 1000 msg/s/sender).
+	Duration time.Duration
+	Seed     uint64
+}
+
+// RunFig4 executes the Figure-4 study: sensitivity to the estimator
+// coefficient under realistic jitter.
+func RunFig4(cfg Fig4Config) []Fig4Point {
+	if len(cfg.Coefs) == 0 {
+		for c := 48.0; c <= 70.0; c += 2 {
+			cfg.Coefs = append(cfg.Coefs, c)
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Minute
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	nondet := DefaultParams()
+	nondet.Mode = NonDeterministic
+	nondet.Duration = cfg.Duration
+	nondet.Seed = cfg.Seed
+	if cfg.Jitter != nil {
+		nondet.Jitter = cfg.Jitter
+	}
+	nondetRes := Run(nondet)
+
+	out := make([]Fig4Point, 0, len(cfg.Coefs))
+	for _, coef := range cfg.Coefs {
+		p := DefaultParams()
+		p.Mode = Deterministic
+		p.Duration = cfg.Duration
+		p.Seed = cfg.Seed
+		p.Coef = coef * 1000 // µs → ns
+		if cfg.Jitter != nil {
+			p.Jitter = cfg.Jitter
+		}
+		out = append(out, Fig4Point{
+			CoefMicros: coef,
+			Det:        Run(p),
+			NonDet:     nondetRes,
+		})
+	}
+	return out
+}
+
+// EmpiricalJitterFromFig2 converts a Figure-2 measurement into the
+// Figure-4 jitter model: measured totals are rescaled so the typical cost
+// per iteration is the simulation's 60 µs, preserving the measured
+// right-skewed distribution shape.
+//
+// Samples are winsorized at 4× the per-iteration-count median. The paper's
+// Figure-2 distribution (a dedicated laptop) tops out around 2.5× its fit;
+// a shared machine adds rare multi-millisecond scheduler preemptions —
+// 50–100× the signal — which, resampled as *service times*, would push the
+// simulated system past saturation and measure the scheduler's queueing
+// collapse instead of the estimator's accuracy.
+func EmpiricalJitterFromFig2(r Fig2Result, iterVirtual time.Duration) EmpiricalJitter {
+	samples := r.EmpiricalSamplesByIteration()
+	capped := make(map[int][]float64, len(samples))
+	var xs, ys []float64
+	for k, obs := range samples {
+		sorted := append([]float64(nil), obs...)
+		sort.Float64s(sorted)
+		limit := 4 * stats.Percentile(sorted, 0.5)
+		out := make([]float64, len(obs))
+		for i, v := range obs {
+			if v > limit {
+				v = limit
+			}
+			out[i] = v
+			xs = append(xs, float64(k))
+			ys = append(ys, out[i])
+		}
+		capped[k] = out
+	}
+	// Rescale so the OLS coefficient of the (winsorized) samples equals the
+	// simulation's per-iteration cost: the paper's Figure-4 minimum sits at
+	// its OLS coefficient, which is a mean-based fit.
+	scale := 1.0
+	if fit, err := stats.OLS1(xs, ys); err == nil && fit.Coeffs[0] > 0 {
+		scale = float64(iterVirtual.Nanoseconds()) / fit.Coeffs[0]
+	} else if r.CoefNsPerIter > 0 {
+		scale = float64(iterVirtual.Nanoseconds()) / r.CoefNsPerIter
+	}
+	return EmpiricalJitter{
+		Samples:  capped,
+		Scale:    scale,
+		Fallback: TickNormalJitter{IterMean: float64(iterVirtual.Nanoseconds()), TickSD: 0.1},
+	}
+}
+
+// BiasPoint is one bias setting in the bias-algorithm study (§II.G.1):
+// with asymmetric sender rates, the slower sender eagerly promises extra
+// silence (delaying its own future messages) so the faster sender's
+// messages are not held.
+type BiasPoint struct {
+	// Bias is the slow sender's eager-silence window.
+	Bias time.Duration
+	Det  Result
+}
+
+// BiasConfig tunes the bias study.
+type BiasConfig struct {
+	// Biases lists the slow-sender bias windows to evaluate (first should
+	// be 0 = plain deterministic baseline).
+	Biases []time.Duration
+	// FastMean and SlowMean are the two senders' Poisson inter-arrival
+	// means. Defaults: 1 ms and 8 ms.
+	FastMean, SlowMean time.Duration
+	Duration           time.Duration
+	Seed               uint64
+	// ProbeDelay overrides the probe transit time; the bias algorithm's
+	// value shows when probing is expensive (the paper positions it for
+	// settings without cheap aggressive propagation).
+	ProbeDelay time.Duration
+}
+
+// RunBias executes the bias-algorithm study: pessimism delay and latency
+// as a function of the slow sender's eager-silence bias.
+func RunBias(cfg BiasConfig) []BiasPoint {
+	if len(cfg.Biases) == 0 {
+		cfg.Biases = []time.Duration{
+			0,
+			200 * time.Microsecond,
+			500 * time.Microsecond,
+			time.Millisecond,
+			2 * time.Millisecond,
+		}
+	}
+	if cfg.FastMean <= 0 {
+		cfg.FastMean = time.Millisecond
+	}
+	if cfg.SlowMean <= 0 {
+		cfg.SlowMean = 8 * time.Millisecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 20 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	out := make([]BiasPoint, 0, len(cfg.Biases))
+	for _, bias := range cfg.Biases {
+		p := DefaultParams()
+		p.Mode = Deterministic
+		p.Seed = cfg.Seed
+		p.Duration = cfg.Duration
+		p.ArrivalMeans = [2]time.Duration{cfg.FastMean, cfg.SlowMean}
+		p.Bias = [2]time.Duration{0, bias} // sender 1 is the slow one
+		if cfg.ProbeDelay > 0 {
+			p.ProbeDelay = cfg.ProbeDelay
+		}
+		out = append(out, BiasPoint{Bias: bias, Det: Run(p)})
+	}
+	return out
+}
+
+// ThroughputResult reports the saturation search (§III.A: both modes
+// saturated at 1235 msg/s/sender).
+type ThroughputResult struct {
+	Mode Mode
+	// SaturationPerSender is the highest stable rate found (msg/s/sender).
+	SaturationPerSender float64
+}
+
+// ThroughputConfig tunes the saturation search.
+type ThroughputConfig struct {
+	// Rates lists candidate per-sender rates (msg/s) in ascending order.
+	Rates []float64
+	// Duration per probe run.
+	Duration time.Duration
+	Seed     uint64
+	// BacklogLimit marks a run unstable when the final backlog exceeds it.
+	BacklogLimit int
+}
+
+// RunThroughput finds each mode's saturation rate by ramping the external
+// rate until the system cannot keep up.
+func RunThroughput(cfg ThroughputConfig) []ThroughputResult {
+	if len(cfg.Rates) == 0 {
+		for r := 1000.0; r <= 1400.0; r += 10 {
+			cfg.Rates = append(cfg.Rates, r)
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.BacklogLimit <= 0 {
+		cfg.BacklogLimit = 50
+	}
+	var out []ThroughputResult
+	for _, mode := range []Mode{NonDeterministic, Deterministic} {
+		sat := cfg.Rates[0]
+		for _, rate := range cfg.Rates {
+			p := DefaultParams()
+			p.Mode = mode
+			p.Duration = cfg.Duration
+			p.Seed = cfg.Seed
+			p.ArrivalMean = time.Duration(float64(time.Second) / rate)
+			r := Run(p)
+			if r.FinalBacklog > cfg.BacklogLimit {
+				break
+			}
+			sat = rate
+		}
+		out = append(out, ThroughputResult{Mode: mode, SaturationPerSender: sat})
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package sim is a discrete-event simulator reproducing the paper's
+// simulation studies (§III.A–§III.B): the Figure-1 application on three
+// dedicated processors, with Poisson external arrivals, iteration-count
+// service-time variability, real-time jitter models, and the three
+// execution modes (non-deterministic, deterministic with curiosity probes,
+// and prescient). It regenerates Figure 3 (latency vs variability),
+// Figure 4 (sensitivity to the estimator coefficient under realistic
+// jitter), the throughput-saturation result, and the dumb-estimator
+// comparison.
+//
+// All quantities are simulated nanoseconds held in float64 (jitter is
+// fractional); runs are deterministic given a seed.
+package sim
+
+import "container/heap"
+
+// event is one scheduled occurrence. Ties on time break by insertion
+// sequence, keeping runs deterministic.
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// kernel drives the simulation clock.
+type kernel struct {
+	now float64
+	pq  eventQueue
+	seq uint64
+}
+
+// at schedules fn after delay simulated nanoseconds.
+func (k *kernel) at(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	heap.Push(&k.pq, &event{t: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// run processes events until the clock passes `until` or no events remain.
+func (k *kernel) run(until float64) {
+	for len(k.pq) > 0 {
+		e := k.pq[0]
+		if e.t > until {
+			return
+		}
+		heap.Pop(&k.pq)
+		k.now = e.t
+		e.fn()
+	}
+}

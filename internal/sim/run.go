@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// world is one simulation instance: two senders feeding one merger.
+type world struct {
+	kernel
+	p   Params
+	rng *stats.RNG
+
+	senders [2]*simSender
+	merger  *simMerger
+
+	latencies []float64
+	probes    int
+	seen      int
+}
+
+// extMsg is one external message as it moves through the pipeline.
+type extMsg struct {
+	ext float64 // external arrival real time (also its virtual time)
+	vt  float64 // current virtual time stamp
+}
+
+// simSender models Sender[i]: a single-input component executing the
+// word-count loop, with independent virtual and real progress.
+type simSender struct {
+	w  *world
+	id int // wire ID for tie-breaking (0 before 1)
+
+	clock float64  // virtual clock
+	queue []extMsg // FIFO input
+
+	busy  bool
+	d     float64   // dequeue VT of in-flight message
+	k, j  int       // iterations total / completed
+	iters []float64 // per-iteration real durations
+	inMsg extMsg
+
+	// bias, when positive, enables the hyper-aggressive bias algorithm
+	// (§II.G.1): every promise is extended by bias ticks and becomes a
+	// floor under the sender's own future output virtual times.
+	bias  float64
+	floor float64
+}
+
+// estimate is the sender's deterministic virtual cost for k iterations.
+func (s *simSender) estimate(k int) float64 {
+	if s.w.p.DumbEstimate > 0 {
+		return float64(s.w.p.DumbEstimate.Nanoseconds())
+	}
+	return s.w.p.Coef * float64(k)
+}
+
+// minEstimate is the cheapest possible message (one iteration).
+func (s *simSender) minEstimate() float64 { return s.estimate(1) }
+
+func (s *simSender) arrive(m extMsg) {
+	if s.busy {
+		s.queue = append(s.queue, m)
+		return
+	}
+	s.start(m)
+}
+
+func (s *simSender) start(m extMsg) {
+	s.busy = true
+	s.inMsg = m
+	s.d = m.vt
+	if s.clock > s.d {
+		s.d = s.clock
+	}
+	// The bias algorithm constrains future outputs past promised silence.
+	if s.bias > 0 && s.d <= s.floor {
+		s.d = s.floor + 1
+	}
+	s.k = int(s.w.p.Iterations.Sample(s.w.rng))
+	if s.k < 1 {
+		s.k = 1
+	}
+	s.j = 0
+	s.iters = s.w.p.Jitter.ServiceReal(s.k, s.w.rng)
+	s.w.at(s.iters[0], s.iterationDone)
+}
+
+func (s *simSender) iterationDone() {
+	s.j++
+	if s.j < s.k {
+		s.w.at(s.iters[s.j], s.iterationDone)
+		return
+	}
+	// Loop complete: stamp and send to the merger (same-JVM transmission,
+	// negligible delay per the paper's worked example).
+	outVT := s.d + s.estimate(s.k)
+	s.clock = outVT
+	out := extMsg{ext: s.inMsg.ext, vt: outVT}
+	s.busy = false
+	s.w.merger.arrive(s.id, out)
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(next)
+	}
+}
+
+// promise computes the silence promise the sender can currently make —
+// the §II.H rules:
+//
+//   - idle: silent through max(now, clock) + minCost − 1 (the earliest a
+//     message arriving right now could produce output, minus one tick; an
+//     external arriving later only pushes that further out, and external
+//     VTs equal their real arrival times).
+//   - busy, non-prescient: it knows it is executing a loop but not how
+//     many iterations remain; having completed j, at least one more
+//     iteration (or the send itself, bounded below the same way) remains:
+//     silent through d + perIter·(j+1) − 1.
+//   - busy, prescient: the iteration count is known up front: silent
+//     through d + estimate(k) − 1.
+func (s *simSender) promise(prescient bool) float64 {
+	var p float64
+	switch {
+	case !s.busy:
+		base := s.w.now
+		if s.clock > base {
+			base = s.clock
+		}
+		p = base + s.minEstimate() - 1
+	case prescient:
+		p = s.d + s.estimate(s.k) - 1
+	case s.w.p.DumbEstimate > 0:
+		// The dumb estimator has no per-iteration structure: the pending
+		// output is at exactly d + DumbEstimate.
+		p = s.d + float64(s.w.p.DumbEstimate.Nanoseconds()) - 1
+	default:
+		p = s.d + s.w.p.Coef*float64(s.j+1) - 1
+	}
+	if s.bias > 0 && !s.busy {
+		// Hyper-aggressive: promise beyond current knowledge, accepting
+		// that the next message must then carry a later virtual time.
+		p += s.bias
+		if p > s.floor {
+			s.floor = p
+		}
+	}
+	return p
+}
+
+// mMsg is a message queued at the merger.
+type mMsg struct {
+	extMsg
+	arrIdx int
+}
+
+// simMerger models the Merger component in the configured mode.
+type simMerger struct {
+	w *world
+
+	queues    [2][]mMsg
+	watermark [2]float64
+	probing   [2]bool
+
+	busy         bool
+	arrCount     int
+	maxDelivered int
+	outOfOrder   int
+
+	pessStart float64 // real time the current head became blocked (-1 none)
+	pessTotal float64
+	pessCount int
+	delivered int
+}
+
+func (m *simMerger) arrive(wire int, msg extMsg) {
+	m.arrCount++
+	m.queues[wire] = append(m.queues[wire], mMsg{extMsg: msg, arrIdx: m.arrCount})
+	if msg.vt > m.watermark[wire] {
+		m.watermark[wire] = msg.vt
+	}
+	m.tryStart()
+}
+
+func (m *simMerger) tryStart() {
+	if m.busy {
+		return
+	}
+	switch m.w.p.Mode {
+	case NonDeterministic:
+		m.tryStartArrivalOrder()
+	default:
+		m.tryStartVTOrder()
+	}
+}
+
+func (m *simMerger) tryStartArrivalOrder() {
+	best := -1
+	for wch, q := range m.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if best == -1 || q[0].arrIdx < m.queues[best][0].arrIdx {
+			best = wch
+		}
+	}
+	if best == -1 {
+		return
+	}
+	m.deliver(best)
+}
+
+func (m *simMerger) tryStartVTOrder() {
+	// Candidate: earliest head by (vt, wire).
+	cand := -1
+	for wch, q := range m.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if cand == -1 || q[0].vt < m.queues[cand][0].vt ||
+			(q[0].vt == m.queues[cand][0].vt && wch < cand) {
+			cand = wch
+		}
+	}
+	if cand == -1 {
+		return
+	}
+	t := m.queues[cand][0].vt
+	other := 1 - cand
+	if len(m.queues[other]) == 0 && m.watermark[other] < t {
+		// Pessimism delay: hold the message, probe the lagging sender.
+		if m.pessStart < 0 {
+			m.pessStart = m.w.now
+		}
+		if !m.probing[other] {
+			m.probing[other] = true
+			m.w.probes++
+			m.w.sendProbe(other)
+		}
+		return
+	}
+	if m.pessStart >= 0 {
+		m.pessTotal += m.w.now - m.pessStart
+		m.pessCount++
+		m.pessStart = -1
+	}
+	m.deliver(cand)
+}
+
+func (m *simMerger) deliver(wire int) {
+	q := m.queues[wire]
+	msg := q[0]
+	m.queues[wire] = q[1:]
+	if msg.arrIdx < m.maxDelivered {
+		m.outOfOrder++
+	} else {
+		m.maxDelivered = msg.arrIdx
+	}
+	m.busy = true
+	service := float64(m.w.p.MergerService.Nanoseconds())
+	m.w.at(service, func() {
+		m.busy = false
+		m.w.recordLatency(m.w.now - msg.ext)
+		m.delivered++
+		m.tryStart()
+	})
+}
+
+// onSilence ingests a probe reply.
+func (m *simMerger) onSilence(wire int, through float64) {
+	m.probing[wire] = false
+	if through > m.watermark[wire] {
+		m.watermark[wire] = through
+	}
+	m.tryStart()
+	// Still blocked on the same wire? Re-probe. A sender's promise advances
+	// roughly 1:1 with real time (an idle sender's promise is anchored to
+	// "now"; a busy one advances per iteration), so the merger times the
+	// next probe to land when the remaining deficit should be covered,
+	// bounded by ReprobeAfter.
+	if m.blockedOn(wire) {
+		deficit := m.neededThrough(wire) - m.watermark[wire]
+		rtt := 2 * float64(m.w.p.ProbeDelay.Nanoseconds())
+		delay := deficit - rtt
+		if max := float64(m.w.p.ReprobeAfter.Nanoseconds()); delay > max {
+			delay = max
+		}
+		if min := float64(m.w.p.ProbeDelay.Nanoseconds()) / 4; delay < min {
+			delay = min
+		}
+		m.w.at(delay, func() {
+			if m.blockedOn(wire) && !m.probing[wire] {
+				m.probing[wire] = true
+				m.w.probes++
+				m.w.sendProbe(wire)
+			}
+		})
+	}
+}
+
+// neededThrough is the virtual time the blocked candidate requires the
+// given wire to be silent through.
+func (m *simMerger) neededThrough(wire int) float64 {
+	other := 1 - wire
+	if len(m.queues[other]) == 0 {
+		return 0
+	}
+	return m.queues[other][0].vt
+}
+
+// blockedOn reports whether the merger is idle with a pending candidate
+// blocked by the given wire's silence.
+func (m *simMerger) blockedOn(wire int) bool {
+	if m.busy || len(m.queues[wire]) > 0 {
+		return false
+	}
+	other := 1 - wire
+	if len(m.queues[other]) == 0 {
+		return false
+	}
+	return m.watermark[wire] < m.queues[other][0].vt
+}
+
+// backlog is the number of undelivered messages across the pipeline.
+func (w *world) backlog() int {
+	n := len(w.merger.queues[0]) + len(w.merger.queues[1])
+	for _, s := range w.senders {
+		n += len(s.queue)
+		if s.busy {
+			n++
+		}
+	}
+	if w.merger.busy {
+		n++
+	}
+	return n
+}
+
+// sendProbe models a curiosity probe to a sender: one probe transit, a
+// promise computed from the sender's state at arrival, and the reply
+// transit back.
+func (w *world) sendProbe(wire int) {
+	delay := float64(w.p.ProbeDelay.Nanoseconds())
+	w.at(delay, func() {
+		p := w.senders[wire].promise(w.p.Mode == Prescient)
+		w.at(delay, func() {
+			w.merger.onSilence(wire, p)
+		})
+	})
+}
+
+func (w *world) recordLatency(l float64) {
+	w.seen++
+	if float64(w.seen) <= w.p.WarmupFraction*float64(w.expectMessages()) {
+		return
+	}
+	w.latencies = append(w.latencies, l)
+}
+
+func (w *world) expectMessages() int {
+	return int(2 * float64(w.p.Duration.Nanoseconds()) / float64(w.p.ArrivalMean.Nanoseconds()))
+}
+
+// scheduleArrivals seeds the Poisson external processes.
+func (w *world) scheduleArrivals(sender int) {
+	mean := w.p.ArrivalMean
+	if w.p.ArrivalMeans[sender] > 0 {
+		mean = w.p.ArrivalMeans[sender]
+	}
+	gap := float64(mean.Nanoseconds()) * w.rng.ExpFloat64()
+	w.at(gap, func() {
+		m := extMsg{ext: w.now, vt: w.now}
+		w.senders[sender].arrive(m)
+		w.scheduleArrivals(sender)
+	})
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(p Params) Result {
+	p = p.withDefaults()
+	w := &world{p: p, rng: stats.NewRNG(p.Seed)}
+	w.merger = &simMerger{w: w, pessStart: -1}
+	for i := range w.senders {
+		w.senders[i] = &simSender{w: w, id: i, bias: float64(p.Bias[i].Nanoseconds())}
+	}
+	w.scheduleArrivals(0)
+	w.scheduleArrivals(1)
+	w.run(float64(p.Duration.Nanoseconds()))
+
+	res := Result{
+		Mode:           p.Mode,
+		Messages:       w.merger.delivered,
+		Probes:         w.probes,
+		OutOfOrder:     w.merger.outOfOrder,
+		PessimismTotal: time.Duration(w.merger.pessTotal),
+		PessimismCount: w.merger.pessCount,
+		FinalBacklog:   w.backlog(),
+	}
+	if len(w.latencies) > 0 {
+		var sum float64
+		for _, l := range w.latencies {
+			sum += l
+		}
+		res.AvgLatency = time.Duration(sum / float64(len(w.latencies)))
+		sorted := append([]float64(nil), w.latencies...)
+		sort.Float64s(sorted)
+		res.P95Latency = time.Duration(stats.Percentile(sorted, 0.95))
+	}
+	return res
+}

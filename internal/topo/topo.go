@@ -1,0 +1,273 @@
+// Package topo describes the static wiring of a TART application: its
+// components, their ports, the directed wires between them (one-way sends
+// and two-way calls), the external sources and sinks, and the placement of
+// components onto execution engines.
+//
+// The paper assumes "the code and wiring of the components are known prior
+// to deployment" (§II.B); accordingly a Topology is immutable once built.
+// Wire IDs are assigned deterministically in wiring order, which supplies
+// the runtime's deterministic tie-breaking rule, and must therefore be
+// identical on every engine, replica, and replay.
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/vt"
+)
+
+// ComponentID identifies a component within a topology.
+type ComponentID int32
+
+// External is the pseudo-component representing the world outside the
+// application (external producers and consumers).
+const External ComponentID = -1
+
+// WireKind discriminates wire roles.
+type WireKind int8
+
+// Wire kinds. Send wires carry one-way messages; CallRequest/CallReply are
+// the two halves of a two-way call port; Source wires bring external input
+// in; Sink wires deliver external output.
+const (
+	WireSend WireKind = iota + 1
+	WireCallRequest
+	WireCallReply
+	WireSource
+	WireSink
+)
+
+// String renders the wire kind.
+func (k WireKind) String() string {
+	switch k {
+	case WireSend:
+		return "send"
+	case WireCallRequest:
+		return "call-request"
+	case WireCallReply:
+		return "call-reply"
+	case WireSource:
+		return "source"
+	case WireSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("wirekind(%d)", int8(k))
+	}
+}
+
+// Wire describes one directed wire.
+type Wire struct {
+	ID       msg.WireID
+	Kind     WireKind
+	From     ComponentID // External for source wires
+	FromPort string      // output port name at the sender ("" for sources)
+	To       ComponentID // External for sink wires
+	ToPort   string      // input port name at the receiver ("" for sinks)
+	// Delay is the deterministic communication-delay estimate for the wire
+	// in ticks. It is part of the estimator system: output virtual times add
+	// this value, so it must be identical across replicas and replays.
+	Delay vt.Ticks
+	// Peer links the two halves of a call: for a WireCallRequest it is the
+	// reply wire's ID and vice versa. It is -1 for other kinds.
+	Peer msg.WireID
+}
+
+// Component describes one component's connectivity.
+type Component struct {
+	ID     ComponentID
+	Name   string
+	Engine string // engine name from placement; "" until placed
+
+	// Inputs lists the wires merged into the component's single logical
+	// queue (send wires, call-request wires, and source wires), in wire-ID
+	// order. Call-reply wires are not merged; they wake a blocked caller.
+	Inputs []msg.WireID
+	// Outputs maps output port name to the wire it feeds (send and sink
+	// wires, and call-request wires for call ports).
+	Outputs map[string]msg.WireID
+	// ReplyInputs lists call-reply wires arriving at this component
+	// (one per call port it owns).
+	ReplyInputs []msg.WireID
+}
+
+// Source describes an external producer feeding one input wire.
+type Source struct {
+	Name string
+	Wire msg.WireID
+}
+
+// Sink describes an external consumer fed by one output wire.
+type Sink struct {
+	Name string
+	Wire msg.WireID
+}
+
+// Topology is an immutable description of an application.
+type Topology struct {
+	comps   []*Component
+	byName  map[string]ComponentID
+	wires   []*Wire
+	sources map[string]*Source
+	sinks   map[string]*Sink
+	engines []string
+}
+
+// Component returns the component with the given ID.
+func (t *Topology) Component(id ComponentID) *Component { return t.comps[id] }
+
+// ComponentByName looks a component up by name.
+func (t *Topology) ComponentByName(name string) (*Component, bool) {
+	id, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return t.comps[id], true
+}
+
+// Components returns all components in ID order.
+func (t *Topology) Components() []*Component { return t.comps }
+
+// Wire returns the wire with the given ID.
+func (t *Topology) Wire(id msg.WireID) *Wire { return t.wires[id] }
+
+// Wires returns all wires in ID order.
+func (t *Topology) Wires() []*Wire { return t.wires }
+
+// Sources returns the external sources, sorted by name.
+func (t *Topology) Sources() []*Source {
+	out := make([]*Source, 0, len(t.sources))
+	for _, s := range t.sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SourceByName looks up an external source.
+func (t *Topology) SourceByName(name string) (*Source, bool) {
+	s, ok := t.sources[name]
+	return s, ok
+}
+
+// Sinks returns the external sinks, sorted by name.
+func (t *Topology) Sinks() []*Sink {
+	out := make([]*Sink, 0, len(t.sinks))
+	for _, s := range t.sinks {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SinkByName looks up an external sink.
+func (t *Topology) SinkByName(name string) (*Sink, bool) {
+	s, ok := t.sinks[name]
+	return s, ok
+}
+
+// Engines returns the engine names used by the placement, sorted.
+func (t *Topology) Engines() []string { return t.engines }
+
+// ComponentsOn returns the IDs of components placed on the named engine,
+// in ID order.
+func (t *Topology) ComponentsOn(engine string) []ComponentID {
+	var out []ComponentID
+	for _, c := range t.comps {
+		if c.Engine == engine {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// IsLocal reports whether the wire connects two components on the same
+// engine (source and sink wires are considered local to the engine that
+// hosts their component).
+func (t *Topology) IsLocal(id msg.WireID) bool {
+	w := t.wires[id]
+	if w.From == External || w.To == External {
+		return true
+	}
+	return t.comps[w.From].Engine == t.comps[w.To].Engine
+}
+
+// EngineOf returns the engine hosting the component, or "" for External.
+func (t *Topology) EngineOf(id ComponentID) string {
+	if id == External {
+		return ""
+	}
+	return t.comps[id].Engine
+}
+
+// findCallCycle returns a component-name cycle through call-request wires,
+// or nil if the call graph is acyclic. Call cycles would deadlock the
+// blocking call implementation, so Build rejects them.
+func (t *Topology) findCallCycle() []string {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int8, len(t.comps))
+	var cycle []string
+	var visit func(id ComponentID) bool
+	visit = func(id ComponentID) bool {
+		state[id] = inStack
+		for _, wid := range sortedOutputs(t.comps[id]) {
+			w := t.wires[wid]
+			if w.Kind != WireCallRequest || w.To == External {
+				continue
+			}
+			switch state[w.To] {
+			case inStack:
+				cycle = append(cycle, t.comps[id].Name, t.comps[w.To].Name)
+				return true
+			case unvisited:
+				if visit(w.To) {
+					cycle = append(cycle, t.comps[id].Name)
+					return true
+				}
+			}
+		}
+		state[id] = done
+		return false
+	}
+	for _, c := range t.comps {
+		if state[c.ID] == unvisited && visit(c.ID) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+func sortedOutputs(c *Component) []msg.WireID {
+	out := make([]msg.WireID, 0, len(c.Outputs))
+	for _, w := range c.Outputs {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate re-checks the topology's structural invariants. Build calls it;
+// it is exported for tests.
+func (t *Topology) Validate() error {
+	if len(t.comps) == 0 {
+		return errors.New("topo: topology has no components")
+	}
+	if len(t.sources) == 0 {
+		return errors.New("topo: topology has no external sources")
+	}
+	for _, c := range t.comps {
+		if c.Engine == "" {
+			return fmt.Errorf("topo: component %q is not placed on any engine", c.Name)
+		}
+	}
+	if cyc := t.findCallCycle(); cyc != nil {
+		return fmt.Errorf("topo: call cycle detected: %v", cyc)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package trace collects the runtime metrics the paper's evaluation
+// reports: end-to-end latency, pessimism delay (the intrinsic overhead of
+// deterministic scheduling, §II.E), curiosity-probe counts, messages
+// arriving out of real-time order, and recovery-related counters.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a set of runtime counters. The zero value is ready for use.
+// All methods are safe for concurrent use.
+type Metrics struct {
+	delivered         atomic.Int64
+	outOfOrder        atomic.Int64
+	probesSent        atomic.Int64
+	silencesSent      atomic.Int64
+	pessimismDelayNs  atomic.Int64
+	pessimismEpisodes atomic.Int64
+	checkpoints       atomic.Int64
+	checkpointBytes   atomic.Int64
+	replayRequests    atomic.Int64
+	duplicatesDropped atomic.Int64
+	determinismFaults atomic.Int64
+	failovers         atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	Delivered         int64
+	OutOfOrder        int64
+	ProbesSent        int64
+	SilencesSent      int64
+	PessimismDelay    time.Duration
+	PessimismEpisodes int64
+	Checkpoints       int64
+	CheckpointBytes   int64
+	ReplayRequests    int64
+	DuplicatesDropped int64
+	DeterminismFaults int64
+	Failovers         int64
+}
+
+// AddDelivered counts one message delivered to a handler; outOfOrder marks
+// messages that were delivered in virtual-time order but had arrived out of
+// real-time order (Fig. 4's "# Msgs Received out of RT-order").
+func (m *Metrics) AddDelivered(outOfOrder bool) {
+	m.delivered.Add(1)
+	if outOfOrder {
+		m.outOfOrder.Add(1)
+	}
+}
+
+// AddProbe counts one curiosity probe sent.
+func (m *Metrics) AddProbe() { m.probesSent.Add(1) }
+
+// AddSilence counts one silence promise sent.
+func (m *Metrics) AddSilence() { m.silencesSent.Add(1) }
+
+// AddPessimismDelay accumulates time spent holding a queued message while
+// waiting for other senders' silence.
+func (m *Metrics) AddPessimismDelay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.pessimismDelayNs.Add(int64(d))
+	m.pessimismEpisodes.Add(1)
+}
+
+// AddCheckpoint counts one soft checkpoint of the given encoded size.
+func (m *Metrics) AddCheckpoint(bytes int) {
+	m.checkpoints.Add(1)
+	m.checkpointBytes.Add(int64(bytes))
+}
+
+// AddReplayRequest counts one replay-range request served or issued.
+func (m *Metrics) AddReplayRequest() { m.replayRequests.Add(1) }
+
+// AddDuplicateDropped counts one duplicate message discarded by timestamp.
+func (m *Metrics) AddDuplicateDropped() { m.duplicatesDropped.Add(1) }
+
+// AddDeterminismFault counts one logged estimator recalibration.
+func (m *Metrics) AddDeterminismFault() { m.determinismFaults.Add(1) }
+
+// AddFailover counts one passive-replica activation.
+func (m *Metrics) AddFailover() { m.failovers.Add(1) }
+
+// Snapshot returns a copy of all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Delivered:         m.delivered.Load(),
+		OutOfOrder:        m.outOfOrder.Load(),
+		ProbesSent:        m.probesSent.Load(),
+		SilencesSent:      m.silencesSent.Load(),
+		PessimismDelay:    time.Duration(m.pessimismDelayNs.Load()),
+		PessimismEpisodes: m.pessimismEpisodes.Load(),
+		Checkpoints:       m.checkpoints.Load(),
+		CheckpointBytes:   m.checkpointBytes.Load(),
+		ReplayRequests:    m.replayRequests.Load(),
+		DuplicatesDropped: m.duplicatesDropped.Load(),
+		DeterminismFaults: m.determinismFaults.Load(),
+		Failovers:         m.failovers.Load(),
+	}
+}
+
+// LatencyRecorder accumulates end-to-end latency observations (in
+// nanoseconds) for experiment harnesses. It is safe for concurrent use.
+type LatencyRecorder struct {
+	mu  sync.Mutex
+	obs []float64
+}
+
+// Record appends one latency observation.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = append(l.obs, float64(d))
+}
+
+// Samples returns a copy of the observations.
+func (l *LatencyRecorder) Samples() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]float64, len(l.obs))
+	copy(out, l.obs)
+	return out
+}
+
+// Count returns the number of observations recorded so far.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.obs)
+}
+
+// Reset discards all observations.
+func (l *LatencyRecorder) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = nil
+}

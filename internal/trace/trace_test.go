@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	var m Metrics
+	m.AddDelivered(false)
+	m.AddDelivered(true)
+	m.AddProbe()
+	m.AddSilence()
+	m.AddPessimismDelay(5 * time.Millisecond)
+	m.AddPessimismDelay(0) // ignored
+	m.AddCheckpoint(1024)
+	m.AddReplayRequest()
+	m.AddDuplicateDropped()
+	m.AddDeterminismFault()
+	m.AddFailover()
+
+	s := m.Snapshot()
+	if s.Delivered != 2 || s.OutOfOrder != 1 {
+		t.Errorf("delivered/out-of-order = %d/%d", s.Delivered, s.OutOfOrder)
+	}
+	if s.ProbesSent != 1 || s.SilencesSent != 1 {
+		t.Errorf("probes/silences = %d/%d", s.ProbesSent, s.SilencesSent)
+	}
+	if s.PessimismDelay != 5*time.Millisecond || s.PessimismEpisodes != 1 {
+		t.Errorf("pessimism = %v/%d", s.PessimismDelay, s.PessimismEpisodes)
+	}
+	if s.Checkpoints != 1 || s.CheckpointBytes != 1024 {
+		t.Errorf("checkpoints = %d/%d bytes", s.Checkpoints, s.CheckpointBytes)
+	}
+	if s.ReplayRequests != 1 || s.DuplicatesDropped != 1 || s.DeterminismFaults != 1 || s.Failovers != 1 {
+		t.Errorf("recovery counters = %+v", s)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m.AddDelivered(j%2 == 0)
+				m.AddProbe()
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Delivered != workers*per {
+		t.Errorf("delivered = %d, want %d", s.Delivered, workers*per)
+	}
+	if s.OutOfOrder != workers*per/2 {
+		t.Errorf("outOfOrder = %d, want %d", s.OutOfOrder, workers*per/2)
+	}
+	if s.ProbesSent != workers*per {
+		t.Errorf("probes = %d", s.ProbesSent)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if l.Count() != 0 {
+		t.Error("fresh recorder not empty")
+	}
+	l.Record(time.Millisecond)
+	l.Record(2 * time.Millisecond)
+	if l.Count() != 2 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	s := l.Samples()
+	if len(s) != 2 || s[0] != float64(time.Millisecond) {
+		t.Errorf("Samples = %v", s)
+	}
+	s[0] = 0 // must not alias
+	if l.Samples()[0] != float64(time.Millisecond) {
+		t.Error("Samples aliases internal state")
+	}
+	l.Reset()
+	if l.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var l LatencyRecorder
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Record(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 2000 {
+		t.Errorf("Count = %d, want 2000", l.Count())
+	}
+}

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/stats"
+)
+
+// FaultPlan configures a fault-injecting connection wrapper. Probabilities
+// are in [0, 1] and evaluated per envelope.
+type FaultPlan struct {
+	// DropProb drops the envelope entirely.
+	DropProb float64
+	// DupProb delivers the envelope twice.
+	DupProb float64
+	// ReorderProb holds the envelope back and delivers it after the next
+	// one (a one-slot reorder).
+	ReorderProb float64
+	// Delay, when positive, sleeps up to Delay (uniform) before delivery.
+	Delay time.Duration
+	// Seed seeds the deterministic fault schedule.
+	Seed uint64
+}
+
+// Faulty wraps a Conn, injecting faults on the send path according to the
+// plan. The wrapped connection observes lost, duplicated, reordered, and
+// delayed frames — the paper's link-failure model — while the application
+// above must still satisfy the correctness criterion.
+type Faulty struct {
+	inner Conn
+	plan  FaultPlan
+
+	mu   sync.Mutex
+	rng  *stats.RNG
+	held *msg.Envelope // one-slot reorder buffer
+}
+
+var _ Conn = (*Faulty)(nil)
+
+// NewFaulty wraps a connection with fault injection.
+func NewFaulty(inner Conn, plan FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan, rng: stats.NewRNG(plan.Seed)}
+}
+
+// Send implements Conn, possibly dropping, duplicating, delaying, or
+// reordering the envelope.
+func (f *Faulty) Send(env msg.Envelope) error {
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	dup := f.rng.Float64() < f.plan.DupProb
+	reorder := f.rng.Float64() < f.plan.ReorderProb
+	var delay time.Duration
+	if f.plan.Delay > 0 {
+		delay = time.Duration(f.rng.Float64() * float64(f.plan.Delay))
+	}
+
+	if roll < f.plan.DropProb {
+		f.mu.Unlock()
+		return nil // silently lost
+	}
+
+	var toSend []msg.Envelope
+	if reorder && f.held == nil {
+		held := env
+		f.held = &held
+		f.mu.Unlock()
+		return nil
+	}
+	toSend = append(toSend, env)
+	if f.held != nil {
+		toSend = append(toSend, *f.held)
+		f.held = nil
+	}
+	if dup {
+		toSend = append(toSend, env)
+	}
+	f.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for _, e := range toSend {
+		if err := f.inner.Send(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush delivers any held-back envelope (useful at the end of tests).
+func (f *Faulty) Flush() error {
+	f.mu.Lock()
+	held := f.held
+	f.held = nil
+	f.mu.Unlock()
+	if held == nil {
+		return nil
+	}
+	return f.inner.Send(*held)
+}
+
+// Recv implements Conn.
+func (f *Faulty) Recv() (msg.Envelope, error) { return f.inner.Recv() }
+
+// Close implements Conn.
+func (f *Faulty) Close() error { return f.inner.Close() }

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// TCP is a Transport over real sockets. Envelopes are carried as a gob
+// stream per direction; payload types must be registered with
+// msg.RegisterPayload before use.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(nc), nil
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+// tcpConn frames envelopes with the msg gob codec over one socket.
+type tcpConn struct {
+	nc net.Conn
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+	enc    *msg.Encoder
+
+	dec *msg.Decoder
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	bw := bufio.NewWriter(nc)
+	return &tcpConn{
+		nc:  nc,
+		bw:  bw,
+		enc: msg.NewEncoder(bw),
+		dec: msg.NewDecoder(bufio.NewReader(nc)),
+	}
+}
+
+func (c *tcpConn) Send(env msg.Envelope) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(env); err != nil {
+		return c.mapErr(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.mapErr(err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() (msg.Envelope, error) {
+	env, err := c.dec.Decode()
+	if err != nil {
+		return msg.Envelope{}, c.mapErr(err)
+	}
+	return env, nil
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+func (c *tcpConn) mapErr(err error) error {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrClosed
+	}
+	// gob wraps underlying socket errors; a closed/reset socket surfaces as
+	// a generic error after Close, so treat post-close errors uniformly.
+	return err
+}

@@ -1,0 +1,335 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/vt"
+)
+
+// testTransport exercises the Conn/Listener contract shared by all
+// implementations.
+func testTransport(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type acceptResult struct {
+		conn Conn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		c, err := l.Accept()
+		acceptCh <- acceptResult{conn: c, err: err}
+	}()
+
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ar := <-acceptCh
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	server := ar.conn
+	defer server.Close()
+
+	// Client -> server, in order.
+	for i := 1; i <= 10; i++ {
+		if err := client.Send(msg.NewData(1, uint64(i), vt.Time(i*100), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 10; i++ {
+		env, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Seq != uint64(i) || env.VT != vt.Time(i*100) {
+			t.Errorf("frame %d: %+v", i, env)
+		}
+	}
+
+	// Server -> client (full duplex).
+	if err := server.Send(msg.NewSilence(2, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	env, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != msg.KindSilence || env.Promise != 5000 {
+		t.Errorf("reverse frame: %+v", env)
+	}
+
+	// Closing the peer unblocks Recv with ErrClosed.
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	server.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Recv after peer close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on peer close")
+	}
+}
+
+func TestInprocTransport(t *testing.T) {
+	testTransport(t, NewInproc(), "engineA")
+}
+
+func TestTCPTransport(t *testing.T) {
+	testTransport(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestInprocDialUnknownAddr(t *testing.T) {
+	tr := NewInproc()
+	if _, err := tr.Dial("ghost"); err == nil {
+		t.Error("dial to unbound address succeeded")
+	}
+}
+
+func TestInprocDuplicateBind(t *testing.T) {
+	tr := NewInproc()
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("a"); err == nil {
+		t.Error("duplicate bind succeeded")
+	}
+	l.Close()
+	// Address is released after Close.
+	l2, err := tr.Listen("a")
+	if err != nil {
+		t.Errorf("rebind after close failed: %v", err)
+	}
+	l2.Close()
+}
+
+func TestInprocListenerCloseUnblocksAccept(t *testing.T) {
+	tr := NewInproc()
+	l, err := tr.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("Accept = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}
+
+func TestInprocConcurrentSenders(t *testing.T) {
+	tr := NewInproc()
+	l, _ := tr.Listen("conc")
+	defer l.Close()
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := srv.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := tr.Dial("conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if err := c.Send(msg.NewData(msg.WireID(id), uint64(j+1), vt.Time(j), nil)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+type sentence struct{ Words []string }
+
+func TestTCPCarriesRegisteredPayloads(t *testing.T) {
+	if err := msg.RegisterPayload(sentence{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		srv, err := l.Accept()
+		if err != nil {
+			return
+		}
+		env, err := srv.Recv()
+		if err != nil {
+			return
+		}
+		_ = srv.Send(env) // echo
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := sentence{Words: []string{"the", "quick", "fox"}}
+	if err := c.Send(msg.NewData(1, 1, 42, want)); err != nil {
+		t.Fatal(err)
+	}
+	env, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := env.Payload.(sentence)
+	if !ok || len(got.Words) != 3 || got.Words[2] != "fox" {
+		t.Errorf("echoed payload = %+v", env.Payload)
+	}
+}
+
+// collector is a Conn that records sent envelopes.
+type collector struct {
+	mu   sync.Mutex
+	sent []msg.Envelope
+}
+
+func (c *collector) Send(env msg.Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent = append(c.sent, env)
+	return nil
+}
+func (c *collector) Recv() (msg.Envelope, error) { select {} }
+func (c *collector) Close() error                { return nil }
+
+func (c *collector) seqs() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.sent))
+	for i, e := range c.sent {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+func TestFaultyDrop(t *testing.T) {
+	inner := &collector{}
+	f := NewFaulty(inner, FaultPlan{DropProb: 1, Seed: 1})
+	for i := 1; i <= 10; i++ {
+		if err := f.Send(msg.NewData(1, uint64(i), 0, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(inner.seqs()); got != 0 {
+		t.Errorf("drop-all delivered %d frames", got)
+	}
+}
+
+func TestFaultyDuplicate(t *testing.T) {
+	inner := &collector{}
+	f := NewFaulty(inner, FaultPlan{DupProb: 1, Seed: 2})
+	if err := f.Send(msg.NewData(1, 7, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	got := inner.seqs()
+	if len(got) != 2 || got[0] != 7 || got[1] != 7 {
+		t.Errorf("dup-all delivered %v", got)
+	}
+}
+
+func TestFaultyReorder(t *testing.T) {
+	inner := &collector{}
+	f := NewFaulty(inner, FaultPlan{ReorderProb: 1, Seed: 3})
+	// First send is held; second send releases both in swapped order; the
+	// second itself is then held... with prob 1, every odd send is held.
+	for i := 1; i <= 4; i++ {
+		if err := f.Send(msg.NewData(1, uint64(i), 0, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := inner.seqs()
+	if len(got) != 4 {
+		t.Fatalf("reorder delivered %v", got)
+	}
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("expected swap of first pair, got %v", got)
+	}
+}
+
+func TestFaultyPassthroughWhenCleanPlan(t *testing.T) {
+	inner := &collector{}
+	f := NewFaulty(inner, FaultPlan{Seed: 4})
+	for i := 1; i <= 100; i++ {
+		if err := f.Send(msg.NewData(1, uint64(i), 0, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := inner.seqs()
+	if len(got) != 100 {
+		t.Fatalf("clean plan delivered %d frames", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("clean plan reordered: %v", got)
+		}
+	}
+}
+
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	run := func() []uint64 {
+		inner := &collector{}
+		f := NewFaulty(inner, FaultPlan{DropProb: 0.3, DupProb: 0.2, ReorderProb: 0.2, Seed: 42})
+		for i := 1; i <= 50; i++ {
+			_ = f.Send(msg.NewData(1, uint64(i), 0, nil))
+		}
+		_ = f.Flush()
+		return inner.seqs()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("fault schedule not deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package vt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a set of virtual times represented as sorted, disjoint,
+// non-adjacent closed intervals. It supports the silence bookkeeping a
+// receiver performs during recovery: which tick ranges have been accounted
+// for (either by a data message or by a silence promise) and which ranges
+// are still gaps that must be replayed.
+//
+// The zero value is an empty set ready for use. Set is not safe for
+// concurrent use; callers synchronize externally.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet returns a set containing the given intervals.
+func NewSet(ivs ...Interval) *Set {
+	s := &Set{}
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Add inserts the interval into the set, merging overlapping or adjacent
+// intervals. Empty intervals are ignored.
+func (s *Set) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Find the window [lo, hi) of existing intervals that overlap or abut iv:
+	// those with Hi >= iv.Lo-1 and Lo <= iv.Hi+1, guarding the arithmetic
+	// against the Time extremes.
+	lo := sort.Search(len(s.ivs), func(i int) bool {
+		return s.ivs[i].Hi == Max || s.ivs[i].Hi+1 >= iv.Lo
+	})
+	hi := len(s.ivs)
+	if iv.Hi != Max {
+		hi = sort.Search(len(s.ivs), func(i int) bool {
+			return s.ivs[i].Lo > iv.Hi+1
+		})
+	}
+	if lo < hi {
+		if s.ivs[lo].Lo < iv.Lo {
+			iv.Lo = s.ivs[lo].Lo
+		}
+		if s.ivs[hi-1].Hi > iv.Hi {
+			iv.Hi = s.ivs[hi-1].Hi
+		}
+	}
+	out := make([]Interval, 0, len(s.ivs)-(hi-lo)+1)
+	out = append(out, s.ivs[:lo]...)
+	out = append(out, iv)
+	out = append(out, s.ivs[hi:]...)
+	s.ivs = out
+}
+
+// AddPoint inserts a single tick.
+func (s *Set) AddPoint(t Time) { s.Add(Interval{Lo: t, Hi: t}) }
+
+// Contains reports whether t is in the set.
+func (s *Set) Contains(t Time) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// ContainsInterval reports whether every tick of iv is in the set.
+func (s *Set) ContainsInterval(iv Interval) bool {
+	if iv.Empty() {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= iv.Lo })
+	return i < len(s.ivs) && s.ivs[i].Lo <= iv.Lo && s.ivs[i].Hi >= iv.Hi
+}
+
+// CoveredThrough returns the largest T such that [from, T] is fully covered
+// by the set, or Never if `from` itself is not covered. This is the watermark
+// query a receiver uses: "through what time is this wire fully accounted
+// for, starting at the next undelivered tick?"
+func (s *Set) CoveredThrough(from Time) Time {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= from })
+	if i >= len(s.ivs) || !s.ivs[i].Contains(from) {
+		return Never
+	}
+	return s.ivs[i].Hi
+}
+
+// Gaps returns the intervals within [lo, hi] that are NOT covered by the
+// set. Used to compute replay-request ranges after a failover.
+func (s *Set) Gaps(lo, hi Time) []Interval {
+	if lo > hi {
+		return nil
+	}
+	var gaps []Interval
+	cur := lo
+	for _, iv := range s.ivs {
+		if iv.Hi < cur {
+			continue
+		}
+		if iv.Lo > hi {
+			break
+		}
+		if iv.Lo > cur {
+			gaps = append(gaps, Interval{Lo: cur, Hi: Min(iv.Lo-1, hi)})
+		}
+		if iv.Hi >= hi {
+			return gaps
+		}
+		cur = iv.Hi + 1
+	}
+	if cur <= hi {
+		gaps = append(gaps, Interval{Lo: cur, Hi: hi})
+	}
+	return gaps
+}
+
+// Intervals returns a copy of the set's intervals in ascending order.
+func (s *Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Len returns the total number of ticks in the set.
+func (s *Set) Len() Ticks {
+	var n Ticks
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Count returns the number of disjoint intervals in the set.
+func (s *Set) Count() int { return len(s.ivs) }
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{ivs: make([]Interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}
+
+// TrimBefore removes every tick earlier than t. Used to bound memory once a
+// prefix has been checkpointed.
+func (s *Set) TrimBefore(t Time) {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= t })
+	s.ivs = s.ivs[i:]
+	if len(s.ivs) > 0 && s.ivs[0].Lo < t {
+		s.ivs[0].Lo = t
+	}
+}
+
+// String renders the set for debugging.
+func (s *Set) String() string {
+	if len(s.ivs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// invariantErr validates internal invariants (sorted, disjoint,
+// non-adjacent, non-empty). It is exported for property-based tests via
+// CheckInvariants.
+func (s *Set) invariantErr() error {
+	for i, iv := range s.ivs {
+		if iv.Empty() {
+			return fmt.Errorf("interval %d is empty: %v", i, iv)
+		}
+		if i > 0 {
+			prev := s.ivs[i-1]
+			if prev.Hi == Max || prev.Hi+1 >= iv.Lo {
+				return fmt.Errorf("intervals %d and %d not disjoint/non-adjacent: %v %v", i-1, i, prev, iv)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants returns an error if the set's internal representation is
+// inconsistent. Intended for tests.
+func (s *Set) CheckInvariants() error { return s.invariantErr() }

@@ -1,0 +1,273 @@
+package vt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAddMerging(t *testing.T) {
+	tests := []struct {
+		name string
+		add  []Interval
+		want string
+	}{
+		{
+			name: "disjoint",
+			add:  []Interval{{1, 3}, {10, 12}},
+			want: "{[1,3] [10,12]}",
+		},
+		{
+			name: "overlapping",
+			add:  []Interval{{1, 5}, {3, 8}},
+			want: "{[1,8]}",
+		},
+		{
+			name: "adjacent merge",
+			add:  []Interval{{1, 3}, {4, 6}},
+			want: "{[1,6]}",
+		},
+		{
+			name: "bridge three",
+			add:  []Interval{{1, 3}, {10, 12}, {4, 9}},
+			want: "{[1,12]}",
+		},
+		{
+			name: "contained",
+			add:  []Interval{{1, 10}, {3, 5}},
+			want: "{[1,10]}",
+		},
+		{
+			name: "containing",
+			add:  []Interval{{3, 5}, {1, 10}},
+			want: "{[1,10]}",
+		},
+		{
+			name: "empty ignored",
+			add:  []Interval{{5, 4}, {1, 2}},
+			want: "{[1,2]}",
+		},
+		{
+			name: "out of order inserts",
+			add:  []Interval{{20, 25}, {1, 3}, {10, 12}},
+			want: "{[1,3] [10,12] [20,25]}",
+		},
+		{
+			name: "up to max",
+			add:  []Interval{{100, Max}, {1, 2}},
+			want: "{[1,2] [100,9223372036854775807]}",
+		},
+		{
+			name: "merge into max interval",
+			add:  []Interval{{100, Max}, {50, 99}},
+			want: "{[50,9223372036854775807]}",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSet(tt.add...)
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("invariants violated: %v", err)
+			}
+			if got := s.String(); got != tt.want {
+				t.Errorf("got %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Interval{1, 3}, Interval{10, 12})
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{
+		{0, false}, {1, true}, {3, true}, {4, false},
+		{9, false}, {10, true}, {12, true}, {13, false},
+	} {
+		if got := s.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if !s.ContainsInterval(Interval{10, 12}) {
+		t.Error("ContainsInterval misses exact interval")
+	}
+	if s.ContainsInterval(Interval{3, 10}) {
+		t.Error("ContainsInterval spans a gap")
+	}
+	if !s.ContainsInterval(Interval{5, 4}) {
+		t.Error("empty interval should be trivially contained")
+	}
+}
+
+func TestSetCoveredThrough(t *testing.T) {
+	s := NewSet(Interval{0, 5}, Interval{8, 20})
+	if got := s.CoveredThrough(0); got != 5 {
+		t.Errorf("CoveredThrough(0) = %v, want 5", got)
+	}
+	if got := s.CoveredThrough(3); got != 5 {
+		t.Errorf("CoveredThrough(3) = %v, want 5", got)
+	}
+	if got := s.CoveredThrough(6); got != Never {
+		t.Errorf("CoveredThrough(6) = %v, want Never", got)
+	}
+	if got := s.CoveredThrough(8); got != 20 {
+		t.Errorf("CoveredThrough(8) = %v, want 20", got)
+	}
+}
+
+func TestSetGaps(t *testing.T) {
+	s := NewSet(Interval{5, 10}, Interval{20, 30})
+	tests := []struct {
+		name   string
+		lo, hi Time
+		want   []Interval
+	}{
+		{name: "full span", lo: 0, hi: 40, want: []Interval{{0, 4}, {11, 19}, {31, 40}}},
+		{name: "inside coverage", lo: 6, hi: 9, want: nil},
+		{name: "exact interval", lo: 5, hi: 10, want: nil},
+		{name: "pure gap", lo: 12, hi: 15, want: []Interval{{12, 15}}},
+		{name: "straddle", lo: 8, hi: 22, want: []Interval{{11, 19}}},
+		{name: "empty range", lo: 9, hi: 8, want: nil},
+		{name: "beyond all", lo: 35, hi: 40, want: []Interval{{35, 40}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := s.Gaps(tt.lo, tt.hi)
+			if len(got) != len(tt.want) {
+				t.Fatalf("Gaps(%v,%v) = %v, want %v", tt.lo, tt.hi, got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("gap %d = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSetTrimBefore(t *testing.T) {
+	s := NewSet(Interval{1, 5}, Interval{8, 12})
+	s.TrimBefore(3)
+	if got := s.String(); got != "{[3,5] [8,12]}" {
+		t.Errorf("TrimBefore(3) = %s", got)
+	}
+	s.TrimBefore(6)
+	if got := s.String(); got != "{[8,12]}" {
+		t.Errorf("TrimBefore(6) = %s", got)
+	}
+	s.TrimBefore(100)
+	if got := s.String(); got != "{}" {
+		t.Errorf("TrimBefore(100) = %s", got)
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := NewSet(Interval{1, 5})
+	c := s.Clone()
+	c.Add(Interval{10, 20})
+	if s.Contains(15) {
+		t.Error("mutation of clone affected original")
+	}
+	if !c.Contains(15) {
+		t.Error("clone missing added interval")
+	}
+}
+
+func TestSetLenCount(t *testing.T) {
+	s := NewSet(Interval{1, 5}, Interval{10, 10})
+	if got := s.Len(); got != 6 {
+		t.Errorf("Len = %v, want 6", got)
+	}
+	if got := s.Count(); got != 2 {
+		t.Errorf("Count = %v, want 2", got)
+	}
+	var empty Set
+	if empty.Len() != 0 || empty.Count() != 0 {
+		t.Error("zero-value Set should be empty")
+	}
+	if empty.String() != "{}" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}
+
+// TestSetQuickAgainstOracle compares the interval set against a brute-force
+// boolean-array oracle over random operation sequences.
+func TestSetQuickAgainstOracle(t *testing.T) {
+	const universe = 64
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Set{}
+		var oracle [universe]bool
+		for i := 0; i < int(nOps%40)+1; i++ {
+			lo := Time(rng.Intn(universe))
+			hi := lo + Time(rng.Intn(8))
+			if hi >= universe {
+				hi = universe - 1
+			}
+			s.Add(Interval{Lo: lo, Hi: hi})
+			for t := lo; t <= hi; t++ {
+				oracle[t] = true
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		for tick := Time(0); tick < universe; tick++ {
+			if s.Contains(tick) != oracle[tick] {
+				t.Logf("Contains(%v) mismatch (set=%v)", tick, s)
+				return false
+			}
+		}
+		// Gaps must exactly complement coverage.
+		gapped := make([]bool, universe)
+		for _, g := range s.Gaps(0, universe-1) {
+			for t := g.Lo; t <= g.Hi; t++ {
+				gapped[t] = true
+			}
+		}
+		for tick := 0; tick < universe; tick++ {
+			if gapped[tick] == oracle[tick] {
+				t.Logf("gap/coverage overlap at %d (set=%v)", tick, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetQuickCoveredThrough property: CoveredThrough(from) is the maximal
+// covered prefix starting at from.
+func TestSetQuickCoveredThrough(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Set{}
+		for i := 0; i < 10; i++ {
+			lo := Time(rng.Intn(100))
+			s.Add(Interval{Lo: lo, Hi: lo + Time(rng.Intn(10))})
+		}
+		for from := Time(0); from < 120; from++ {
+			ct := s.CoveredThrough(from)
+			if ct == Never {
+				if s.Contains(from) {
+					return false
+				}
+				continue
+			}
+			if !s.ContainsInterval(Interval{Lo: from, Hi: ct}) {
+				return false
+			}
+			if s.Contains(ct + 1) {
+				return false // not maximal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package wal implements TART's stable logs (paper §II.E, §II.F.2,
+// §II.G.4).
+//
+// Only two things are ever logged: (1) messages arriving from the external
+// world — so that after a failover the recovered engine can replay inputs
+// the failed engine had consumed but whose effects were not yet
+// checkpointed; and (2) determinism faults — estimator recalibrations,
+// logged synchronously with the virtual time at which they take effect so
+// replay switches estimators at exactly the same point. Inter-component
+// messages are never logged; that is the heart of the paper's low-overhead
+// claim.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/estimator"
+	"repro/internal/vt"
+)
+
+// InputRecord is one logged external input message.
+type InputRecord struct {
+	// Source names the external source (topology source name).
+	Source string
+	// Seq is the per-source sequence number, starting at 1.
+	Seq uint64
+	// VT is the virtual time stamped on the message at ingestion.
+	VT vt.Time
+	// Payload is the message payload (gob-encodable).
+	Payload any
+}
+
+// FaultRecord is one logged determinism fault.
+type FaultRecord struct {
+	// Component names the component whose estimator changed.
+	Component string
+	// Fault carries the new coefficients and their effective virtual time.
+	Fault estimator.Fault
+}
+
+// Log is a stable store for input and fault records. Implementations must
+// be safe for concurrent use.
+type Log interface {
+	// AppendInput durably records an external input message.
+	AppendInput(rec InputRecord) error
+	// AppendFault durably records a determinism fault. It must be
+	// synchronous: the fault may not take effect before this returns.
+	AppendFault(rec FaultRecord) error
+	// Inputs returns the logged inputs of one source with Seq >= fromSeq,
+	// in sequence order.
+	Inputs(source string, fromSeq uint64) ([]InputRecord, error)
+	// Faults returns all logged faults of one component in log order.
+	Faults(component string) ([]FaultRecord, error)
+	// TrimInputs discards inputs of the source with Seq <= throughSeq
+	// (safe once a checkpoint covers them).
+	TrimInputs(source string, throughSeq uint64) error
+	// Close releases resources.
+	Close() error
+}
+
+// MemLog is an in-memory Log, standing in for the paper's "backup machine"
+// stable store in tests and single-process experiments.
+type MemLog struct {
+	mu     sync.Mutex
+	inputs map[string][]InputRecord
+	faults []FaultRecord
+	closed bool
+}
+
+var _ Log = (*MemLog)(nil)
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog {
+	return &MemLog{inputs: make(map[string][]InputRecord)}
+}
+
+// AppendInput implements Log.
+func (l *MemLog) AppendInput(rec InputRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	recs := l.inputs[rec.Source]
+	if n := len(recs); n > 0 && rec.Seq <= recs[n-1].Seq {
+		return fmt.Errorf("wal: input seq %d for %q not increasing (last %d)", rec.Seq, rec.Source, recs[n-1].Seq)
+	}
+	l.inputs[rec.Source] = append(recs, rec)
+	return nil
+}
+
+// AppendFault implements Log.
+func (l *MemLog) AppendFault(rec FaultRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	l.faults = append(l.faults, rec)
+	return nil
+}
+
+// Inputs implements Log.
+func (l *MemLog) Inputs(source string, fromSeq uint64) ([]InputRecord, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs := l.inputs[source]
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].Seq >= fromSeq })
+	out := make([]InputRecord, len(recs)-i)
+	copy(out, recs[i:])
+	return out, nil
+}
+
+// Faults implements Log.
+func (l *MemLog) Faults(component string) ([]FaultRecord, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []FaultRecord
+	for _, f := range l.faults {
+		if f.Component == component {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// TrimInputs implements Log.
+func (l *MemLog) TrimInputs(source string, throughSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs := l.inputs[source]
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].Seq > throughSeq })
+	l.inputs[source] = append([]InputRecord(nil), recs[i:]...)
+	return nil
+}
+
+// Close implements Log.
+func (l *MemLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+var errLogClosed = errors.New("wal: log closed")
+
+// entryKind tags entries in a file log.
+type entryKind int8
+
+const (
+	entryInput entryKind = iota + 1
+	entryFault
+	entryTrim
+)
+
+// fileEntry is the on-disk record framing.
+type fileEntry struct {
+	Kind    entryKind
+	Input   InputRecord
+	Fault   FaultRecord
+	Source  string // for trim entries
+	Through uint64 // for trim entries
+}
+
+// FileLog is a file-backed Log: a sequence of length-prefixed,
+// self-contained gob frames, fsynced on every append (determinism faults
+// require synchronous logging; inputs get the same treatment for
+// simplicity). Self-contained frames — each with its own gob type
+// descriptors — survive process restarts and compaction, at a modest space
+// cost. On open, the file is scanned to rebuild the in-memory index, making
+// recovery a pure replay of the log.
+type FileLog struct {
+	mu   sync.Mutex
+	mem  *MemLog
+	f    *os.File
+	path string
+}
+
+var _ Log = (*FileLog)(nil)
+
+// OpenFileLog opens (creating if needed) a file-backed log and replays its
+// contents into memory.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &FileLog{mem: NewMemLog(), f: f, path: path}
+	r := bufio.NewReader(f)
+	for {
+		e, err := readFrame(r)
+		if err != nil {
+			// io.EOF is a clean end; anything else is a torn final record
+			// (crash mid-append), which also ends the usable log.
+			break
+		}
+		switch e.Kind {
+		case entryInput:
+			if err := l.mem.AppendInput(e.Input); err != nil {
+				f.Close()
+				return nil, err
+			}
+		case entryFault:
+			if err := l.mem.AppendFault(e.Fault); err != nil {
+				f.Close()
+				return nil, err
+			}
+		case entryTrim:
+			if err := l.mem.TrimInputs(e.Source, e.Through); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// readFrame reads one length-prefixed gob frame.
+func readFrame(r io.Reader) (fileEntry, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fileEntry{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return fileEntry{}, fmt.Errorf("wal: frame size %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fileEntry{}, err
+	}
+	var e fileEntry
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&e); err != nil {
+		return fileEntry{}, err
+	}
+	return e, nil
+}
+
+// maxFrameSize bounds a single log record (64 MiB).
+const maxFrameSize = 64 << 20
+
+// writeFrame appends one length-prefixed gob frame.
+func writeFrame(w io.Writer, e fileEntry) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(e); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// AppendInput implements Log.
+func (l *FileLog) AppendInput(rec InputRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.mem.AppendInput(rec); err != nil {
+		return err
+	}
+	return l.appendLocked(fileEntry{Kind: entryInput, Input: rec})
+}
+
+// AppendFault implements Log.
+func (l *FileLog) AppendFault(rec FaultRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.mem.AppendFault(rec); err != nil {
+		return err
+	}
+	return l.appendLocked(fileEntry{Kind: entryFault, Fault: rec})
+}
+
+// Inputs implements Log.
+func (l *FileLog) Inputs(source string, fromSeq uint64) ([]InputRecord, error) {
+	return l.mem.Inputs(source, fromSeq)
+}
+
+// Faults implements Log.
+func (l *FileLog) Faults(component string) ([]FaultRecord, error) {
+	return l.mem.Faults(component)
+}
+
+// TrimInputs implements Log. The trim is recorded as a log entry; space is
+// reclaimed only by Compact.
+func (l *FileLog) TrimInputs(source string, throughSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.mem.TrimInputs(source, throughSeq); err != nil {
+		return err
+	}
+	return l.appendLocked(fileEntry{Kind: entryTrim, Source: source, Through: throughSeq})
+}
+
+// Compact rewrites the log file retaining only live records, reclaiming
+// the space of trimmed inputs.
+func (l *FileLog) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	l.mem.mu.Lock()
+	sources := make([]string, 0, len(l.mem.inputs))
+	for s := range l.mem.inputs {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+	var writeErr error
+	for _, s := range sources {
+		for _, rec := range l.mem.inputs[s] {
+			if err := writeFrame(w, fileEntry{Kind: entryInput, Input: rec}); err != nil {
+				writeErr = err
+				break
+			}
+		}
+	}
+	if writeErr == nil {
+		for _, f := range l.mem.faults {
+			if err := writeFrame(w, fileEntry{Kind: entryFault, Fault: f}); err != nil {
+				writeErr = err
+				break
+			}
+		}
+	}
+	l.mem.mu.Unlock()
+	if writeErr == nil {
+		writeErr = w.Flush()
+	}
+	if writeErr != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: compact: %w", writeErr)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: compact close: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: compact swap: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return fmt.Errorf("wal: compact rename: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact reopen: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.mem.Close(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+func (l *FileLog) appendLocked(e fileEntry) error {
+	if err := writeFrame(l.f, e); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package tart is a Go implementation of TART (Time-Aware Run-Time), the
+// deterministic component-oriented middleware of Strom, Dorai, Feng and
+// Zheng, "Deterministic Replay for Transparent Recovery in
+// Component-Oriented Middleware" (ICDCS 2009).
+//
+// Applications are networks of stateful components exchanging one-way
+// messages (Send) and two-way calls (Call). TART transparently augments
+// every message with a virtual time computed by deterministic estimator
+// functions and schedules message handling in virtual-time order. The
+// resulting execution is repeatably deterministic, so component state can
+// be recovered after fail-stop failures with lightweight checkpoint-replay:
+// only external inputs are logged, checkpoints are shipped asynchronously
+// to passive replicas, and a recovered component replays its input suffix
+// to reach the identical state — the only externally visible artifact is
+// possible output stutter (re-delivered outputs), which DedupSink removes.
+//
+// Quick start:
+//
+//	app := tart.NewApp()
+//	app.Register("counter", &Counter{Counts: map[string]int{}},
+//	    tart.WithConstantCost(50*time.Microsecond))
+//	app.SourceInto("in", "counter", "sentences")
+//	app.SinkFrom("out", "counter", "totals")
+//	app.PlaceAll("main")
+//
+//	cluster, err := tart.Launch(app)
+//	// handle err, defer cluster.Stop()
+//	src, _ := cluster.Source("in")
+//	cluster.Sink("out", func(o tart.Output) { fmt.Println(o.Payload) })
+//	src.Emit([]string{"hello", "world"})
+//
+// See the examples directory for failover, pipelines with two-way calls,
+// and multi-engine deployments over TCP.
+package tart
+
+import (
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/sched"
+	"repro/internal/silence"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// VirtualTime is a virtual-time instant in ticks (1 tick = 1 ns).
+type VirtualTime = vt.Time
+
+// Ticks is a span of virtual time.
+type Ticks = vt.Ticks
+
+// Context is the deterministic execution context handed to a component for
+// each message: virtual time (Now), deterministic randomness (Rand), and
+// the output operations (Send, Call).
+type Context = sched.Ctx
+
+// Component is application logic: OnMessage processes one input message
+// arriving on the named port. For call requests, the returned value is
+// sent back to the caller as the reply. Handlers must be deterministic
+// functions of (state, port, payload, ctx.Now(), ctx.Rand()) and must not
+// share memory with other components.
+type Component interface {
+	OnMessage(ctx *Context, port string, payload any) (reply any, err error)
+}
+
+// ComponentFunc adapts a stateless function to the Component interface.
+type ComponentFunc func(ctx *Context, port string, payload any) (any, error)
+
+// OnMessage implements Component.
+func (f ComponentFunc) OnMessage(ctx *Context, port string, payload any) (any, error) {
+	return f(ctx, port, payload)
+}
+
+// Estimator predicts a handler's compute cost in virtual ticks; see the
+// estimator options on Register.
+type Estimator = estimator.Estimator
+
+// Features is a deterministic per-message feature vector (the paper's
+// basic-block execution counts).
+type Features = estimator.Features
+
+// FeatureFunc extracts Features from a payload; it must be deterministic.
+type FeatureFunc = estimator.FeatureFunc
+
+// SilenceStrategy selects how eagerly silence is propagated (§II.G.3).
+type SilenceStrategy = silence.Strategy
+
+// Silence-propagation strategies, in increasing eagerness.
+const (
+	// Lazy communicates silence only implicitly through later data
+	// messages.
+	Lazy = silence.Lazy
+	// Curiosity has blocked receivers probe the lagging senders (default).
+	Curiosity = silence.Curiosity
+	// Aggressive pushes unprompted promises as the sender's clock advances.
+	Aggressive = silence.Aggressive
+	// HyperAggressive is the bias algorithm: promises beyond current
+	// knowledge that also floor the sender's future output times.
+	HyperAggressive = silence.HyperAggressive
+)
+
+// Output is one message delivered to an external sink.
+type Output struct {
+	// Seq is the 1-based output sequence number on the sink's wire;
+	// after a failover the stream may repeat sequence numbers (stutter).
+	Seq uint64
+	// VT is the deterministic virtual time of the output.
+	VT VirtualTime
+	// Payload is the application payload.
+	Payload any
+}
+
+// Metrics is a snapshot of an engine's runtime counters (pessimism delay,
+// probes, out-of-order arrivals, checkpoints, recovery activity).
+type Metrics = trace.Snapshot
+
+// RegisterPayload registers a payload type with the wire/checkpoint codec.
+// Required for payload types that cross engine boundaries or appear in
+// checkpoints shipped between processes.
+func RegisterPayload(v any) error { return msg.RegisterPayload(v) }
