@@ -216,7 +216,8 @@ func buildFig1(strategy tart.SilenceStrategy, split bool) *tart.App {
 }
 
 // runCluster pushes n messages through a cluster and returns the mean
-// end-to-end latency.
+// end-to-end latency (from a LatencyRecorder, so callers can share the
+// same summary machinery as the cmd harnesses).
 func runCluster(b *testing.B, app *tart.App, n int, gap time.Duration, opts ...tart.ClusterOption) time.Duration {
 	b.Helper()
 	cluster, err := tart.Launch(app, opts...)
@@ -226,16 +227,16 @@ func runCluster(b *testing.B, app *tart.App, n int, gap time.Duration, opts ...t
 	defer cluster.Stop()
 
 	var (
-		mu    sync.Mutex
-		total time.Duration
-		got   int
-		done  = make(chan struct{})
-		t0    = make(map[int]time.Time, n)
+		mu   sync.Mutex
+		rec  tart.LatencyRecorder
+		got  int
+		done = make(chan struct{})
+		t0   = make(map[int]time.Time, n)
 	)
 	if err := cluster.Sink("out", func(o tart.Output) {
 		mu.Lock()
 		if s, ok := t0[o.Payload.(int)]; ok {
-			total += time.Since(s)
+			rec.Record(time.Since(s))
 		}
 		got++
 		if got == n {
@@ -268,7 +269,7 @@ func runCluster(b *testing.B, app *tart.App, n int, gap time.Duration, opts ...t
 	case <-time.After(60 * time.Second):
 		b.Fatalf("timed out: %d of %d", got, n)
 	}
-	return total / time.Duration(n)
+	return rec.Summary().Mean
 }
 
 // BenchmarkFig5Distributed runs the real two-engine TCP configuration per
@@ -437,6 +438,22 @@ func BenchmarkSchedulerMerge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mean = runCluster(b, buildFig1(tart.Curiosity, false), n, 0,
 			tart.WithSourceSilenceEvery(250*time.Microsecond))
+	}
+	b.ReportMetric(mean.Seconds()*1e6, "latency-µs/msg")
+}
+
+// BenchmarkSchedulerMergeObserved is BenchmarkSchedulerMerge with the full
+// observability surface attached (flight recorder ring + the registry the
+// engine resolves by default). Compare against BenchmarkSchedulerMerge to
+// verify instrumentation overhead: the per-message latency delta should
+// stay within ~2%.
+func BenchmarkSchedulerMergeObserved(b *testing.B) {
+	var mean time.Duration
+	n := 2000
+	for i := 0; i < b.N; i++ {
+		mean = runCluster(b, buildFig1(tart.Curiosity, false), n, 0,
+			tart.WithSourceSilenceEvery(250*time.Microsecond),
+			tart.WithFlightRecorder(""))
 	}
 	b.ReportMetric(mean.Seconds()*1e6, "latency-µs/msg")
 }

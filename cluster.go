@@ -3,6 +3,8 @@ package tart
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/silence"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vt"
 	"repro/internal/wal"
@@ -32,6 +35,9 @@ type clusterConfig struct {
 	sourceSilenceEvery time.Duration
 	logDir             string
 	manualClock        func() VirtualTime
+	debugAddrs         map[string]string
+	flightOn           bool
+	flightDir          string
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -75,6 +81,29 @@ func WithManualClock(clock func() VirtualTime) ClusterOption {
 	})
 }
 
+// WithDebugHTTP binds a debug HTTP listener per engine serving /metrics
+// (Prometheus text), /healthz, /trace?last=N, and /topology; addrs maps
+// engine names to listen addresses ("127.0.0.1:0" binds an ephemeral port,
+// discover it with Cluster.DebugAddr). Engines absent from the map get no
+// listener. Off by default.
+func WithDebugHTTP(addrs map[string]string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.debugAddrs = addrs })
+}
+
+// WithFlightRecorder turns each engine's flight recorder on: a fixed-size
+// ring of structured VT-stamped events (deliveries, sends, silence, probes,
+// pessimism episodes, checkpoints, replay, failover) queryable via
+// Cluster.TraceEvents and /trace. The recorder survives Fail/Recover, so a
+// post-failover dump contains the pre-crash story. When dir is non-empty
+// the engine also dumps the ring to <dir>/<engine>-flight.jsonl after a
+// failover replay and on shutdown.
+func WithFlightRecorder(dir string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		c.flightOn = true
+		c.flightDir = dir
+	})
+}
+
 // Cluster is a running deployment: one engine per placement name, each
 // paired with a passive replica (a checkpoint store) and a stable input
 // log. Cluster survives engine failures: Fail simulates a crash and
@@ -96,6 +125,7 @@ type engineSlot struct {
 	store  *checkpoint.ReplicaStore
 	log    wal.Log
 	sinks  map[string]func(Output) // sink name -> user callback
+	rec    *trace.Recorder         // shared across engine generations
 	failed bool
 }
 
@@ -133,6 +163,9 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			store: checkpoint.NewReplicaStore(),
 			sinks: make(map[string]func(Output)),
 		}
+		if cfg.flightOn {
+			slot.rec = trace.NewRecorder(0)
+		}
 		slot.log, err = c.newLog(name)
 		if err != nil {
 			return nil, err
@@ -169,6 +202,10 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 	if silenceEvery < 0 {
 		silenceEvery = 0
 	}
+	var dump string
+	if c.cfg.flightDir != "" {
+		dump = filepath.Join(c.cfg.flightDir, slot.name+"-flight.jsonl")
+	}
 	return engine.Config{
 		Name:               slot.name,
 		Topo:               c.tp,
@@ -180,6 +217,9 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		CheckpointEvery:    c.cfg.checkpointEvery,
 		SourceSilenceEvery: silenceEvery,
 		Clock:              c.cfg.manualClock,
+		Recorder:           slot.rec,
+		DebugAddr:          c.cfg.debugAddrs[slot.name],
+		FlightDump:         dump,
 	}
 }
 
@@ -340,6 +380,76 @@ func (c *Cluster) Metrics(engineName string) (Metrics, error) {
 		return Metrics{}, err
 	}
 	return slot.eng.Metrics().Snapshot(), nil
+}
+
+// MetricFamilies returns the named engine's labeled metrics (per-wire and
+// per-component series) as a gathered snapshot.
+func (c *Cluster) MetricFamilies(engineName string) ([]MetricFamily, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	eng := slot.eng
+	c.mu.Unlock()
+	return eng.Metrics().Registry().Gather(), nil
+}
+
+// MetricsText renders the named engine's labeled metrics in Prometheus
+// text exposition format — the same bytes its /metrics endpoint serves.
+func (c *Cluster) MetricsText(engineName string) (string, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	eng := slot.eng
+	c.mu.Unlock()
+	var b strings.Builder
+	if err := eng.Metrics().Registry().WritePrometheus(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// TraceEvents returns the named engine's most recent flight-recorder
+// events (chronological; last <= 0 returns everything retained). Requires
+// WithFlightRecorder; returns nil otherwise.
+func (c *Cluster) TraceEvents(engineName string, last int) ([]TraceEvent, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return nil, err
+	}
+	return slot.rec.Last(last), nil
+}
+
+// DebugAddr returns the bound debug HTTP address of the named engine ("" if
+// no listener was configured or the engine is down).
+func (c *Cluster) DebugAddr(engineName string) (string, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	failed := slot.failed
+	eng := slot.eng
+	c.mu.Unlock()
+	if failed {
+		return "", nil
+	}
+	return eng.DebugAddr(), nil
+}
+
+// FlightDumpPath returns where the named engine writes its flight-recorder
+// dump ("" when WithFlightRecorder was not given a directory).
+func (c *Cluster) FlightDumpPath(engineName string) (string, error) {
+	if _, err := c.slot(engineName); err != nil {
+		return "", err
+	}
+	if c.cfg.flightDir == "" {
+		return "", nil
+	}
+	return filepath.Join(c.cfg.flightDir, engineName+"-flight.jsonl"), nil
 }
 
 // Engines lists the cluster's engine names.

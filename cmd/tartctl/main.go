@@ -1,9 +1,11 @@
 // Command tartctl is the operability tool: it inspects topologies, dumps
-// stable logs, and runs a live demo pipeline with metrics.
+// stable logs, runs a live demo pipeline with metrics, and renders the
+// live status of a running engine from its debug HTTP surface.
 //
 //	tartctl topo                 print the built-in Figure-1 topology
 //	tartctl wal -file app.wal    dump a stable log (inputs + faults)
 //	tartctl demo -d 3s           run the Figure-1 app live and print metrics
+//	tartctl status -addr H:P     health + per-wire tables from a debug listener
 package main
 
 import (
@@ -37,6 +39,12 @@ func main() {
 		rate := fs.Float64("rate", 200, "messages/second per source")
 		_ = fs.Parse(os.Args[2:])
 		err = demo(*d, *rate)
+	case "status":
+		fs := flag.NewFlagSet("status", flag.ExitOnError)
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		last := fs.Int("trace", 0, "also print the last N flight-recorder events")
+		_ = fs.Parse(os.Args[2:])
+		err = status(*addr, *last)
 	default:
 		usage()
 		os.Exit(2)
@@ -48,7 +56,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status> [flags]")
 }
 
 func fig1Topology() (*topo.Topology, error) {

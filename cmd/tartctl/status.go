@@ -1,0 +1,318 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	tart "repro"
+	"repro/internal/trace"
+)
+
+// status renders the live state of one engine from its debug HTTP surface
+// (Config.DebugAddr / tart.WithDebugHTTP): health and peer connectivity
+// from /healthz, then the per-wire and per-peer tables reconstructed from
+// the Prometheus text of /metrics. With last > 0 it also prints the tail
+// of the flight recorder from /trace.
+func status(addr string, last int) error {
+	if addr == "" {
+		return fmt.Errorf("status: -addr is required (engine debug HTTP address)")
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	health, healthy, err := fetchHealth(client, base)
+	if err != nil {
+		return err
+	}
+	samples, err := fetchMetrics(client, base)
+	if err != nil {
+		return err
+	}
+
+	state := "healthy"
+	if !healthy {
+		state = "DEGRADED"
+	}
+	fmt.Printf("engine %s at %s: %s\n", health.Engine, addr, state)
+	fmt.Printf("  components: %s\n", strings.Join(health.Components, ", "))
+	if len(health.Peers) > 0 {
+		peers := make([]string, 0, len(health.Peers))
+		for p := range health.Peers {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		fmt.Println("  peers:")
+		for _, p := range peers {
+			ps := health.Peers[p]
+			conn := "connected"
+			if !ps.Connected {
+				conn = "DISCONNECTED"
+			}
+			sent := sumSamples(samples, trace.MetricPeerFrames, "peer", p, "direction", "send")
+			recv := sumSamples(samples, trace.MetricPeerFrames, "peer", p, "direction", "recv")
+			fmt.Printf("    %-10s %-12s frames sent %.0f, received %.0f\n", p, conn, sent, recv)
+		}
+	}
+
+	printStatusWireTable(samples)
+	printStatusTotals(samples)
+
+	if last > 0 {
+		events, err := fetchTrace(client, base, last)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  flight recorder (last %d events):\n", len(events))
+		for _, ev := range events {
+			fmt.Printf("    %s\n", ev.String())
+		}
+	}
+	return nil
+}
+
+type healthReport struct {
+	Engine     string   `json:"engine"`
+	Healthy    bool     `json:"healthy"`
+	Components []string `json:"components"`
+	Peers      map[string]struct {
+		Connected bool      `json:"connected"`
+		LastHeard time.Time `json:"lastHeard"`
+	} `json:"peers"`
+}
+
+func fetchHealth(client *http.Client, base string) (healthReport, bool, error) {
+	var h healthReport
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return h, false, fmt.Errorf("status: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, false, fmt.Errorf("status: decode /healthz: %w", err)
+	}
+	// A 503 still carries the full report; trust the body's healthy flag.
+	return h, h.Healthy, nil
+}
+
+func fetchTrace(client *http.Client, base string, last int) ([]tart.TraceEvent, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/trace?last=%d", base, last))
+	if err != nil {
+		return nil, fmt.Errorf("status: %w", err)
+	}
+	defer resp.Body.Close()
+	var events []tart.TraceEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return nil, fmt.Errorf("status: decode /trace: %w", err)
+	}
+	return events, nil
+}
+
+// promSample is one parsed Prometheus text-format line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+func (s promSample) label(key string) string { return s.labels[key] }
+
+func fetchMetrics(client *http.Client, base string) ([]promSample, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("status: %w", err)
+	}
+	defer resp.Body.Close()
+	samples, err := parsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("status: parse /metrics: %w", err)
+	}
+	return samples, nil
+}
+
+// parsePrometheus reads Prometheus text exposition format 0.0.4: comment
+// lines are skipped, every other line is `name[{k="v",...}] value`. Only
+// the subset the registry emits is supported (no timestamps, no exemplars).
+func parsePrometheus(r io.Reader) ([]promSample, error) {
+	var out []promSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		s.name = rest[:i]
+		var err error
+		rest, err = parsePromLabels(rest[i+1:], s.labels)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+	} else if i >= 0 {
+		s.name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parsePromLabels consumes `k="v",...}` and returns what follows the brace.
+func parsePromLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if rest == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", fmt.Errorf("malformed label")
+		}
+		key := rest[:eq]
+		rest = rest[eq+2:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("unterminated label value")
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' && len(rest) >= 2 {
+				switch rest[1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		into[key] = val.String()
+	}
+}
+
+func sumSamples(samples []promSample, name string, kv ...string) float64 {
+	var total float64
+next:
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			if s.label(kv[i]) != kv[i+1] {
+				continue next
+			}
+		}
+		total += s.value
+	}
+	return total
+}
+
+// printStatusWireTable reconstructs the per-wire table from the parsed
+// metric samples: counters directly, mean pessimism from the histogram's
+// _sum/_count series.
+func printStatusWireTable(samples []promSample) {
+	type row struct {
+		delivered, probes, duplicates, sent, silences float64
+		pessSum, pessCount                            float64
+	}
+	rows := map[string]*row{}
+	row0 := func(wire string) *row {
+		r := rows[wire]
+		if r == nil {
+			r = &row{}
+			rows[wire] = r
+		}
+		return r
+	}
+	for _, s := range samples {
+		wire := s.label("wire")
+		if wire == "" {
+			continue
+		}
+		switch s.name {
+		case trace.MetricDelivered:
+			row0(wire).delivered += s.value
+		case trace.MetricProbes:
+			row0(wire).probes += s.value
+		case trace.MetricDuplicates:
+			row0(wire).duplicates += s.value
+		case trace.MetricSent:
+			row0(wire).sent += s.value
+		case trace.MetricSilences:
+			row0(wire).silences += s.value
+		case trace.MetricPessimism + "_sum":
+			row0(wire).pessSum += s.value
+		case trace.MetricPessimism + "_count":
+			row0(wire).pessCount += s.value
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	wires := make([]string, 0, len(rows))
+	for w := range rows {
+		wires = append(wires, w)
+	}
+	sort.Strings(wires)
+	fmt.Println("  wires:")
+	fmt.Printf("    %-28s %9s %7s %5s %9s %9s %12s\n",
+		"wire", "delivered", "probes", "dup", "sent", "silences", "pessimism")
+	for _, w := range wires {
+		r := rows[w]
+		pess := "-"
+		if r.pessCount > 0 {
+			pess = fmt.Sprintf("%.2fms/ep", 1e3*r.pessSum/r.pessCount)
+		}
+		fmt.Printf("    %-28s %9.0f %7.0f %5.0f %9.0f %9.0f %12s\n",
+			w, r.delivered, r.probes, r.duplicates, r.sent, r.silences, pess)
+	}
+}
+
+// printStatusTotals summarizes the engine-wide recovery counters.
+func printStatusTotals(samples []promSample) {
+	ckpts := sumSamples(samples, trace.MetricCheckpoints)
+	ckptBytes := sumSamples(samples, trace.MetricCheckpointBytes+"_sum")
+	failovers := sumSamples(samples, trace.MetricFailovers)
+	replays := sumSamples(samples, trace.MetricReplayRequests)
+	serves := sumSamples(samples, trace.MetricReplayServes)
+	faults := sumSamples(samples, trace.MetricDetFaults)
+	fmt.Printf("  recovery: %.0f checkpoints (%.0f bytes), %.0f failovers, %.0f replay requests, %.0f replay serves, %.0f determinism faults\n",
+		ckpts, ckptBytes, failovers, replays, serves, faults)
+}

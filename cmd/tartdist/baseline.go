@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	tart "repro"
 	"repro/internal/msg"
 	"repro/internal/transport"
 )
@@ -16,7 +17,7 @@ import (
 // mode — a synchronized method invoked by competing threads). Like the
 // TART components it is compared against, the handlers are pure
 // forwarding: the measured latency is infrastructure cost only.
-func runBaseline(requests int, rate float64, port int) ([]float64, error) {
+func runBaseline(requests int, rate float64, port int) (*tart.LatencyRecorder, error) {
 	tcp := transport.TCP{}
 	addr := fmt.Sprintf("127.0.0.1:%d", port)
 	l, err := tcp.Listen(addr)
@@ -28,7 +29,7 @@ func runBaseline(requests int, rate float64, port int) ([]float64, error) {
 	var (
 		mu       sync.Mutex
 		emitted  = make(map[uint64]time.Time)
-		lat      = make([]float64, 0, requests)
+		rec      tart.LatencyRecorder
 		done     = make(chan struct{})
 		received int
 	)
@@ -56,7 +57,7 @@ func runBaseline(requests int, rate float64, port int) ([]float64, error) {
 					id, _ := env.Payload.(uint64)
 					mu.Lock()
 					if t0, ok := emitted[id]; ok {
-						lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+						rec.Record(time.Since(t0))
 						delete(emitted, id)
 					}
 					received++
@@ -108,5 +109,5 @@ func runBaseline(requests int, rate float64, port int) ([]float64, error) {
 	case <-time.After(60 * time.Second):
 		return nil, fmt.Errorf("baseline timed out: %d of %d", received, requests)
 	}
-	return lat, nil
+	return &rec, nil
 }

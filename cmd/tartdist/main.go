@@ -14,17 +14,22 @@
 // Both engines run in this process but communicate over real TCP on
 // localhost, exercising serialization, the reliable-FIFO recovery layer,
 // and cross-engine probes end to end.
+//
+// With -debug each engine additionally serves its observability surface
+// (/metrics, /healthz, /trace, /topology) on a loopback HTTP listener;
+// combine with -hold to keep the cluster alive for curl or tartctl status.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	tart "repro"
-	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,15 +39,17 @@ func main() {
 		rate     = flag.Float64("rate", 100, "requests/second per sender")
 		buckets  = flag.Int("buckets", 10, "latency buckets printed per run")
 		portBase = flag.Int("port", 39500, "first TCP port to use")
+		debug    = flag.Bool("debug", false, "serve /metrics, /healthz, /trace, /topology per engine")
+		hold     = flag.Duration("hold", 0, "keep each TART cluster alive this long after the run (for curl / tartctl status)")
 	)
 	flag.Parse()
-	if err := run(*mode, *requests, *rate, *buckets, *portBase); err != nil {
+	if err := run(*mode, *requests, *rate, *buckets, *portBase, *debug, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "tartdist:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode string, requests int, rate float64, buckets, portBase int) error {
+func run(mode string, requests int, rate float64, buckets, portBase int, debug bool, hold time.Duration) error {
 	fmt.Println("== Figure 5: real two-engine distributed run over TCP ==")
 	fmt.Printf("   %d web requests, %.0f req/s/sender, senders on engine A, merger on engine B\n\n",
 		requests, rate)
@@ -53,15 +60,15 @@ func run(mode string, requests int, rate float64, buckets, portBase int) error {
 	port := portBase
 	var rows []resultRow
 	for _, m := range modes {
-		var lat []float64
+		var rec *tart.LatencyRecorder
 		var err error
 		switch m {
 		case "nondet":
-			lat, err = runBaseline(requests, rate, port)
+			rec, err = runBaseline(requests, rate, port)
 		case "lazy":
-			lat, err = runTART(tart.Lazy, requests, rate, port)
+			rec, err = runTART(tart.Lazy, requests, rate, port, debug, hold)
 		case "curiosity":
-			lat, err = runTART(tart.Curiosity, requests, rate, port)
+			rec, err = runTART(tart.Curiosity, requests, rate, port, debug, hold)
 		default:
 			return fmt.Errorf("unknown mode %q", m)
 		}
@@ -69,8 +76,8 @@ func run(mode string, requests int, rate float64, buckets, portBase int) error {
 			return fmt.Errorf("%s: %w", m, err)
 		}
 		port += 4
-		rows = append(rows, resultRow{mode: m, latencies: lat})
-		printSeries(m, lat, buckets)
+		rows = append(rows, resultRow{mode: m, rec: rec})
+		printSeries(m, rec, buckets)
 	}
 	if len(rows) > 1 {
 		printComparison(rows)
@@ -79,18 +86,19 @@ func run(mode string, requests int, rate float64, buckets, portBase int) error {
 }
 
 type resultRow struct {
-	mode      string
-	latencies []float64
+	mode string
+	rec  *tart.LatencyRecorder
 }
 
-func printSeries(mode string, lat []float64, buckets int) {
+func printSeries(mode string, rec *tart.LatencyRecorder, buckets int) {
+	lat := rec.Samples() // output order: the Figure-5 x-axis
 	if len(lat) == 0 {
 		fmt.Printf("   %s: no measurements\n", mode)
 		return
 	}
-	s := stats.Summarize(lat)
-	fmt.Printf("   -- %s: avg %.2f ms, median %.2f ms, p95 %.2f ms over %d requests --\n",
-		mode, s.Mean/1e6, s.Median/1e6, s.P95/1e6, s.N)
+	s := rec.Summary()
+	fmt.Printf("   -- %s: avg %.2f ms, p50 %.2f ms, p95 %.2f ms, p99 %.2f ms over %d requests --\n",
+		mode, ms(s.Mean), ms(s.P50), ms(s.P95), ms(s.P99), s.Count)
 	per := len(lat) / buckets
 	if per == 0 {
 		per = 1
@@ -110,22 +118,105 @@ func printSeries(mode string, lat []float64, buckets int) {
 	fmt.Println()
 }
 
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
 func printComparison(rows []resultRow) {
-	base := -1.0
+	base := time.Duration(-1)
 	for _, r := range rows {
 		if r.mode == "nondet" {
-			base = stats.Summarize(r.latencies).Mean
+			base = r.rec.Summary().Mean
 		}
 	}
 	fmt.Println("   -- comparison (paper: lazy >> curiosity; curiosity < 20% over non-det) --")
 	for _, r := range rows {
-		mean := stats.Summarize(r.latencies).Mean
+		mean := r.rec.Summary().Mean
 		if base > 0 && r.mode != "nondet" {
-			fmt.Printf("   %-10s %8.2f ms   (%+.0f%% vs non-det)\n", r.mode, mean/1e6, 100*(mean-base)/base)
+			fmt.Printf("   %-10s %8.2f ms   (%+.0f%% vs non-det)\n", r.mode, ms(mean),
+				100*float64(mean-base)/float64(base))
 		} else {
-			fmt.Printf("   %-10s %8.2f ms\n", r.mode, mean/1e6)
+			fmt.Printf("   %-10s %8.2f ms\n", r.mode, ms(mean))
 		}
 	}
+}
+
+// wireRow aggregates one wire's registry series across both engines: the
+// sending side contributes sent/silences, the receiving side delivered,
+// probes, duplicates, and the pessimism histogram.
+type wireRow struct {
+	delivered  float64
+	probes     float64
+	duplicates float64
+	sent       float64
+	silences   float64
+	pessCount  uint64
+	pessSum    float64
+}
+
+// printWireTable renders the per-wire observability table from each
+// engine's labeled metrics registry — the registry replaces the ad-hoc
+// counters earlier versions of this harness kept by hand.
+func printWireTable(cluster *tart.Cluster, engines []string) {
+	rows := map[string]*wireRow{}
+	row := func(wire string) *wireRow {
+		r := rows[wire]
+		if r == nil {
+			r = &wireRow{}
+			rows[wire] = r
+		}
+		return r
+	}
+	for _, eng := range engines {
+		fams, err := cluster.MetricFamilies(eng)
+		if err != nil {
+			continue
+		}
+		for _, f := range fams {
+			for _, s := range f.Series {
+				wire := s.Get("wire")
+				if wire == "" {
+					continue
+				}
+				switch f.Name {
+				case trace.MetricDelivered:
+					row(wire).delivered += s.Value
+				case trace.MetricProbes:
+					row(wire).probes += s.Value
+				case trace.MetricDuplicates:
+					row(wire).duplicates += s.Value
+				case trace.MetricSent:
+					row(wire).sent += s.Value
+				case trace.MetricSilences:
+					row(wire).silences += s.Value
+				case trace.MetricPessimism:
+					if s.Hist != nil {
+						row(wire).pessCount += s.Hist.Count
+						row(wire).pessSum += s.Hist.Sum
+					}
+				}
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	wires := make([]string, 0, len(rows))
+	for w := range rows {
+		wires = append(wires, w)
+	}
+	sort.Strings(wires)
+	fmt.Println("   -- per-wire registry (delivered/probes/dup from receiver, sent/silences from sender) --")
+	fmt.Printf("   %-28s %9s %7s %5s %9s %9s %12s\n",
+		"wire", "delivered", "probes", "dup", "sent", "silences", "pessimism")
+	for _, w := range wires {
+		r := rows[w]
+		pess := "-"
+		if r.pessCount > 0 {
+			pess = fmt.Sprintf("%.2fms/ep", 1e3*r.pessSum/float64(r.pessCount))
+		}
+		fmt.Printf("   %-28s %9.0f %7.0f %5.0f %9.0f %9.0f %12s\n",
+			w, r.delivered, r.probes, r.duplicates, r.sent, r.silences, pess)
+	}
+	fmt.Println()
 }
 
 // forward is a constant-time passthrough component.
@@ -138,7 +229,7 @@ func (f *forward) OnMessage(ctx *tart.Context, port string, payload any) (any, e
 
 // runTART measures per-request latency through a two-engine TART cluster
 // over TCP with the given silence strategy.
-func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int) ([]float64, error) {
+func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int, debug bool, hold time.Duration) (*tart.LatencyRecorder, error) {
 	app := tart.NewApp()
 	// Ad-hoc constant estimators, constant-time services (§III.C).
 	for _, name := range []string{"sender1", "sender2"} {
@@ -167,21 +258,39 @@ func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int
 		// leak silence lazily-configured components never send.
 		silenceEvery = 50 * time.Millisecond
 	}
-	cluster, err := tart.Launch(app,
+	opts := []tart.ClusterOption{
 		tart.WithTCP(map[string]string{
 			"A": fmt.Sprintf("127.0.0.1:%d", port),
 			"B": fmt.Sprintf("127.0.0.1:%d", port+1),
 		}),
-		tart.WithSourceSilenceEvery(silenceEvery))
+		tart.WithSourceSilenceEvery(silenceEvery),
+	}
+	if debug {
+		// The ops surface plus the flight recorder, so /trace has content.
+		opts = append(opts,
+			tart.WithDebugHTTP(map[string]string{
+				"A": fmt.Sprintf("127.0.0.1:%d", port+2),
+				"B": fmt.Sprintf("127.0.0.1:%d", port+3),
+			}),
+			tart.WithFlightRecorder(""))
+	}
+	cluster, err := tart.Launch(app, opts...)
 	if err != nil {
 		return nil, err
 	}
 	defer cluster.Stop()
+	if debug {
+		for _, eng := range []string{"A", "B"} {
+			if addr, err := cluster.DebugAddr(eng); err == nil && addr != "" {
+				fmt.Printf("   debug HTTP for engine %s at http://%s/metrics\n", eng, addr)
+			}
+		}
+	}
 
 	var (
 		mu       sync.Mutex
 		emitted  = make(map[uint64]time.Time) // request id -> emit time
-		lat      = make([]float64, 0, requests)
+		rec      tart.LatencyRecorder
 		done     = make(chan struct{})
 		received int
 	)
@@ -189,7 +298,7 @@ func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int
 		id, _ := o.Payload.(uint64)
 		mu.Lock()
 		if t0, ok := emitted[id]; ok {
-			lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+			rec.Record(time.Since(t0))
 			delete(emitted, id)
 		}
 		received++
@@ -231,7 +340,12 @@ func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int
 	case <-time.After(60 * time.Second):
 		return nil, fmt.Errorf("timed out: %d of %d outputs", received, requests)
 	}
-	// Latencies are in output order — the paper's Figure-5 x-axis is the
-	// request number in completion order.
-	return lat, nil
+	printWireTable(cluster, []string{"A", "B"})
+	if hold > 0 {
+		fmt.Printf("   holding cluster for %v (curl the debug endpoints now)...\n", hold)
+		time.Sleep(hold)
+	}
+	// Latencies were recorded in output order — the paper's Figure-5 x-axis
+	// is the request number in completion order.
+	return &rec, nil
 }

@@ -7,6 +7,7 @@
 //	tartsim -exp throughput  Saturation search (det vs non-det)
 //	tartsim -exp dumb        The 600 µs constant ("dumb") estimator study
 //	tartsim -exp bias        §II.G.1 bias algorithm under asymmetric rates
+//	tartsim -exp wires       Per-wire registry table for one deterministic run
 //	tartsim -exp all         Everything above
 package main
 
@@ -17,11 +18,12 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -48,6 +50,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		throughput(duration, seed)
 	case "bias":
 		bias(duration, seed)
+	case "wires":
+		wires(duration, seed)
 	case "all":
 		fig2(fig2n, fig2reps, seed)
 		fig3(duration, seed, 0)
@@ -55,6 +59,7 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		fig4(duration, seed, fig2n, fig2reps)
 		throughput(duration, seed)
 		bias(duration, seed)
+		wires(duration, seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -133,6 +138,65 @@ func bias(duration time.Duration, seed uint64) {
 				p.Det.AvgPessimism().Seconds()*1e6,
 				p.Det.ProbesPerMessage())
 		}
+	}
+	fmt.Println()
+}
+
+// wires runs one deterministic simulation with a labeled metrics registry
+// attached and prints the merger's per-wire table straight from the
+// registry — the same metric names a live engine's /metrics endpoint
+// exports, replacing the ad-hoc per-run counters.
+func wires(duration time.Duration, seed uint64) {
+	fmt.Println("== Per-wire registry: one deterministic run (curiosity probing) ==")
+	reg := trace.NewRegistry(trace.L("engine", "sim"))
+	res := sim.Run(sim.Params{Mode: sim.Deterministic, Duration: duration, Seed: seed, Registry: reg})
+	fmt.Printf("   %d messages, avg latency %.1f µs, %.2f probes/msg, %.2f µs pessimism/msg\n\n",
+		res.Messages, res.AvgLatency.Seconds()*1e6, res.ProbesPerMessage(), res.AvgPessimism().Seconds()*1e6)
+	fmt.Printf("   %-28s %10s %8s %8s %10s %14s\n",
+		"wire", "delivered", "o-o-rt", "probes", "pess.eps", "pessimism")
+	type row struct {
+		delivered, outOfOrder, probes float64
+		pessCount                     uint64
+		pessSum                       float64
+	}
+	rows := map[string]*row{}
+	for _, f := range reg.Gather() {
+		for _, s := range f.Series {
+			wire := s.Get("wire")
+			if wire == "" {
+				continue
+			}
+			r := rows[wire]
+			if r == nil {
+				r = &row{}
+				rows[wire] = r
+			}
+			switch f.Name {
+			case trace.MetricDelivered:
+				r.delivered = s.Value
+			case trace.MetricOutOfOrder:
+				r.outOfOrder = s.Value
+			case trace.MetricProbes:
+				r.probes = s.Value
+			case trace.MetricPessimism:
+				if s.Hist != nil {
+					r.pessCount = s.Hist.Count
+					r.pessSum = s.Hist.Sum
+				}
+			}
+		}
+	}
+	for _, wire := range []string{"sender1.out>merger.s1", "sender2.out>merger.s2"} {
+		r := rows[wire]
+		if r == nil {
+			continue
+		}
+		pess := "-"
+		if r.pessCount > 0 {
+			pess = fmt.Sprintf("%.1fµs/ep", 1e6*r.pessSum/float64(r.pessCount))
+		}
+		fmt.Printf("   %-28s %10.0f %8.0f %8.0f %10d %14s\n",
+			wire, r.delivered, r.outOfOrder, r.probes, r.pessCount, pess)
 	}
 	fmt.Println()
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -27,6 +28,18 @@ func (c *Count) OnMessage(ctx *tart.Context, port string, payload any) (any, err
 	return nil, ctx.Send("out", fmt.Sprintf("%s=%d", word, c.Seen[word]))
 }
 
+// Relay is a stateless second stage. It exists to put a component-to-
+// component wire in the pipeline: during recovery that wire's replay
+// buffer is re-delivered AND the replayed counter regenerates the same
+// sends, so the relay's scheduler demonstrably discards the second copies
+// as duplicates — visible in the flight recorder below.
+type Relay struct{}
+
+// OnMessage implements tart.Component.
+func (Relay) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	return nil, ctx.Send("out", payload)
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
@@ -37,12 +50,22 @@ func run() error {
 	app := tart.NewApp()
 	app.Register("counter", &Count{Seen: map[string]int{}},
 		tart.WithConstantCost(50*time.Microsecond))
+	app.Register("relay", &Relay{},
+		tart.WithConstantCost(20*time.Microsecond))
 	app.SourceInto("words", "counter", "in")
-	app.SinkFrom("counts", "counter", "out")
+	app.Connect("counter", "out", "relay", "in")
+	app.SinkFrom("counts", "relay", "out")
 	app.PlaceAll("node")
 
+	// The flight recorder rides along and dumps the ring to
+	// <dir>/node-flight.jsonl automatically after the failover replay.
+	flightDir, err := os.MkdirTemp("", "tart-failover-flight-")
+	if err != nil {
+		return err
+	}
 	cluster, err := tart.Launch(app,
-		tart.WithManualClock(func() tart.VirtualTime { return 0 }))
+		tart.WithManualClock(func() tart.VirtualTime { return 0 }),
+		tart.WithFlightRecorder(flightDir))
 	if err != nil {
 		return err
 	}
@@ -170,5 +193,38 @@ func run() error {
 	mu.Unlock()
 	fmt.Printf("\npost-recovery message processed: %s\n", last)
 	fmt.Println("recovery was transparent: same state, same outputs, no lost or reordered work")
+
+	printRecoveryStory(cluster)
 	return nil
+}
+
+// printRecoveryStory renders the flight recorder's view of the failover:
+// the checkpoint, the replica activation, the replayed inputs, and the
+// duplicate deliveries the dedup layer absorbed — in virtual-time order as
+// the recorder captured them.
+func printRecoveryStory(cluster *tart.Cluster) {
+	events, err := cluster.TraceEvents("node", 0)
+	if err != nil {
+		return
+	}
+	interesting := map[tart.TraceEventKind]bool{
+		tart.EvCheckpoint:    true,
+		tart.EvFailover:      true,
+		tart.EvReplayRequest: true,
+		tart.EvReplayServe:   true,
+		tart.EvSourceEmit:    true,
+		tart.EvDuplicateDrop: true,
+	}
+	fmt.Println("\nflight recorder — the recovery story (checkpoint → failover → replay → duplicate drops):")
+	for _, ev := range events {
+		if !interesting[ev.Kind] {
+			continue
+		}
+		fmt.Printf("  %s\n", ev.String())
+	}
+	if path, err := cluster.FlightDumpPath("node"); err == nil && path != "" {
+		if _, err := os.Stat(path); err == nil {
+			fmt.Printf("full dump written to %s\n", path)
+		}
+	}
 }

@@ -3,12 +3,14 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/estimator"
 	"repro/internal/msg"
 	"repro/internal/sched"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/vt"
 )
 
@@ -29,13 +31,18 @@ func (e *Engine) Checkpoint() (uint64, error) {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 
+	start := time.Now()
 	comps := make(map[string]checkpoint.ComponentState, len(e.comps))
 	var captureErr error
 	var bytesTotal int
+	maxClock := vt.Zero
 	for _, h := range e.sortedHosted() {
 		var cs checkpoint.ComponentState
 		h.sch.WithQuiescent(func(st sched.State) {
 			cs.Sched = st
+			if st.Clock > maxClock {
+				maxClock = st.Clock
+			}
 			wantFull := !h.shippedFull || h.deltasSince >= fullCheckpointEvery
 			if wantFull {
 				data, err := checkpoint.Capture(h.spec.State)
@@ -94,6 +101,15 @@ func (e *Engine) Checkpoint() (uint64, error) {
 		}
 	}
 	e.metrics.AddCheckpoint(bytesTotal)
+	elapsed := time.Since(start)
+	reg := e.metrics.Registry()
+	reg.Counter(trace.MetricCheckpoints, "Soft checkpoints applied to the backup.").Inc()
+	reg.Histogram(trace.MetricCheckpointBytes,
+		"Encoded handler-state bytes per soft checkpoint.", trace.BytesBuckets).Observe(float64(bytesTotal))
+	reg.Histogram(trace.MetricCheckpointSecs,
+		"Real time to capture and apply one soft checkpoint.", trace.SecondsBuckets).Observe(elapsed.Seconds())
+	e.rec.Record(trace.Event{Kind: trace.EvCheckpoint, VT: maxClock, Wire: -1, MsgSeq: ck.Seq,
+		Note: fmt.Sprintf("%d bytes in %v", bytesTotal, elapsed.Round(time.Microsecond))})
 	e.afterCheckpoint(ck)
 	return ck.Seq, nil
 }
@@ -238,11 +254,29 @@ func lastEpochStart(cal *estimator.Calibrated) vt.Time {
 // each source's logged suffix is re-injected. Remote replay is driven by
 // the connection hooks (onPeerConnected).
 func (e *Engine) replayAfterRestore() {
+	// Record activation before replay so the flight dump reads in causal
+	// order: checkpoint → failover → replay → duplicate drops.
+	e.metrics.Registry().Counter(trace.MetricFailovers, "Passive-replica activations.").Inc()
+	e.rec.Record(trace.Event{Kind: trace.EvFailover, VT: vt.Never, Wire: -1, MsgSeq: e.ckptSeq,
+		Note: fmt.Sprintf("activated from checkpoint %d", e.ckptSeq)})
 	// Local wire buffers: deliver everything; receivers dedup by sequence.
-	for wid, buf := range e.buffers.snapshot() {
+	// Wires are visited in ID order so the recorded replay events are
+	// deterministic.
+	bufs := e.buffers.snapshot()
+	wids := make([]msg.WireID, 0, len(bufs))
+	for wid := range bufs {
+		wids = append(wids, wid)
+	}
+	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	for _, wid := range wids {
 		w := e.tp.Wire(wid)
 		if w.To == topo.External || e.tp.EngineOf(w.To) != e.name {
 			continue
+		}
+		buf := bufs[wid]
+		if len(buf) > 0 {
+			e.rec.Record(trace.Event{Kind: trace.EvReplayServe, VT: vt.Never, Wire: wid, MsgSeq: buf[0].Seq,
+				Note: fmt.Sprintf("re-delivered %d buffered envelopes (local replay)", len(buf))})
 		}
 		for _, env := range buf {
 			e.forward(w, env)
@@ -256,6 +290,8 @@ func (e *Engine) replayAfterRestore() {
 				continue
 			}
 			if src := e.sourceByWire(wid); src != nil {
+				e.rec.Record(trace.Event{Kind: trace.EvReplayRequest, VT: vt.Never,
+					Component: src.name, Wire: wid, MsgSeq: ist.NextSeq, Note: "source log replay"})
 				if err := src.restoreCursor(ist.NextSeq, ist.LastVT); err != nil {
 					// Log replay failure leaves the component waiting for the
 					// missing range; surfaced via metrics rather than a crash.
@@ -265,4 +301,7 @@ func (e *Engine) replayAfterRestore() {
 		}
 	}
 	e.metrics.AddFailover()
+	// Persist the recovery story immediately: the dump now shows the
+	// pre-crash checkpoints and sends followed by failover and replay.
+	e.dumpFlight()
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sync"
 	"time"
 
@@ -87,8 +88,21 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// RedialEvery is the reconnection retry cadence. Default 100ms.
 	RedialEvery time.Duration
-	// Metrics receives runtime counters; optional.
+	// Metrics receives runtime counters; optional. New attaches a labeled
+	// registry (const label engine=<Name>) if the Metrics has none, so
+	// per-wire series are always available.
 	Metrics *trace.Metrics
+	// Recorder is the flight recorder events are emitted into; optional.
+	// Pass the same recorder to successive generations of an engine (the
+	// cluster does) so a post-failover dump contains the pre-crash story.
+	Recorder *trace.Recorder
+	// DebugAddr, when non-empty, binds a debug HTTP listener serving
+	// /metrics, /healthz, /trace, and /topology. Off by default. Use
+	// "127.0.0.1:0" for an ephemeral port (see Engine.DebugAddr).
+	DebugAddr string
+	// FlightDump, when non-empty, is a file path the flight recorder is
+	// dumped to (JSONL) after a post-failover replay and on shutdown.
+	FlightDump string
 	// Clock supplies virtual time for real-time sources. Defaults to
 	// nanoseconds since engine start.
 	Clock func() vt.Time
@@ -109,6 +123,8 @@ type Engine struct {
 	peers    *peerSet
 	log      wal.Log
 	metrics  *trace.Metrics
+	rec      *trace.Recorder
+	debug    *debugServer
 	ckptSeq  uint64
 	ckptMu   sync.Mutex
 	epoch    time.Time
@@ -146,6 +162,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &trace.Metrics{}
 	}
+	if cfg.Metrics.Registry() == nil {
+		cfg.Metrics.SetRegistry(trace.NewRegistry(trace.L("engine", cfg.Name)))
+	}
+	if cfg.Recorder != nil {
+		cfg.Metrics.SetRecorder(cfg.Recorder)
+	}
 	if cfg.GapRepairEvery <= 0 {
 		cfg.GapRepairEvery = 50 * time.Millisecond
 	}
@@ -165,6 +187,7 @@ func New(cfg Config) (*Engine, error) {
 		sinks:   make(map[msg.WireID]func(msg.Envelope)),
 		log:     cfg.Log,
 		metrics: cfg.Metrics,
+		rec:     cfg.Metrics.Recorder(),
 		stop:    make(chan struct{}),
 	}
 	e.buffers = newBufferSet()
@@ -339,6 +362,9 @@ func (e *Engine) Start() error {
 	if err := e.peers.start(); err != nil {
 		return err
 	}
+	if err := e.startDebug(); err != nil {
+		return err
+	}
 	if e.restored {
 		e.replayAfterRestore()
 	}
@@ -407,7 +433,26 @@ func (e *Engine) shutdown() {
 		h.sch.Stop()
 	}
 	e.peers.stop()
+	if e.debug != nil {
+		e.debug.close()
+	}
 	e.done.Wait()
+	e.dumpFlight()
+}
+
+// dumpFlight writes the flight recorder to the configured dump file
+// (no-op when either is absent). Best-effort: observability must never
+// fail a shutdown or a recovery.
+func (e *Engine) dumpFlight() {
+	if e.cfg.FlightDump == "" || e.rec == nil {
+		return
+	}
+	f, err := os.Create(e.cfg.FlightDump)
+	if err != nil {
+		return
+	}
+	_ = e.rec.WriteJSON(f)
+	_ = f.Close()
 }
 
 // nameSeed derives a deterministic PRNG seed from a component name, so the

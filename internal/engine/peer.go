@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/vt"
 )
 
 // peerSet manages the engine's connections to the other engines it shares
@@ -165,7 +167,7 @@ func (p *peerSet) handleInbound(conn transport.Conn) {
 		conn.Close()
 		return
 	}
-	p.register(peer, conn)
+	conn = p.register(peer, conn)
 	p.readLoop(peer, conn)
 }
 
@@ -184,7 +186,7 @@ func (p *peerSet) dialLoop(peer string) {
 			}
 			continue
 		}
-		p.register(peer, conn)
+		conn = p.register(peer, conn)
 		p.readLoop(peer, conn)
 		// Connection died; loop to redial.
 	}
@@ -211,22 +213,43 @@ func (p *peerSet) tryDial(peer string) transport.Conn {
 	return conn
 }
 
-// register installs a (re)established connection and re-drives the
-// recovery protocol: resend every unacked buffered envelope headed to that
-// peer, and re-request replay for every remote input wire fed from it.
-func (p *peerSet) register(peer string, conn transport.Conn) {
+// register wraps a (re)established connection with frame metering,
+// installs it, and re-drives the recovery protocol: resend every unacked
+// buffered envelope headed to that peer, and re-request replay for every
+// remote input wire fed from it. It returns the wrapped connection, which
+// callers must use from then on (readLoop, dropConn).
+func (p *peerSet) register(peer string, conn transport.Conn) transport.Conn {
+	conn = p.e.observePeer(peer, conn)
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
 		conn.Close()
-		return
+		return conn
 	}
 	if old, ok := p.conns[peer]; ok && old != conn {
 		old.Close()
 	}
 	p.conns[peer] = conn
 	p.mu.Unlock()
+	p.e.rec.Record(trace.Event{Kind: trace.EvPeerUp, VT: vt.Never, Wire: -1, Note: "peer " + peer})
 	p.e.onPeerConnected(peer)
+	return conn
+}
+
+// observePeer wraps a peer connection so every frame increments the
+// per-peer, per-direction frame counters.
+func (e *Engine) observePeer(peer string, conn transport.Conn) transport.Conn {
+	reg := e.metrics.Registry()
+	if reg == nil {
+		return conn
+	}
+	const help = "Envelope frames exchanged with a peer engine (heartbeats included)."
+	sent := reg.Counter(trace.MetricPeerFrames, help, trace.L("peer", peer), trace.L("direction", "send"))
+	recv := reg.Counter(trace.MetricPeerFrames, help, trace.L("peer", peer), trace.L("direction", "recv"))
+	return transport.Observe(conn,
+		func(msg.Envelope) { sent.Inc() },
+		func(msg.Envelope) { recv.Inc() },
+	)
 }
 
 func (p *peerSet) readLoop(peer string, conn transport.Conn) {
@@ -249,10 +272,14 @@ func (p *peerSet) readLoop(peer string, conn transport.Conn) {
 func (p *peerSet) dropConn(peer string, conn transport.Conn) {
 	conn.Close()
 	p.mu.Lock()
-	if p.conns[peer] == conn {
+	active := p.conns[peer] == conn
+	if active {
 		delete(p.conns, peer)
 	}
 	p.mu.Unlock()
+	if active {
+		p.e.rec.Record(trace.Event{Kind: trace.EvPeerDown, VT: vt.Never, Wire: -1, Note: "peer " + peer})
+	}
 }
 
 func (p *peerSet) neededPeer(name string) bool {
@@ -308,6 +335,7 @@ func (e *Engine) onPeerConnected(peer string) {
 			if w.From == topo.External || e.tp.EngineOf(w.From) != peer {
 				continue
 			}
+			e.noteReplayRequest(wid, needs[wid])
 			e.peers.send(peer, msg.NewReplayRequest(wid, needs[wid]))
 		}
 	}

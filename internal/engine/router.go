@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/msg"
+	"repro/internal/sched"
 	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/vt"
 )
 
 // Route implements sched.Router: it is the single egress point for every
@@ -114,10 +118,24 @@ func (e *Engine) deliverInbound(env msg.Envelope) {
 // to resend the range of ticks for which there is a gap").
 func (e *Engine) serveReplay(req msg.Envelope) {
 	e.metrics.AddReplayRequest()
-	for _, env := range e.buffers.from(req.Wire, req.Seq) {
+	resent := e.buffers.from(req.Wire, req.Seq)
+	e.metrics.Registry().Counter(trace.MetricReplayServes,
+		"Replay-range requests served from replay buffers.",
+		trace.L("wire", sched.WireName(e.tp, e.tp.Wire(req.Wire)))).Inc()
+	e.rec.Record(trace.Event{Kind: trace.EvReplayServe, VT: vt.Never, Wire: req.Wire, MsgSeq: req.Seq,
+		Note: fmt.Sprintf("resent %d buffered envelopes", len(resent))})
+	for _, env := range resent {
 		w := e.tp.Wire(env.Wire)
 		e.forward(w, env)
 	}
+}
+
+// noteReplayRequest accounts one replay-range request this engine issues.
+func (e *Engine) noteReplayRequest(wid msg.WireID, fromSeq uint64) {
+	e.metrics.Registry().Counter(trace.MetricReplayRequests,
+		"Replay-range requests issued to senders.",
+		trace.L("wire", sched.WireName(e.tp, e.tp.Wire(wid)))).Inc()
+	e.rec.Record(trace.Event{Kind: trace.EvReplayRequest, VT: vt.Never, Wire: wid, MsgSeq: fromSeq})
 }
 
 // handleAck trims a wire's replay buffer after the receiver durably
@@ -171,6 +189,7 @@ func (e *Engine) repairGaps() {
 				}
 				continue
 			}
+			e.noteReplayRequest(wid, fromSeq)
 			e.peers.send(e.tp.EngineOf(w.From), msg.NewReplayRequest(wid, fromSeq))
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/vt"
 	"repro/internal/wal"
 )
@@ -28,10 +29,16 @@ type Source struct {
 	seq      uint64
 	lastVT   vt.Time
 	promised vt.Time
+
+	emits *trace.Counter
 }
 
 func newSource(e *Engine, name string, w *topo.Wire, target *hosted) *Source {
-	return &Source{e: e, name: name, wire: w, target: target, lastVT: vt.Never, promised: vt.Never}
+	return &Source{
+		e: e, name: name, wire: w, target: target, lastVT: vt.Never, promised: vt.Never,
+		emits: e.metrics.Registry().Counter(trace.MetricSourceEmits,
+			"External messages logged and injected by a source.", trace.L("source", name)),
+	}
 }
 
 // Name returns the source name.
@@ -77,6 +84,8 @@ func (s *Source) emitLocked(t vt.Time, payload any) error {
 	}
 	s.seq = seq
 	s.lastVT = t
+	s.emits.Inc()
+	s.e.rec.Record(trace.Event{Kind: trace.EvSourceEmit, VT: t, Component: s.name, Wire: s.wire.ID, MsgSeq: seq})
 	s.target.sch.Deliver(msg.NewData(s.wire.ID, seq, t, payload))
 	return nil
 }
@@ -155,6 +164,7 @@ func (e *Engine) answerSourceProbe(w *topo.Wire) {
 		s.promised = promise
 		s.mu.Unlock()
 		e.metrics.AddSilence()
+		e.rec.Record(trace.Event{Kind: trace.EvSilence, VT: promise, Component: s.name, Wire: w.ID, Note: "source probe answer"})
 		s.target.sch.Deliver(msg.NewSilence(w.ID, promise))
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/vt"
 )
 
@@ -58,6 +59,8 @@ func (c *Ctx) Send(port string, payload any) error {
 	s.gov.NoteData(ow.w.ID, stamped)
 	s.mu.Unlock()
 
+	ow.m.Sent.Inc()
+	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq})
 	s.cfg.Router.Route(msg.NewData(ow.w.ID, seq, stamped, payload))
 	return nil
 }
@@ -90,6 +93,8 @@ func (c *Ctx) Call(port string, payload any) (any, error) {
 	s.gov.NoteData(ow.w.ID, stamped)
 	s.mu.Unlock()
 
+	ow.m.Sent.Inc()
+	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq, Note: "call request"})
 	s.cfg.Router.Route(msg.NewCallRequest(ow.w.ID, seq, stamped, callID, payload))
 
 	select {

@@ -121,6 +121,12 @@ type Scheduler struct {
 	pessStart        time.Time
 	finalSilenceSent bool
 
+	// Observability handles, resolved once at construction; all are valid
+	// no-ops when the Metrics carries no registry/recorder.
+	rec         *trace.Recorder
+	reg         *trace.Registry
+	handlerHist *trace.Histogram
+
 	poke    chan struct{}
 	stop    chan struct{}
 	done    chan struct{}
@@ -163,13 +169,30 @@ func New(cfg Config) (*Scheduler, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	reg := cfg.Metrics.Registry()
+	s.reg = reg
+	s.rec = cfg.Metrics.Recorder()
+	s.handlerHist = reg.HandlerSeconds(cfg.Comp.Name)
 	for _, wid := range cfg.Comp.Inputs {
-		s.inputs[wid] = newInWire(cfg.Topo.Wire(wid))
+		in := newInWire(cfg.Topo.Wire(wid))
+		in.m = reg.InWire(cfg.Comp.Name, WireName(cfg.Topo, in.w))
+		s.inputs[wid] = in
 	}
 	for port, wid := range cfg.Comp.Outputs {
-		ow := &outWire{w: cfg.Topo.Wire(wid), lastSentVT: vt.Never}
+		w := cfg.Topo.Wire(wid)
+		ow := &outWire{w: w, lastSentVT: vt.Never, m: reg.OutWire(cfg.Comp.Name, WireName(cfg.Topo, w))}
 		s.byPort[port] = ow
 		s.outputs[wid] = ow
+	}
+	if s.rec != nil {
+		name := cfg.Comp.Name
+		s.gov.SetTrace(func(event string, w msg.WireID, target vt.Time) {
+			kind := trace.EvCuriosityStanding
+			if event == silence.TraceCuriositySatisfied {
+				kind = trace.EvCuriositySatisfied
+			}
+			s.rec.Record(trace.Event{Kind: kind, VT: target, Component: name, Wire: w})
+		})
 	}
 	return s, nil
 }
@@ -267,12 +290,16 @@ func (s *Scheduler) deliverMessage(env msg.Envelope) {
 	accepted := in.accept(env, s.arrival)
 	if !accepted {
 		s.cfg.Metrics.AddDuplicateDropped()
+		in.m.Duplicates.Inc()
+	} else {
+		in.noteDepth()
 	}
 	s.mu.Unlock()
 	if accepted {
 		s.wake()
 		return
 	}
+	s.rec.Record(trace.Event{Kind: trace.EvDuplicateDrop, VT: env.VT, Component: s.comp.Name, Wire: env.Wire, MsgSeq: env.Seq})
 	if env.Kind == msg.KindCallRequest && s.cfg.OnDuplicateCall != nil {
 		// A recovering caller re-issued a call this component already
 		// processed; let the engine re-send the buffered reply.
@@ -307,10 +334,17 @@ func (s *Scheduler) deliverProbe(env msg.Envelope) {
 	p := s.gov.OnProbe(env.Wire, env.Promise, s.viewLocked(ow))
 	s.mu.Unlock()
 	if p != nil {
-		s.cfg.Metrics.AddSilence()
+		s.noteSilence(ow, p.Through)
 		s.cfg.Router.Route(msg.NewSilence(p.Wire, p.Through))
 	}
 	s.wake()
+}
+
+// noteSilence accounts one silence promise emitted on an output wire.
+func (s *Scheduler) noteSilence(ow *outWire, through vt.Time) {
+	s.cfg.Metrics.AddSilence()
+	ow.m.Silences.Inc()
+	s.rec.Record(trace.Event{Kind: trace.EvSilence, VT: through, Component: s.comp.Name, Wire: ow.w.ID})
 }
 
 func (s *Scheduler) deliverReply(env msg.Envelope) {
@@ -323,6 +357,7 @@ func (s *Scheduler) deliverReply(env msg.Envelope) {
 	if !ok {
 		// No waiter: a duplicate reply after replay. Discard.
 		s.cfg.Metrics.AddDuplicateDropped()
+		s.rec.Record(trace.Event{Kind: trace.EvDuplicateDrop, VT: env.VT, Component: s.comp.Name, Wire: env.Wire, MsgSeq: env.Seq, Note: "duplicate call reply"})
 		return
 	}
 	ch <- env

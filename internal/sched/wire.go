@@ -1,12 +1,34 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/msg"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/vt"
 )
+
+// WireName renders a wire's stable human-readable label for metrics:
+// "w3:sender1.out>merger.s1" ("ext" stands in for the external world on
+// source and sink wires).
+func WireName(tp *topo.Topology, w *topo.Wire) string {
+	from, to := "ext", "ext"
+	if w.From != topo.External {
+		from = tp.Component(w.From).Name
+	}
+	if w.To != topo.External {
+		to = tp.Component(w.To).Name
+	}
+	if w.FromPort != "" {
+		from += "." + w.FromPort
+	}
+	if w.ToPort != "" {
+		to += "." + w.ToPort
+	}
+	return fmt.Sprintf("%s:%s>%s", w.ID, from, to)
+}
 
 // inWire is the receiver-side state of one input wire: the pending
 // messages, the silence watermark, the next expected sequence number (for
@@ -33,6 +55,15 @@ type inWire struct {
 
 	// lastVT is the virtual time of the last delivered message.
 	lastVT vt.Time
+
+	// m holds the wire's receiver-side metric handles (never nil; the
+	// handles inside are nil no-ops when metrics are disabled).
+	m *trace.InWireMetrics
+}
+
+// noteDepth publishes the wire's current queue depth (pending + held-back).
+func (in *inWire) noteDepth() {
+	in.m.QueueDepth.Set(int64(len(in.queue) + len(in.holdback)))
 }
 
 // queued pairs an envelope with its real-time arrival index (for
@@ -121,6 +152,10 @@ type outWire struct {
 	w          *topo.Wire
 	seq        uint64
 	lastSentVT vt.Time
+
+	// m holds the wire's sender-side metric handles (never nil; the handles
+	// inside are nil no-ops when metrics are disabled).
+	m *trace.OutWireMetrics
 }
 
 // nextData stamps the next data (or call) envelope metadata on the wire.

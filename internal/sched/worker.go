@@ -7,6 +7,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/silence"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/vt"
 )
 
@@ -64,7 +65,7 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 	// silence promises it can make downstream.
 	if s.advanceFrontierLocked() {
 		for _, p := range s.gov.OnAdvance(s.viewsLocked()) {
-			s.cfg.Metrics.AddSilence()
+			s.noteSilence(s.outputs[p.Wire], p.Through)
 			control = append(control, msg.NewSilence(p.Wire, p.Through))
 		}
 		// End of stream: when every input has promised silence forever, the
@@ -79,7 +80,7 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 					continue
 				}
 				s.gov.NoteData(id, vt.Max)
-				s.cfg.Metrics.AddSilence()
+				s.noteSilence(ow, vt.Max)
 				control = append(control, msg.NewSilence(id, vt.Max))
 			}
 		}
@@ -93,12 +94,15 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 	if len(blockers) > 0 {
 		if s.pessStart.IsZero() {
 			s.pessStart = time.Now()
+			s.rec.Record(trace.Event{Kind: trace.EvPessimismStart, VT: cand.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: cand.env.Seq})
 		}
 		if s.gov.Strategy().Probes() {
 			for _, w := range blockers {
 				if s.probed[w] < cand.env.VT {
 					s.probed[w] = cand.env.VT
 					s.cfg.Metrics.AddProbe()
+					s.inputs[w].m.Probes.Inc()
+					s.rec.Record(trace.Event{Kind: trace.EvProbe, VT: cand.env.VT, Component: s.comp.Name, Wire: w})
 					control = append(control, msg.NewProbe(w, cand.env.VT))
 				}
 			}
@@ -108,9 +112,14 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 	}
 
 	// Deliverable: commit the dequeue.
-	q := s.inputs[candWire].pop()
+	in := s.inputs[candWire]
+	q := in.pop()
+	in.noteDepth()
 	if !s.pessStart.IsZero() {
-		s.cfg.Metrics.AddPessimismDelay(time.Since(s.pessStart))
+		wait := time.Since(s.pessStart)
+		s.cfg.Metrics.AddPessimismDelay(wait)
+		in.m.Pessimism.Observe(wait.Seconds())
+		s.rec.Record(trace.Event{Kind: trace.EvPessimismEnd, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Note: "waited " + wait.String()})
 		s.pessStart = time.Time{}
 	}
 	outOfOrder := q.arrival < s.maxDlvd
@@ -118,12 +127,17 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		s.maxDlvd = q.arrival
 	}
 	s.cfg.Metrics.AddDelivered(outOfOrder)
+	in.m.Delivered.Inc()
+	if outOfOrder {
+		in.m.OutOfOrder.Inc()
+	}
 
 	d := vt.MaxOf(q.env.VT, s.clock)
 	cost := s.cfg.Est.Cost(q.env.Payload, d)
 	s.inFlight = d
-	port := s.inputs[candWire].w.ToPort
+	port := in.w.ToPort
 	s.mu.Unlock()
+	s.rec.Record(trace.Event{Kind: trace.EvDeliver, VT: d, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq})
 
 	// Run the handler without holding the lock: it may Send (which locks
 	// briefly) and Call (which blocks awaiting a reply).
@@ -132,6 +146,7 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 	reply, err := s.cfg.Handler.OnMessage(ctx, port, q.env.Payload)
 	elapsed := time.Since(start)
 	_ = err // handler errors are the application's concern; state advances regardless
+	s.handlerHist.Observe(elapsed.Seconds())
 
 	if q.env.Kind == msg.KindCallRequest {
 		s.sendReply(ctx, q.env, reply)
@@ -143,13 +158,12 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 	}
 	s.inFlight = vt.Never
 	views := s.viewsLocked()
-	promises := s.gov.OnAdvance(views)
-	s.mu.Unlock()
-
-	for _, p := range promises {
-		s.cfg.Metrics.AddSilence()
+	for _, p := range s.gov.OnAdvance(views) {
+		s.noteSilence(s.outputs[p.Wire], p.Through)
 		control = append(control, msg.NewSilence(p.Wire, p.Through))
 	}
+	s.mu.Unlock()
+
 	s.observe(q.env.Payload, vt.FromDuration(elapsed))
 	return true, control
 }
@@ -258,6 +272,8 @@ func (s *Scheduler) sendReply(ctx *Ctx, req msg.Envelope, reply any) {
 	seq, stamped := ow.next(stampBase)
 	s.gov.NoteData(reqWire.Peer, stamped)
 	s.mu.Unlock()
+	ow.m.Sent.Inc()
+	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: reqWire.Peer, MsgSeq: seq, Note: "call reply"})
 	s.cfg.Router.Route(msg.NewCallReply(reqWire.Peer, seq, stamped, req.CallID, reply))
 }
 
@@ -272,7 +288,7 @@ func (s *Scheduler) replyOut(id msg.WireID) (*outWire, bool) {
 	if w.From != s.comp.ID || w.Kind != topo.WireCallReply {
 		return nil, false
 	}
-	ow := &outWire{w: w, lastSentVT: vt.Never}
+	ow := &outWire{w: w, lastSentVT: vt.Never, m: s.reg.OutWire(s.comp.Name, WireName(s.cfg.Topo, w))}
 	s.outputs[id] = ow
 	return ow, true
 }
@@ -296,5 +312,6 @@ func (s *Scheduler) observe(payload any, measured vt.Ticks) {
 	s.mu.Unlock()
 	if err := cal.Commit(*fault); err == nil {
 		s.cfg.Metrics.AddDeterminismFault()
+		s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: fault.EffectiveVT, Component: s.comp.Name, Wire: -1, Note: "estimator recalibration"})
 	}
 }

@@ -137,6 +137,28 @@ type Governor struct {
 	promised  map[msg.WireID]vt.Time // highest promise sent per wire
 	curiosity map[msg.WireID]vt.Time // standing probe targets
 	floor     vt.Time                // hyper: future outputs must be > floor
+	trace     TraceFunc
+}
+
+// TraceFunc observes governor lifecycle events for flight recording. It is
+// called synchronously under the owning scheduler's serialization with one
+// of the Trace* event names, the wire, and the curiosity target.
+type TraceFunc func(event string, w msg.WireID, target vt.Time)
+
+// Governor trace event names.
+const (
+	TraceStandingCuriosity  = "standing-curiosity"
+	TraceCuriositySatisfied = "curiosity-satisfied"
+)
+
+// SetTrace installs a trace hook (nil disables). Install before the
+// governor is in use; the hook is invoked without additional locking.
+func (g *Governor) SetTrace(fn TraceFunc) { g.trace = fn }
+
+func (g *Governor) traceEvent(event string, w msg.WireID, target vt.Time) {
+	if g.trace != nil {
+		g.trace(event, w, target)
+	}
 }
 
 // NewGovernor creates a governor for a component's output wires.
@@ -191,6 +213,7 @@ func (g *Governor) OnProbe(w msg.WireID, target vt.Time, view View) *Promise {
 	if p < target {
 		if cur, ok := g.curiosity[w]; !ok || target > cur {
 			g.curiosity[w] = target
+			g.traceEvent(TraceStandingCuriosity, w, target)
 		}
 	}
 	if p > g.promised[w] {
@@ -228,6 +251,7 @@ func (g *Governor) OnAdvance(views map[msg.WireID]View) []Promise {
 			out = append(out, Promise{Wire: w, Through: p})
 			if p >= target {
 				delete(g.curiosity, w)
+				g.traceEvent(TraceCuriositySatisfied, w, target)
 			}
 		}
 	case Aggressive, HyperAggressive:
@@ -247,6 +271,7 @@ func (g *Governor) OnAdvance(views map[msg.WireID]View) []Promise {
 			out = append(out, Promise{Wire: w, Through: p})
 			if curious && p >= target {
 				delete(g.curiosity, w)
+				g.traceEvent(TraceCuriositySatisfied, w, target)
 			}
 		}
 	}
@@ -262,6 +287,7 @@ func (g *Governor) NoteData(w msg.WireID, t vt.Time) {
 	}
 	if target, ok := g.curiosity[w]; ok && g.promised[w] >= target {
 		delete(g.curiosity, w)
+		g.traceEvent(TraceCuriositySatisfied, w, target)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Mode selects the merger's execution discipline (§III.A).
@@ -143,6 +144,12 @@ type Params struct {
 	// future output virtual times past every promise it made (the "bias
 	// algorithm"). Zero disables.
 	Bias [2]time.Duration
+	// Registry, when non-nil, receives the merger's per-wire labeled
+	// metrics (delivered / probes / out-of-order / duplicates counters and
+	// the pessimism-delay histogram) under the same metric names the live
+	// engines export, so harnesses can print wire tables from the registry
+	// instead of keeping ad-hoc counters.
+	Registry *trace.Registry
 }
 
 // DefaultParams returns the paper's §III.A configuration.

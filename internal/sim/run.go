@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // world is one simulation instance: two senders feeding one merger.
@@ -15,6 +16,10 @@ type world struct {
 
 	senders [2]*simSender
 	merger  *simMerger
+
+	// wires holds the merger's per-input-wire registry handles; with no
+	// Registry configured the handles are nil and recording is a no-op.
+	wires [2]*trace.InWireMetrics
 
 	latencies []float64
 	probes    int
@@ -170,6 +175,7 @@ type simMerger struct {
 	outOfOrder   int
 
 	pessStart float64 // real time the current head became blocked (-1 none)
+	pessWire  int     // wire whose missing silence caused the block
 	pessTotal float64
 	pessCount int
 	delivered int
@@ -181,6 +187,7 @@ func (m *simMerger) arrive(wire int, msg extMsg) {
 	if msg.vt > m.watermark[wire] {
 		m.watermark[wire] = msg.vt
 	}
+	m.w.wires[wire].QueueDepth.Set(int64(len(m.queues[wire])))
 	m.tryStart()
 }
 
@@ -233,18 +240,21 @@ func (m *simMerger) tryStartVTOrder() {
 		// Pessimism delay: hold the message, probe the lagging sender.
 		if m.pessStart < 0 {
 			m.pessStart = m.w.now
+			m.pessWire = other
 		}
 		if !m.probing[other] {
 			m.probing[other] = true
-			m.w.probes++
+			m.w.noteProbe(other)
 			m.w.sendProbe(other)
 		}
 		return
 	}
 	if m.pessStart >= 0 {
-		m.pessTotal += m.w.now - m.pessStart
+		d := m.w.now - m.pessStart
+		m.pessTotal += d
 		m.pessCount++
 		m.pessStart = -1
+		m.w.wires[m.pessWire].Pessimism.Observe(d / 1e9)
 	}
 	m.deliver(cand)
 }
@@ -253,8 +263,12 @@ func (m *simMerger) deliver(wire int) {
 	q := m.queues[wire]
 	msg := q[0]
 	m.queues[wire] = q[1:]
+	wm := m.w.wires[wire]
+	wm.QueueDepth.Set(int64(len(m.queues[wire])))
+	wm.Delivered.Inc()
 	if msg.arrIdx < m.maxDelivered {
 		m.outOfOrder++
+		wm.OutOfOrder.Inc()
 	} else {
 		m.maxDelivered = msg.arrIdx
 	}
@@ -293,7 +307,7 @@ func (m *simMerger) onSilence(wire int, through float64) {
 		m.w.at(delay, func() {
 			if m.blockedOn(wire) && !m.probing[wire] {
 				m.probing[wire] = true
-				m.w.probes++
+				m.w.noteProbe(wire)
 				m.w.sendProbe(wire)
 			}
 		})
@@ -351,6 +365,12 @@ func (w *world) sendProbe(wire int) {
 	})
 }
 
+// noteProbe counts one curiosity probe globally and on its target wire.
+func (w *world) noteProbe(wire int) {
+	w.probes++
+	w.wires[wire].Probes.Inc()
+}
+
 func (w *world) recordLatency(l float64) {
 	w.seen++
 	if float64(w.seen) <= w.p.WarmupFraction*float64(w.expectMessages()) {
@@ -377,6 +397,16 @@ func (w *world) scheduleArrivals(sender int) {
 	})
 }
 
+// simWireName labels the merger's input wires like the live engines do
+// (sender.port>receiver.port), so registry output lines up across the
+// simulated and distributed harnesses.
+func simWireName(wire int) string {
+	if wire == 0 {
+		return "sender1.out>merger.s1"
+	}
+	return "sender2.out>merger.s2"
+}
+
 // Run executes one simulation and returns its measurements.
 func Run(p Params) Result {
 	p = p.withDefaults()
@@ -384,6 +414,7 @@ func Run(p Params) Result {
 	w.merger = &simMerger{w: w, pessStart: -1}
 	for i := range w.senders {
 		w.senders[i] = &simSender{w: w, id: i, bias: float64(p.Bias[i].Nanoseconds())}
+		w.wires[i] = p.Registry.InWire("merger", simWireName(i))
 	}
 	w.scheduleArrivals(0)
 	w.scheduleArrivals(1)

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/vt"
+)
+
+// EventKind discriminates flight-recorder events.
+type EventKind uint8
+
+// Flight-recorder event kinds. Together they reconstruct the causal story
+// of a run: message flow (deliver/send), the silence machinery (promises,
+// probes, standing curiosities), the intrinsic overhead (pessimism-wait
+// episodes), and the recovery protocol (checkpoints, replay, duplicate
+// discard, failover).
+const (
+	// EvDeliver is a message handed to a component handler, stamped with
+	// its dequeue virtual time.
+	EvDeliver EventKind = iota + 1
+	// EvSend is a data, call, or reply envelope emitted by a component.
+	EvSend
+	// EvSilence is a silence promise emitted on an output wire.
+	EvSilence
+	// EvProbe is a curiosity probe sent to a lagging input wire.
+	EvProbe
+	// EvPessimismStart marks a scheduler beginning to hold a deliverable
+	// candidate while waiting for other senders' silence.
+	EvPessimismStart
+	// EvPessimismEnd marks the end of a pessimism-wait episode; Note holds
+	// the measured real-time wait.
+	EvPessimismEnd
+	// EvCuriosityStanding marks a silence governor registering a standing
+	// curiosity target it cannot yet answer.
+	EvCuriosityStanding
+	// EvCuriositySatisfied marks a standing curiosity target being covered.
+	EvCuriositySatisfied
+	// EvCheckpoint is a completed soft checkpoint (Note holds the encoded
+	// size; MsgSeq the checkpoint sequence number).
+	EvCheckpoint
+	// EvReplayRequest is a replay-range request issued to a sender.
+	EvReplayRequest
+	// EvReplayServe is a replay-range request served from a replay buffer.
+	EvReplayServe
+	// EvDuplicateDrop is a duplicate message or reply discarded by
+	// sequence/timestamp.
+	EvDuplicateDrop
+	// EvDeterminismFault is a logged estimator recalibration.
+	EvDeterminismFault
+	// EvFailover is a passive-replica activation.
+	EvFailover
+	// EvSourceEmit is an external input logged and injected by a source.
+	EvSourceEmit
+	// EvPeerUp marks an inter-engine connection established.
+	EvPeerUp
+	// EvPeerDown marks an inter-engine connection lost.
+	EvPeerDown
+)
+
+var eventKindNames = [...]string{
+	EvDeliver:            "deliver",
+	EvSend:               "send",
+	EvSilence:            "silence",
+	EvProbe:              "probe",
+	EvPessimismStart:     "pessimism-start",
+	EvPessimismEnd:       "pessimism-end",
+	EvCuriosityStanding:  "curiosity-standing",
+	EvCuriositySatisfied: "curiosity-satisfied",
+	EvCheckpoint:         "checkpoint",
+	EvReplayRequest:      "replay-request",
+	EvReplayServe:        "replay-serve",
+	EvDuplicateDrop:      "duplicate-drop",
+	EvDeterminismFault:   "determinism-fault",
+	EvFailover:           "failover",
+	EvSourceEmit:         "source-emit",
+	EvPeerUp:             "peer-up",
+	EvPeerDown:           "peer-down",
+}
+
+// String renders the kind name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses a kind name (for tools reading dump files).
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range eventKindNames {
+		if name == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one flight-recorder record. Every event carries both virtual
+// time (the deterministic coordinate) and real time (the wall-clock
+// coordinate); comparing runs must exclude RT and Seq, which depend on
+// thread interleaving — the per-component subsequence of (Kind, Wire, VT,
+// MsgSeq) is the deterministic signature.
+type Event struct {
+	// Seq is the recorder-assigned global sequence number (1-based over
+	// the recorder's lifetime, including overwritten events).
+	Seq uint64 `json:"seq"`
+	// Kind discriminates the event.
+	Kind EventKind `json:"kind"`
+	// RT is the wall-clock time the event was recorded.
+	RT time.Time `json:"rt"`
+	// VT is the virtual time of the event (vt.Never when not applicable).
+	VT vt.Time `json:"vt"`
+	// Component is the component (or source/engine actor) the event
+	// belongs to; empty for engine-level events.
+	Component string `json:"component,omitempty"`
+	// Wire is the wire involved, -1 when not applicable.
+	Wire msg.WireID `json:"wire"`
+	// MsgSeq is the per-wire message sequence number (or checkpoint
+	// sequence for EvCheckpoint), 0 when not applicable.
+	MsgSeq uint64 `json:"msgSeq,omitempty"`
+	// Note carries free-form detail (sizes, peers, measured waits).
+	Note string `json:"note,omitempty"`
+}
+
+// String renders the event compactly for logs and post-mortems.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s", e.Seq, e.Kind)
+	if e.Component != "" {
+		s += " " + e.Component
+	}
+	if e.Wire >= 0 {
+		s += " " + e.Wire.String()
+	}
+	if e.VT != vt.Never {
+		s += " " + e.VT.String()
+	}
+	if e.MsgSeq != 0 {
+		s += fmt.Sprintf(" seq=%d", e.MsgSeq)
+	}
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}

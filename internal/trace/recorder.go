@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultRecorderCapacity is the ring size used when a non-positive
+// capacity is requested.
+const DefaultRecorderCapacity = 8192
+
+// Recorder is a fixed-size flight recorder: a ring buffer of structured
+// runtime events stamped with virtual and real time. It is safe for
+// concurrent use and cheap enough to leave enabled in production; a nil
+// *Recorder is a valid no-op recorder, so instrumented code needs no
+// branching beyond the nil receiver check Record performs itself.
+//
+// The recorder deliberately survives engine restarts: a cluster keeps one
+// recorder per engine slot and hands it to every engine generation, so a
+// post-failover dump contains the pre-crash story (checkpoints, sends)
+// alongside the recovery (failover, replay, duplicate drops).
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events recorded over the recorder's lifetime
+	start int    // index of the oldest event when the ring is full
+}
+
+// NewRecorder creates a recorder holding up to capacity events (the
+// oldest are overwritten beyond that).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, stamping its recorder sequence number and real
+// time. Recording on a nil recorder is a no-op.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.next++
+	ev.Seq = r.next
+	ev.RT = now
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.start] = ev
+		r.start++
+		if r.start == len(r.buf) {
+			r.start = 0
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (including those the
+// ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Len returns the number of events currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Events returns a chronological copy of the retained events.
+func (r *Recorder) Events() []Event {
+	return r.Last(0)
+}
+
+// Last returns the most recent n retained events in chronological order;
+// n <= 0 returns all retained events.
+func (r *Recorder) Last(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Reset discards all retained events (the lifetime total keeps counting).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.start = 0
+}
+
+// WriteJSON dumps the retained events to w, one JSON object per line
+// (JSONL), oldest first. This is the flight-recorder dump format.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,500 @@
+// Labeled metrics registry: per-component and per-wire counters, gauges,
+// and fixed-bucket histograms with a deterministic Prometheus text
+// rendering (exposition format 0.0.4, stdlib only).
+//
+// Handles (*Counter, *Gauge, *Histogram) are resolved once — typically at
+// scheduler/engine construction — and updated with plain atomics, so the
+// hot path pays no map lookups and no locks. All handle methods are
+// nil-receiver safe: code instrumented against a disabled registry keeps
+// working at zero cost.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Counter is a monotonically increasing metric cell.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric cell that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. Observations are float64 in the
+// metric's natural unit (seconds for latency-style metrics, bytes for
+// sizes). Buckets are cumulative in the rendered output, per Prometheus
+// convention.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; implicit +Inf bucket follows
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v ⇒ v <= bound (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has len(Bounds)+1 entries,
+	// the last being the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  uint64(h.count.Load()),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = uint64(h.counts[i].Load())
+	}
+	return s
+}
+
+// Mean returns the mean observation (0 for an empty histogram).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Default bucket ladders.
+var (
+	// SecondsBuckets spans 1 µs to 2.5 s (latency, pessimism delay,
+	// checkpoint duration).
+	SecondsBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+	// BytesBuckets spans 256 B to 16 MiB (checkpoint encode sizes).
+	BytesBuckets = []float64{
+		256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+	}
+)
+
+type series struct {
+	labels []Label // const labels + series labels, render order
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series map[string]*series
+}
+
+// Registry is a labeled metric namespace, typically one per engine with an
+// engine=<name> const label. Handle resolution takes the registry lock;
+// handle updates are lock-free. The zero value is not usable; a nil
+// *Registry hands out nil handles, which are valid no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	consts []Label
+	fams   map[string]*family
+}
+
+// NewRegistry creates a registry whose every series carries the given
+// constant labels.
+func NewRegistry(consts ...Label) *Registry {
+	return &Registry{consts: consts, fams: make(map[string]*family)}
+}
+
+// ConstLabels returns the registry's constant labels.
+func (r *Registry) ConstLabels() []Label {
+	if r == nil {
+		return nil
+	}
+	return append([]Label(nil), r.consts...)
+}
+
+func (r *Registry) seriesFor(name, help, typ string, bounds []float64, labels []Label) *series {
+	fam, ok := r.fams[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.fams[name] = fam
+	}
+	key := labelKey(labels)
+	s, ok := fam.series[key]
+	if !ok {
+		all := make([]Label, 0, len(r.consts)+len(labels))
+		all = append(all, r.consts...)
+		all = append(all, labels...)
+		s = &series{labels: all}
+		switch typ {
+		case "counter":
+			s.c = &Counter{}
+		case "gauge":
+			s.g = &Gauge{}
+		case "histogram":
+			s.h = newHistogram(bounds)
+		}
+		fam.series[key] = s
+	}
+	return s
+}
+
+// Counter resolves (creating on first use) a counter handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, "counter", nil, labels).c
+}
+
+// Gauge resolves (creating on first use) a gauge handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, "gauge", nil, labels).g
+}
+
+// Histogram resolves (creating on first use) a histogram handle; bounds are
+// used only on first creation of the series.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, "histogram", bounds, labels).h
+}
+
+// Series is one labeled time series in a gathered snapshot.
+type Series struct {
+	Labels []Label
+	Value  float64 // counters and gauges
+	Hist   *HistogramSnapshot
+}
+
+// Get returns the value of the named label ("" when absent).
+func (s Series) Get(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// MetricFamily is a gathered metric with all of its series.
+type MetricFamily struct {
+	Name   string
+	Help   string
+	Type   string
+	Series []Series
+}
+
+// Gather snapshots every family, sorted by name with series sorted by
+// label signature — the ordering is deterministic for a given contents.
+func (r *Registry) Gather() []MetricFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]MetricFamily, 0, len(names))
+	for _, n := range names {
+		fam := r.fams[n]
+		mf := MetricFamily{Name: fam.name, Help: fam.help, Type: fam.typ}
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := fam.series[k]
+			gs := Series{Labels: append([]Label(nil), s.labels...)}
+			switch {
+			case s.c != nil:
+				gs.Value = float64(s.c.Value())
+			case s.g != nil:
+				gs.Value = float64(s.g.Value())
+			case s.h != nil:
+				snap := s.h.Snapshot()
+				gs.Hist = &snap
+			}
+			mf.Series = append(mf.Series, gs)
+		}
+		out = append(out, mf)
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format 0.0.4. Output is deterministic: families sorted by name, series
+// by label signature.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, mf := range r.Gather() {
+		if mf.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", mf.Name, mf.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", mf.Name, mf.Type); err != nil {
+			return err
+		}
+		for _, s := range mf.Series {
+			if s.Hist != nil {
+				if err := writeHistogram(w, mf.Name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", mf.Name, renderLabels(s.Labels), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s Series) error {
+	h := s.Hist
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		lbls := append(append([]Label(nil), s.Labels...), L("le", formatFloat(b)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(lbls), cum); err != nil {
+			return err
+		}
+	}
+	lbls := append(append([]Label(nil), s.Labels...), L("le", "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(lbls), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.Labels), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.Labels), h.Count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// labelKey renders a deterministic map key for a label set (keys sorted).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Canonical tart metric names (shared by instrumentation and tooling).
+const (
+	MetricDelivered       = "tart_delivered_total"
+	MetricOutOfOrder      = "tart_out_of_rt_order_total"
+	MetricProbes          = "tart_probes_total"
+	MetricSilences        = "tart_silences_total"
+	MetricSent            = "tart_sent_total"
+	MetricDuplicates      = "tart_duplicates_dropped_total"
+	MetricPessimism       = "tart_pessimism_delay_seconds"
+	MetricQueueDepth      = "tart_queue_depth"
+	MetricHandlerSeconds  = "tart_handler_seconds"
+	MetricCheckpoints     = "tart_checkpoints_total"
+	MetricCheckpointBytes = "tart_checkpoint_bytes"
+	MetricCheckpointSecs  = "tart_checkpoint_seconds"
+	MetricReplayRequests  = "tart_replay_requests_total"
+	MetricReplayServes    = "tart_replay_serves_total"
+	MetricFailovers       = "tart_failovers_total"
+	MetricDetFaults       = "tart_determinism_faults_total"
+	MetricSourceEmits     = "tart_source_emits_total"
+	MetricPeerFrames      = "tart_peer_frames_total"
+)
+
+// InWireMetrics bundles the receiver-side per-wire handles a scheduler
+// updates on its hot path. All fields are nil (valid no-ops) when resolved
+// from a nil registry.
+type InWireMetrics struct {
+	Delivered  *Counter
+	OutOfOrder *Counter
+	Probes     *Counter
+	Duplicates *Counter
+	Pessimism  *Histogram
+	QueueDepth *Gauge
+}
+
+// InWire resolves the receiver-side handles for one (component, wire).
+func (r *Registry) InWire(component, wire string) *InWireMetrics {
+	lbls := []Label{L("component", component), L("wire", wire)}
+	return &InWireMetrics{
+		Delivered:  r.Counter(MetricDelivered, "Messages delivered to handlers.", lbls...),
+		OutOfOrder: r.Counter(MetricOutOfOrder, "Messages delivered in VT order that arrived out of real-time order.", lbls...),
+		Probes:     r.Counter(MetricProbes, "Curiosity probes sent to the wire's sender.", lbls...),
+		Duplicates: r.Counter(MetricDuplicates, "Duplicate messages discarded by sequence/timestamp.", lbls...),
+		Pessimism:  r.Histogram(MetricPessimism, "Pessimism delay: real time spent holding a deliverable message awaiting other senders' silence.", SecondsBuckets, lbls...),
+		QueueDepth: r.Gauge(MetricQueueDepth, "Messages currently queued on the wire.", lbls...),
+	}
+}
+
+// OutWireMetrics bundles the sender-side per-wire handles.
+type OutWireMetrics struct {
+	Sent     *Counter
+	Silences *Counter
+}
+
+// OutWire resolves the sender-side handles for one (component, wire).
+func (r *Registry) OutWire(component, wire string) *OutWireMetrics {
+	lbls := []Label{L("component", component), L("wire", wire)}
+	return &OutWireMetrics{
+		Sent:     r.Counter(MetricSent, "Data, call, and reply envelopes emitted on the wire.", lbls...),
+		Silences: r.Counter(MetricSilences, "Silence promises emitted on the wire.", lbls...),
+	}
+}
+
+// HandlerSeconds resolves the per-component handler-duration histogram.
+func (r *Registry) HandlerSeconds(component string) *Histogram {
+	return r.Histogram(MetricHandlerSeconds, "Measured real-time handler execution duration.", SecondsBuckets, L("component", component))
+}

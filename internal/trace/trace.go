@@ -5,13 +5,21 @@
 package trace
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Metrics is a set of runtime counters. The zero value is ready for use.
 // All methods are safe for concurrent use.
+//
+// A Metrics may optionally carry a labeled Registry and a flight Recorder
+// (see SetRegistry/SetRecorder); instrumented code resolves both through
+// the Metrics so existing call sites keep compiling and a bare Metrics
+// keeps working as plain engine-global counters.
 type Metrics struct {
 	delivered         atomic.Int64
 	outOfOrder        atomic.Int64
@@ -25,6 +33,35 @@ type Metrics struct {
 	duplicatesDropped atomic.Int64
 	determinismFaults atomic.Int64
 	failovers         atomic.Int64
+
+	reg *Registry
+	rec *Recorder
+}
+
+// SetRegistry attaches a labeled metrics registry. Attach before the
+// engine starts; the field is read without synchronization afterwards.
+func (m *Metrics) SetRegistry(r *Registry) { m.reg = r }
+
+// Registry returns the attached registry (nil when none — nil registries
+// hand out nil handles, which are valid no-ops).
+func (m *Metrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// SetRecorder attaches a flight recorder. Attach before the engine
+// starts; the field is read without synchronization afterwards.
+func (m *Metrics) SetRecorder(r *Recorder) { m.rec = r }
+
+// Recorder returns the attached flight recorder (nil when none — a nil
+// recorder is a valid no-op recorder).
+func (m *Metrics) Recorder() *Recorder {
+	if m == nil {
+		return nil
+	}
+	return m.rec
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -60,13 +97,14 @@ func (m *Metrics) AddProbe() { m.probesSent.Add(1) }
 func (m *Metrics) AddSilence() { m.silencesSent.Add(1) }
 
 // AddPessimismDelay accumulates time spent holding a queued message while
-// waiting for other senders' silence.
+// waiting for other senders' silence. Zero-delay episodes still count: the
+// episode counter is the denominator of the mean pessimism delay and must
+// match the number of delivered-while-waiting messages.
 func (m *Metrics) AddPessimismDelay(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	m.pessimismDelayNs.Add(int64(d))
 	m.pessimismEpisodes.Add(1)
+	if d > 0 {
+		m.pessimismDelayNs.Add(int64(d))
+	}
 }
 
 // AddCheckpoint counts one soft checkpoint of the given encoded size.
@@ -140,4 +178,49 @@ func (l *LatencyRecorder) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.obs = nil
+}
+
+// Quantiles returns the requested quantiles (0 <= p <= 1) of the recorded
+// latencies, one per p, using linear interpolation. An empty recorder
+// yields zeros.
+func (l *LatencyRecorder) Quantiles(ps ...float64) []time.Duration {
+	sorted := l.Samples()
+	sort.Float64s(sorted)
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		out[i] = time.Duration(stats.Percentile(sorted, p))
+	}
+	return out
+}
+
+// LatencySummary condenses a latency sample for experiment reports.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summary computes count, mean, p50/p95/p99, and max of the recorded
+// latencies. An empty recorder yields the zero summary.
+func (l *LatencyRecorder) Summary() LatencySummary {
+	sorted := l.Samples()
+	if len(sorted) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  time.Duration(sum / float64(len(sorted))),
+		P50:   time.Duration(stats.Percentile(sorted, 0.50)),
+		P95:   time.Duration(stats.Percentile(sorted, 0.95)),
+		P99:   time.Duration(stats.Percentile(sorted, 0.99)),
+		Max:   time.Duration(sorted[len(sorted)-1]),
+	}
 }

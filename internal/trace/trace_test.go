@@ -13,7 +13,7 @@ func TestMetricsCounters(t *testing.T) {
 	m.AddProbe()
 	m.AddSilence()
 	m.AddPessimismDelay(5 * time.Millisecond)
-	m.AddPessimismDelay(0) // ignored
+	m.AddPessimismDelay(0) // zero-delay episode still counts
 	m.AddCheckpoint(1024)
 	m.AddReplayRequest()
 	m.AddDuplicateDropped()
@@ -27,7 +27,7 @@ func TestMetricsCounters(t *testing.T) {
 	if s.ProbesSent != 1 || s.SilencesSent != 1 {
 		t.Errorf("probes/silences = %d/%d", s.ProbesSent, s.SilencesSent)
 	}
-	if s.PessimismDelay != 5*time.Millisecond || s.PessimismEpisodes != 1 {
+	if s.PessimismDelay != 5*time.Millisecond || s.PessimismEpisodes != 2 {
 		t.Errorf("pessimism = %v/%d", s.PessimismDelay, s.PessimismEpisodes)
 	}
 	if s.Checkpoints != 1 || s.CheckpointBytes != 1024 {

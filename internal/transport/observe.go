@@ -1,0 +1,39 @@
+package transport
+
+import "repro/internal/msg"
+
+// observedConn wraps a Conn with per-frame callbacks.
+type observedConn struct {
+	Conn
+	onSend func(env msg.Envelope)
+	onRecv func(env msg.Envelope)
+}
+
+// Observe wraps a connection so onSend fires for every successfully sent
+// envelope and onRecv for every received one (nil callbacks are skipped).
+// The engine layer uses it to meter peer traffic and feed the flight
+// recorder without teaching every transport about observability.
+func Observe(c Conn, onSend, onRecv func(env msg.Envelope)) Conn {
+	if onSend == nil && onRecv == nil {
+		return c
+	}
+	return &observedConn{Conn: c, onSend: onSend, onRecv: onRecv}
+}
+
+// Send implements Conn.
+func (o *observedConn) Send(env msg.Envelope) error {
+	err := o.Conn.Send(env)
+	if err == nil && o.onSend != nil {
+		o.onSend(env)
+	}
+	return err
+}
+
+// Recv implements Conn.
+func (o *observedConn) Recv() (msg.Envelope, error) {
+	env, err := o.Conn.Recv()
+	if err == nil && o.onRecv != nil {
+		o.onRecv(env)
+	}
+	return env, err
+}

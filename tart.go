@@ -113,6 +113,53 @@ type Output struct {
 // probes, out-of-order arrivals, checkpoints, recovery activity).
 type Metrics = trace.Snapshot
 
+// TraceEvent is one flight-recorder record: an event kind plus virtual and
+// real timestamps, component, wire, and per-wire sequence number. Obtain
+// them with Cluster.TraceEvents (after WithFlightRecorder) or an engine's
+// /trace debug endpoint.
+type TraceEvent = trace.Event
+
+// TraceEventKind discriminates flight-recorder events.
+type TraceEventKind = trace.EventKind
+
+// Flight-recorder event kinds (TraceEvent.Kind).
+const (
+	EvDeliver            = trace.EvDeliver
+	EvSend               = trace.EvSend
+	EvSilence            = trace.EvSilence
+	EvProbe              = trace.EvProbe
+	EvPessimismStart     = trace.EvPessimismStart
+	EvPessimismEnd       = trace.EvPessimismEnd
+	EvCuriosityStanding  = trace.EvCuriosityStanding
+	EvCuriositySatisfied = trace.EvCuriositySatisfied
+	EvCheckpoint         = trace.EvCheckpoint
+	EvReplayRequest      = trace.EvReplayRequest
+	EvReplayServe        = trace.EvReplayServe
+	EvDuplicateDrop      = trace.EvDuplicateDrop
+	EvDeterminismFault   = trace.EvDeterminismFault
+	EvFailover           = trace.EvFailover
+	EvSourceEmit         = trace.EvSourceEmit
+	EvPeerUp             = trace.EvPeerUp
+	EvPeerDown           = trace.EvPeerDown
+)
+
+// MetricFamily is one gathered labeled metric with all of its series; see
+// Cluster.MetricFamilies.
+type MetricFamily = trace.MetricFamily
+
+// MetricSeries is one labeled time series inside a MetricFamily.
+type MetricSeries = trace.Series
+
+// MetricLabel is one key=value metric dimension.
+type MetricLabel = trace.Label
+
+// LatencyRecorder accumulates end-to-end latency observations for
+// experiment harnesses and exposes quantile summaries.
+type LatencyRecorder = trace.LatencyRecorder
+
+// LatencySummary condenses a latency sample: count, mean, p50/p95/p99, max.
+type LatencySummary = trace.LatencySummary
+
 // RegisterPayload registers a payload type with the wire/checkpoint codec.
 // Required for payload types that cross engine boundaries or appear in
 // checkpoints shipped between processes.
