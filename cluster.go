@@ -97,6 +97,12 @@ func WithDebugHTTP(addrs map[string]string) ClusterOption {
 // post-failover dump contains the pre-crash story. When dir is non-empty
 // the engine also dumps the ring to <dir>/<engine>-flight.jsonl after a
 // failover replay and on shutdown.
+//
+// The option also enables the determinism audit: each component's delivered
+// (wire, seq, VT, payload-digest) sequence is folded into a rolling hash
+// chain that survives Fail/Recover alongside the recorder, so a divergent
+// replay is detected as a VT-stamped determinism-fault event instead of
+// surfacing later as corrupted outputs.
 func WithFlightRecorder(dir string) ClusterOption {
 	return clusterOptionFunc(func(c *clusterConfig) {
 		c.flightOn = true
@@ -126,6 +132,7 @@ type engineSlot struct {
 	log    wal.Log
 	sinks  map[string]func(Output) // sink name -> user callback
 	rec    *trace.Recorder         // shared across engine generations
+	audit  *trace.AuditLog         // shared across engine generations
 	failed bool
 }
 
@@ -164,7 +171,13 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			sinks: make(map[string]func(Output)),
 		}
 		if cfg.flightOn {
+			// The flight recorder and the determinism audit log share a
+			// lifecycle: both outlive engine generations so a recovered
+			// engine's replay is checked against the pre-crash record, and
+			// both stay off (nil — zero hot-path cost) without
+			// WithFlightRecorder.
 			slot.rec = trace.NewRecorder(0)
+			slot.audit = trace.NewAuditLog()
 		}
 		slot.log, err = c.newLog(name)
 		if err != nil {
@@ -218,6 +231,7 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		SourceSilenceEvery: silenceEvery,
 		Clock:              c.cfg.manualClock,
 		Recorder:           slot.rec,
+		Audit:              slot.audit,
 		DebugAddr:          c.cfg.debugAddrs[slot.name],
 		FlightDump:         dump,
 	}

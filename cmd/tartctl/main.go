@@ -6,6 +6,8 @@
 //	tartctl wal -file app.wal    dump a stable log (inputs + faults)
 //	tartctl demo -d 3s           run the Figure-1 app live and print metrics
 //	tartctl status -addr H:P     health + per-wire tables from a debug listener
+//	tartctl trace -file f.json   causal chains from a flight-recorder dump
+//	tartctl trace -addr H:P -origin w0#3   one input's chain from a live engine
 package main
 
 import (
@@ -45,6 +47,14 @@ func main() {
 		last := fs.Int("trace", 0, "also print the last N flight-recorder events")
 		_ = fs.Parse(os.Args[2:])
 		err = status(*addr, *last)
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		file := fs.String("file", "", "flight-recorder dump file (JSON array or JSONL)")
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		origin := fs.String("origin", "", "origin ID to trace (e.g. w0#3); empty lists origins")
+		last := fs.Int("last", 4096, "with -addr, fetch the last N events")
+		_ = fs.Parse(os.Args[2:])
+		err = traceCmd(*file, *addr, *origin, *last)
 	default:
 		usage()
 		os.Exit(2)
@@ -56,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace> [flags]")
 }
 
 func fig1Topology() (*topo.Topology, error) {

@@ -62,6 +62,7 @@ func status(addr string, last int) error {
 	}
 
 	printStatusWireTable(samples)
+	printStatusBlameTable(samples)
 	printStatusTotals(samples)
 
 	if last > 0 {
@@ -302,6 +303,72 @@ func printStatusWireTable(samples []promSample) {
 		}
 		fmt.Printf("    %-28s %9.0f %7.0f %5.0f %9.0f %9.0f %12s\n",
 			w, r.delivered, r.probes, r.duplicates, r.sent, r.silences, pess)
+	}
+}
+
+// printStatusBlameTable renders pessimism blame attribution: for each input
+// wire, how many pessimism episodes ended with that wire's silence frontier
+// as the last holdout, and the total real time the receiver spent blocked on
+// it. Wires that never drew blame are omitted.
+func printStatusBlameTable(samples []promSample) {
+	type row struct {
+		episodes, waitSum, waitCount float64
+	}
+	rows := map[string]*row{}
+	row0 := func(wire string) *row {
+		r := rows[wire]
+		if r == nil {
+			r = &row{}
+			rows[wire] = r
+		}
+		return r
+	}
+	for _, s := range samples {
+		wire := s.label("wire")
+		if wire == "" {
+			continue
+		}
+		switch s.name {
+		case trace.MetricBlame:
+			row0(wire).episodes += s.value
+		case trace.MetricBlameSeconds + "_sum":
+			row0(wire).waitSum += s.value
+		case trace.MetricBlameSeconds + "_count":
+			row0(wire).waitCount += s.value
+		}
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.episodes
+	}
+	if total == 0 {
+		return
+	}
+	wires := make([]string, 0, len(rows))
+	for w, r := range rows {
+		if r.episodes > 0 {
+			wires = append(wires, w)
+		}
+	}
+	// Most-blamed first; ties resolve alphabetically for stable output.
+	sort.Slice(wires, func(i, j int) bool {
+		ri, rj := rows[wires[i]], rows[wires[j]]
+		if ri.episodes != rj.episodes {
+			return ri.episodes > rj.episodes
+		}
+		return wires[i] < wires[j]
+	})
+	fmt.Println("  pessimism blame (last holdout per episode):")
+	fmt.Printf("    %-28s %9s %7s %12s %12s\n",
+		"blamed wire", "episodes", "share", "blocked", "per-episode")
+	for _, w := range wires {
+		r := rows[w]
+		per := "-"
+		if r.waitCount > 0 {
+			per = fmt.Sprintf("%.2fms", 1e3*r.waitSum/r.waitCount)
+		}
+		fmt.Printf("    %-28s %9.0f %6.1f%% %11.1fms %12s\n",
+			w, r.episodes, 100*r.episodes/total, 1e3*r.waitSum, per)
 	}
 }
 

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	tart "repro"
+	"repro/internal/trace"
+)
+
+// traceCmd reconstructs causal chains from flight-recorder events. Events
+// come from a dump file (-file; JSON array or JSONL, as written by the
+// recorder and the /trace endpoint) or live from an engine's debug listener
+// (-addr). With -origin it prints that external input's full causal chain —
+// every recorded event stamped with its OriginID, in causal (virtual time,
+// then hop) order. Without -origin it prints the origin summary: which
+// external inputs appear in the trace and how many events each caused.
+func traceCmd(file, addr, origin string, last int) error {
+	events, err := loadTraceEvents(file, addr, last)
+	if err != nil {
+		return err
+	}
+	if origin == "" {
+		counts := trace.Origins(events)
+		if len(counts) == 0 {
+			fmt.Println("no origin-stamped events (was the cluster launched with WithFlightRecorder?)")
+			return nil
+		}
+		fmt.Printf("%d origins across %d events; rerun with -origin <id> for one chain\n",
+			len(counts), len(events))
+		fmt.Printf("  %-12s %s\n", "origin", "events")
+		for _, c := range counts {
+			fmt.Printf("  %-12s %d\n", c.Origin, c.Events)
+		}
+		return nil
+	}
+	o, err := tart.ParseOrigin(origin)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	chain := trace.CausalChain(events, o)
+	if len(chain) == 0 {
+		return fmt.Errorf("trace: no events with origin %s (of %d events read)", o, len(events))
+	}
+	fmt.Printf("causal chain of %s (%d events):\n", o, len(chain))
+	for _, ev := range chain {
+		indent := int(ev.Hops)
+		if indent > 8 {
+			indent = 8
+		}
+		for i := 0; i < indent; i++ {
+			fmt.Print("  ")
+		}
+		fmt.Printf("  %s\n", ev.String())
+	}
+	return nil
+}
+
+// loadTraceEvents reads flight-recorder events from a file or a live debug
+// endpoint; exactly one of file/addr must be set.
+func loadTraceEvents(file, addr string, last int) ([]tart.TraceEvent, error) {
+	switch {
+	case file != "" && addr != "":
+		return nil, fmt.Errorf("trace: -file and -addr are mutually exclusive")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		events, err := trace.ReadEvents(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read %s: %w", file, err)
+		}
+		return events, nil
+	case addr != "":
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(fmt.Sprintf("http://%s/trace?last=%d", addr, last))
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		defer resp.Body.Close()
+		events, err := trace.ReadEvents(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read /trace: %w", err)
+		}
+		return events, nil
+	default:
+		return nil, fmt.Errorf("trace: one of -file or -addr is required")
+	}
+}

@@ -8,6 +8,7 @@
 //	tartsim -exp dumb        The 600 µs constant ("dumb") estimator study
 //	tartsim -exp bias        §II.G.1 bias algorithm under asymmetric rates
 //	tartsim -exp wires       Per-wire registry table for one deterministic run
+//	tartsim -exp blame       Pessimism blame attribution across sender configs
 //	tartsim -exp all         Everything above
 package main
 
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -52,6 +53,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		bias(duration, seed)
 	case "wires":
 		wires(duration, seed)
+	case "blame":
+		blame(duration, seed)
 	case "all":
 		fig2(fig2n, fig2reps, seed)
 		fig3(duration, seed, 0)
@@ -60,6 +63,7 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		throughput(duration, seed)
 		bias(duration, seed)
 		wires(duration, seed)
+		blame(duration, seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -199,6 +203,63 @@ func wires(duration time.Duration, seed uint64) {
 			wire, r.delivered, r.outOfOrder, r.probes, r.pessCount, pess)
 	}
 	fmt.Println()
+}
+
+// blame runs the pessimism blame-attribution study: for each sender
+// configuration, which input wire's silence frontier was the last holdout
+// when the merger sat blocked, and for how long. With symmetric senders the
+// blame splits roughly evenly; slowing one sender concentrates the blame on
+// its wire; giving the slow sender an eager (hyper-aggressive) silence
+// strategy wins most of its blame share back.
+func blame(duration time.Duration, seed uint64) {
+	fmt.Println("== Pessimism blame attribution (per-wire last-holdout accounting) ==")
+	fmt.Println("   each pessimism episode is blamed on the wire whose silence frontier")
+	fmt.Println("   was the last holdout; lazier/slower senders should concentrate blame")
+	configs := []struct {
+		name string
+		p    sim.Params
+	}{
+		{"symmetric 1ms/1ms", sim.Params{Mode: sim.Deterministic}},
+		{"slow sender2 (8ms)", sim.Params{Mode: sim.Deterministic,
+			ArrivalMeans: [2]time.Duration{time.Millisecond, 8 * time.Millisecond}}},
+		{"slow sender2 + bias", sim.Params{Mode: sim.Deterministic,
+			ArrivalMeans: [2]time.Duration{time.Millisecond, 8 * time.Millisecond},
+			Bias:         [2]time.Duration{0, 2 * time.Millisecond}}},
+	}
+	fmt.Printf("\n   %-22s %-24s %9s %7s %12s %12s\n",
+		"config", "blamed wire", "episodes", "share", "blocked", "per-episode")
+	for _, c := range configs {
+		c.p.Duration = duration
+		c.p.Seed = seed
+		res := sim.Run(c.p)
+		total := res.Blame[0] + res.Blame[1]
+		for i := 0; i < 2; i++ {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(res.Blame[i]) / float64(total)
+			}
+			per := "-"
+			if res.Blame[i] > 0 {
+				per = fmt.Sprintf("%.1fµs", res.BlameWait[i].Seconds()*1e6/float64(res.Blame[i]))
+			}
+			name := c.name
+			if i == 1 {
+				name = ""
+			}
+			fmt.Printf("   %-22s %-24s %9d %6.1f%% %12v %12s\n",
+				name, wireLabel(i), res.Blame[i], share,
+				res.BlameWait[i].Round(time.Microsecond), per)
+		}
+	}
+	fmt.Println()
+}
+
+// wireLabel names the merger input wires the way the registry does.
+func wireLabel(wire int) string {
+	if wire == 0 {
+		return "sender1.out>merger.s1"
+	}
+	return "sender2.out>merger.s2"
 }
 
 func throughput(duration time.Duration, seed uint64) {

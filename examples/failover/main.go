@@ -208,19 +208,32 @@ func printRecoveryStory(cluster *tart.Cluster) {
 		return
 	}
 	interesting := map[tart.TraceEventKind]bool{
-		tart.EvCheckpoint:    true,
-		tart.EvFailover:      true,
-		tart.EvReplayRequest: true,
-		tart.EvReplayServe:   true,
-		tart.EvSourceEmit:    true,
-		tart.EvDuplicateDrop: true,
+		tart.EvCheckpoint:       true,
+		tart.EvFailover:         true,
+		tart.EvReplayRequest:    true,
+		tart.EvReplayServe:      true,
+		tart.EvSourceEmit:       true,
+		tart.EvDuplicateDrop:    true,
+		tart.EvDeterminismFault: true,
 	}
 	fmt.Println("\nflight recorder — the recovery story (checkpoint → failover → replay → duplicate drops):")
+	faults := 0
 	for _, ev := range events {
+		if ev.Kind == tart.EvDeterminismFault {
+			faults++
+		}
 		if !interesting[ev.Kind] {
 			continue
 		}
 		fmt.Printf("  %s\n", ev.String())
+	}
+	// The determinism audit re-derived every delivery chain during replay
+	// and compared it against the pre-crash record; silence is the proof
+	// that recovery was truly deterministic.
+	if faults == 0 {
+		fmt.Println("determinism audit: replay matched the recorded delivery chains — 0 faults")
+	} else {
+		fmt.Printf("determinism audit: %d fault(s) — replay DIVERGED from the original run\n", faults)
 	}
 	if path, err := cluster.FlightDumpPath("node"); err == nil && path != "" {
 		if _, err := os.Stat(path); err == nil {

@@ -14,8 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	tart "repro"
@@ -138,7 +141,16 @@ func run() error {
 	app.SinkFrom("alerts", "alerter", "alerts")
 	app.PlaceAll("analytics")
 
-	cluster, err := tart.Launch(app, tart.WithCheckpointEvery(100*time.Millisecond))
+	// The flight recorder stamps every event with the external input it
+	// causally descends from, so a trade's full journey — VWAP update, the
+	// two-way limits call, the alert — can be reconstructed afterwards.
+	flightDir, err := os.MkdirTemp("", "tart-pipeline-flight-")
+	if err != nil {
+		return err
+	}
+	cluster, err := tart.Launch(app,
+		tart.WithCheckpointEvery(100*time.Millisecond),
+		tart.WithFlightRecorder(flightDir))
 	if err != nil {
 		return err
 	}
@@ -192,5 +204,41 @@ func run() error {
 		m.Delivered, m.Checkpoints, m.CheckpointBytes, m.DeterminismFaults)
 	fmt.Println("the VWAP table checkpoints incrementally: only symbols touched since")
 	fmt.Println("the previous snapshot are shipped to the replica.")
+	return printProvenance(cluster, flightDir)
+}
+
+// printProvenance reconstructs one trade's causal chain from the flight
+// recorder and writes the full event dump for offline exploration with
+// `tartctl trace`.
+func printProvenance(cluster *tart.Cluster, flightDir string) error {
+	events, err := cluster.TraceEvents("analytics", 0)
+	if err != nil {
+		return err
+	}
+	var origin tart.OriginID
+	for _, ev := range events {
+		if ev.Kind == tart.EvSourceEmit {
+			origin = ev.Origin // first trade that entered the pipeline
+			break
+		}
+	}
+	if origin == 0 {
+		return nil
+	}
+	fmt.Printf("\ncausal chain of the first trade (origin %s):\n", origin)
+	for _, ev := range tart.CausalChain(events, origin) {
+		fmt.Printf("  hop %d  %s\n", ev.Hops, ev.String())
+	}
+
+	path := filepath.Join(flightDir, "analytics-trace.json")
+	data, err := json.MarshalIndent(events, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nfull trace written to %s\n", path)
+	fmt.Printf("explore other inputs with: go run ./cmd/tartctl trace -file %s [-origin %s]\n", path, origin)
 	return nil
 }

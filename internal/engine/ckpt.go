@@ -211,6 +211,19 @@ func NewFromBackup(cfg Config, store *checkpoint.ReplicaStore) (*Engine, error) 
 			return nil, err
 		}
 		h.restoredState = schedState
+		// Verify the checkpoint's audit chain against the replica-side
+		// record: the chain value after AuditCount deliveries must match
+		// what the original generation recorded at that index (§II.G.4).
+		// A mismatch means the checkpointed prefix diverged from the run
+		// the replica witnessed — a determinism fault.
+		if audit := e.metrics.Audit(); audit != nil && schedState.AuditCount > 0 {
+			if entry, ok := audit.At(h.name, schedState.AuditCount-1); ok && entry.Chain != schedState.AuditChain {
+				e.metrics.AddDeterminismFault()
+				e.metrics.Registry().DeterminismFaults(h.name, "checkpoint-chain").Inc()
+				e.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: schedState.Clock, Component: h.name, Wire: -1,
+					Note: fmt.Sprintf("checkpoint audit chain mismatch at delivery %d", schedState.AuditCount-1)})
+			}
+		}
 		if h.cal != nil {
 			if estState != nil {
 				if err := h.cal.SetState(*estState); err != nil {

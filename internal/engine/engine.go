@@ -96,6 +96,11 @@ type Config struct {
 	// Pass the same recorder to successive generations of an engine (the
 	// cluster does) so a post-failover dump contains the pre-crash story.
 	Recorder *trace.Recorder
+	// Audit is the determinism audit log delivery chains are recorded in
+	// and verified against; optional (nil disables auditing). Like the
+	// Recorder, pass the same log to successive generations so a recovered
+	// engine's replay is checked against the pre-crash record.
+	Audit *trace.AuditLog
 	// DebugAddr, when non-empty, binds a debug HTTP listener serving
 	// /metrics, /healthz, /trace, and /topology. Off by default. Use
 	// "127.0.0.1:0" for an ephemeral port (see Engine.DebugAddr).
@@ -167,6 +172,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Recorder != nil {
 		cfg.Metrics.SetRecorder(cfg.Recorder)
+	}
+	if cfg.Audit != nil {
+		cfg.Metrics.SetAudit(cfg.Audit)
 	}
 	if cfg.GapRepairEvery <= 0 {
 		cfg.GapRepairEvery = 50 * time.Millisecond

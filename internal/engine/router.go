@@ -175,7 +175,9 @@ func (e *Engine) repairGaps() {
 					recs, err := e.log.Inputs(src.name, fromSeq)
 					if err == nil {
 						for _, r := range recs {
-							src.target.sch.Deliver(msg.NewData(wid, r.Seq, r.VT, r.Payload))
+							env := msg.NewData(wid, r.Seq, r.VT, r.Payload)
+							env.Origin = msg.NewOrigin(wid, r.Seq)
+							src.target.sch.Deliver(env)
 						}
 					}
 				}

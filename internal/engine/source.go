@@ -85,8 +85,13 @@ func (s *Source) emitLocked(t vt.Time, payload any) error {
 	s.seq = seq
 	s.lastVT = t
 	s.emits.Inc()
-	s.e.rec.Record(trace.Event{Kind: trace.EvSourceEmit, VT: t, Component: s.name, Wire: s.wire.ID, MsgSeq: seq})
-	s.target.sch.Deliver(msg.NewData(s.wire.ID, seq, t, payload))
+	// Provenance: the origin of everything this input causes is the source
+	// wire plus the logged sequence number — both deterministic, so replayed
+	// injections (restoreCursor, repairGaps) recreate the identical origin.
+	env := msg.NewData(s.wire.ID, seq, t, payload)
+	env.Origin = msg.NewOrigin(s.wire.ID, seq)
+	s.e.rec.Record(trace.Event{Kind: trace.EvSourceEmit, VT: t, Component: s.name, Wire: s.wire.ID, MsgSeq: seq, Origin: env.Origin})
+	s.target.sch.Deliver(env)
 	return nil
 }
 
@@ -140,7 +145,9 @@ func (s *Source) restoreCursor(fromSeq uint64, lastVT vt.Time) error {
 		if r.Seq < fromSeq {
 			continue
 		}
-		s.target.sch.Deliver(msg.NewData(s.wire.ID, r.Seq, r.VT, r.Payload))
+		env := msg.NewData(s.wire.ID, r.Seq, r.VT, r.Payload)
+		env.Origin = msg.NewOrigin(s.wire.ID, r.Seq)
+		s.target.sch.Deliver(env)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 package msg
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/vt"
@@ -22,6 +23,81 @@ type WireID int32
 
 // String renders the wire ID.
 func (w WireID) String() string { return fmt.Sprintf("w%d", int32(w)) }
+
+// OriginID identifies the external input that (transitively) caused a
+// message: the source wire it entered on and its per-wire sequence number,
+// packed into one word. Because both coordinates are deterministic — wires
+// are numbered by the topology and source sequences are logged in the WAL —
+// the origin of every derived message is identical across the original run,
+// replay, and the passive replica, which is what makes provenance usable as
+// a causal key rather than a per-run annotation.
+//
+// The zero OriginID means "unknown provenance": control traffic, messages
+// predating provenance stamping, or envelopes synthesized outside a source.
+type OriginID uint64
+
+// originSeqBits is the width of the sequence field inside an OriginID; the
+// wire ID occupies the bits above it. 2^40 inputs per source wire outlasts
+// any run we care about, and 2^24 wires outlasts any topology.
+const originSeqBits = 40
+
+// NewOrigin packs a source wire and its input sequence number into an
+// origin ID.
+func NewOrigin(w WireID, seq uint64) OriginID {
+	return OriginID(uint64(uint32(w))<<originSeqBits | seq&(1<<originSeqBits-1))
+}
+
+// Wire returns the source wire the originating input entered on.
+func (o OriginID) Wire() WireID { return WireID(int32(uint64(o) >> originSeqBits)) }
+
+// Seq returns the originating input's per-wire sequence number.
+func (o OriginID) Seq() uint64 { return uint64(o) & (1<<originSeqBits - 1) }
+
+// String renders the origin as "w<wire>#<seq>", or "-" for the zero value.
+func (o OriginID) String() string {
+	if o == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s#%d", o.Wire(), o.Seq())
+}
+
+// ParseOrigin parses the String form ("w3#17", or "-" for the zero origin)
+// back into an OriginID.
+func ParseOrigin(s string) (OriginID, error) {
+	if s == "-" {
+		return 0, nil
+	}
+	var w int32
+	var seq uint64
+	if _, err := fmt.Sscanf(s, "w%d#%d", &w, &seq); err != nil {
+		return 0, fmt.Errorf("msg: bad origin %q (want w<wire>#<seq>): %v", s, err)
+	}
+	return NewOrigin(WireID(w), seq), nil
+}
+
+// MarshalJSON renders the origin in its String form so flight dumps are
+// grep-able by origin.
+func (o OriginID) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", o.String())), nil
+}
+
+// UnmarshalJSON parses the String form (for tools reading dump files).
+func (o *OriginID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "-" || s == "" {
+		*o = 0
+		return nil
+	}
+	parsed, err := ParseOrigin(s)
+	if err != nil {
+		return err
+	}
+	*o = parsed
+	return nil
+}
 
 // Kind discriminates envelope types.
 type Kind int8
@@ -90,6 +166,14 @@ type Envelope struct {
 	Promise vt.Time
 	CallID  uint64
 	Payload any
+
+	// Origin is the external input this message causally descends from
+	// (zero for control traffic and unknown provenance); Hops counts
+	// handler boundaries crossed since that input entered the system (the
+	// source emission itself is hop 0). Both are stamped deterministically,
+	// so replayed and replicated envelopes carry identical provenance.
+	Origin OriginID
+	Hops   uint32
 }
 
 // NewData constructs a data envelope.

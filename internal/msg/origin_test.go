@@ -1,0 +1,66 @@
+package msg
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestOriginPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		wire WireID
+		seq  uint64
+	}{
+		{0, 0}, {0, 1}, {3, 17}, {1 << 20, 42}, {7, 1<<40 - 1},
+	}
+	for _, c := range cases {
+		o := NewOrigin(c.wire, c.seq)
+		if o.Wire() != c.wire || o.Seq() != c.seq {
+			t.Errorf("NewOrigin(%d, %d) unpacked to (%d, %d)", c.wire, c.seq, o.Wire(), o.Seq())
+		}
+	}
+	// Wire 0 with a nonzero seq must be distinguishable from the zero value.
+	if NewOrigin(0, 1) == 0 {
+		t.Error("w0#1 collapsed to the unknown origin")
+	}
+}
+
+func TestOriginStringAndParse(t *testing.T) {
+	o := NewOrigin(3, 17)
+	if o.String() != "w3#17" {
+		t.Errorf("String = %q", o.String())
+	}
+	if OriginID(0).String() != "-" {
+		t.Errorf("zero String = %q", OriginID(0).String())
+	}
+	back, err := ParseOrigin("w3#17")
+	if err != nil || back != o {
+		t.Errorf("ParseOrigin = %v, %v", back, err)
+	}
+	if zero, err := ParseOrigin("-"); err != nil || zero != 0 {
+		t.Errorf("ParseOrigin(-) = %v, %v", zero, err)
+	}
+	if _, err := ParseOrigin("nonsense"); err == nil {
+		t.Error("ParseOrigin accepted garbage")
+	}
+}
+
+func TestOriginJSON(t *testing.T) {
+	o := NewOrigin(2, 9)
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"w2#9"` {
+		t.Errorf("marshal = %s", b)
+	}
+	var back OriginID
+	if err := json.Unmarshal(b, &back); err != nil || back != o {
+		t.Errorf("unmarshal = %v, %v", back, err)
+	}
+	for _, raw := range []string{`"-"`, `""`} {
+		var z OriginID
+		if err := json.Unmarshal([]byte(raw), &z); err != nil || z != 0 {
+			t.Errorf("unmarshal %s = %v, %v", raw, z, err)
+		}
+	}
+}

@@ -24,6 +24,10 @@ type Ctx struct {
 	// dequeue time plus the estimator's cost, advanced further by call
 	// replies. Outputs are stamped relative to it.
 	handlerVT vt.Time
+	// origin and hops carry the provenance of the message being handled;
+	// every output envelope inherits origin with hops+1.
+	origin msg.OriginID
+	hops   uint32
 }
 
 // Now returns the virtual time at which the current message was dequeued —
@@ -60,8 +64,10 @@ func (c *Ctx) Send(port string, payload any) error {
 	s.mu.Unlock()
 
 	ow.m.Sent.Inc()
-	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq})
-	s.cfg.Router.Route(msg.NewData(ow.w.ID, seq, stamped, payload))
+	env := msg.NewData(ow.w.ID, seq, stamped, payload)
+	env.Origin, env.Hops = c.origin, c.hops+1
+	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq, Origin: env.Origin, Hops: env.Hops})
+	s.cfg.Router.Route(env)
 	return nil
 }
 
@@ -94,8 +100,10 @@ func (c *Ctx) Call(port string, payload any) (any, error) {
 	s.mu.Unlock()
 
 	ow.m.Sent.Inc()
-	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq, Note: "call request"})
-	s.cfg.Router.Route(msg.NewCallRequest(ow.w.ID, seq, stamped, callID, payload))
+	env := msg.NewCallRequest(ow.w.ID, seq, stamped, callID, payload)
+	env.Origin, env.Hops = c.origin, c.hops+1
+	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq, Origin: env.Origin, Hops: env.Hops, Note: "call request"})
+	s.cfg.Router.Route(env)
 
 	select {
 	case reply := <-replyCh:

@@ -119,13 +119,24 @@ type Scheduler struct {
 	maxDlvd          uint64 // max arrival index among delivered messages
 	probed           map[msg.WireID]vt.Time
 	pessStart        time.Time
+	pessBlame        msg.WireID // last holdout observed during the current pessimism episode; -1 if none
 	finalSilenceSent bool
+
+	// Determinism audit chain (paper §II.G.4): a rolling hash over the
+	// delivered (wire, seq, VT, payload-digest) sequence. auditCount is the
+	// number of deliveries folded in so far; both travel in checkpoints.
+	// Updates and verification are skipped entirely when audit is nil.
+	auditChain uint64
+	auditCount uint64
+	audit      *trace.AuditLog
 
 	// Observability handles, resolved once at construction; all are valid
 	// no-ops when the Metrics carries no registry/recorder.
 	rec         *trace.Recorder
 	reg         *trace.Registry
 	handlerHist *trace.Histogram
+	estErrHist  *trace.Histogram
+	detFaults   *trace.Counter
 
 	poke    chan struct{}
 	stop    chan struct{}
@@ -155,24 +166,29 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg.ProbeRetry = 50 * time.Millisecond
 	}
 	s := &Scheduler{
-		cfg:      cfg,
-		comp:     cfg.Comp,
-		inFlight: vt.Never,
-		inputs:   make(map[msg.WireID]*inWire, len(cfg.Comp.Inputs)),
-		byPort:   make(map[string]*outWire, len(cfg.Comp.Outputs)),
-		outputs:  make(map[msg.WireID]*outWire, len(cfg.Comp.Outputs)),
-		gov:      silence.NewGovernor(cfg.Silence),
-		rng:      stats.NewRNG(cfg.Seed),
-		waiters:  make(map[uint64]chan msg.Envelope),
-		probed:   make(map[msg.WireID]vt.Time),
-		poke:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		comp:       cfg.Comp,
+		inFlight:   vt.Never,
+		pessBlame:  -1,
+		auditChain: trace.ChainSeed(),
+		inputs:     make(map[msg.WireID]*inWire, len(cfg.Comp.Inputs)),
+		byPort:     make(map[string]*outWire, len(cfg.Comp.Outputs)),
+		outputs:    make(map[msg.WireID]*outWire, len(cfg.Comp.Outputs)),
+		gov:        silence.NewGovernor(cfg.Silence),
+		rng:        stats.NewRNG(cfg.Seed),
+		waiters:    make(map[uint64]chan msg.Envelope),
+		probed:     make(map[msg.WireID]vt.Time),
+		poke:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	reg := cfg.Metrics.Registry()
 	s.reg = reg
 	s.rec = cfg.Metrics.Recorder()
+	s.audit = cfg.Metrics.Audit()
 	s.handlerHist = reg.HandlerSeconds(cfg.Comp.Name)
+	s.estErrHist = reg.EstimatorError(cfg.Comp.Name)
+	s.detFaults = reg.DeterminismFaults(cfg.Comp.Name, "replay-divergence")
 	for _, wid := range cfg.Comp.Inputs {
 		in := newInWire(cfg.Topo.Wire(wid))
 		in.m = reg.InWire(cfg.Comp.Name, WireName(cfg.Topo, in.w))

@@ -28,6 +28,13 @@ type State struct {
 	MaxDlvd  uint64
 	Inputs   map[msg.WireID]InputState
 	Outputs  map[msg.WireID]OutputState
+
+	// AuditChain/AuditCount persist the determinism audit chain (§II.G.4):
+	// the rolling hash over the delivered prefix and its length. A replica
+	// restoring the checkpoint verifies them against its recorded chain and
+	// continues the chain from here through replay.
+	AuditChain uint64
+	AuditCount uint64
 }
 
 // InputState is the delivery cursor of one input wire.
@@ -73,13 +80,15 @@ func (s *Scheduler) WithQuiescent(fn func(st State)) {
 
 func (s *Scheduler) snapshotLocked() State {
 	st := State{
-		Clock:    s.clock,
-		RNG:      s.rng.State(),
-		NextCall: s.nextCall,
-		Floor:    s.gov.OutputFloor(),
-		MaxDlvd:  s.maxDlvd,
-		Inputs:   make(map[msg.WireID]InputState, len(s.inputs)),
-		Outputs:  make(map[msg.WireID]OutputState, len(s.outputs)),
+		Clock:      s.clock,
+		RNG:        s.rng.State(),
+		NextCall:   s.nextCall,
+		Floor:      s.gov.OutputFloor(),
+		MaxDlvd:    s.maxDlvd,
+		Inputs:     make(map[msg.WireID]InputState, len(s.inputs)),
+		Outputs:    make(map[msg.WireID]OutputState, len(s.outputs)),
+		AuditChain: s.auditChain,
+		AuditCount: s.auditCount,
 	}
 	for id, in := range s.inputs {
 		// The cursor reflects delivered messages only: queued-but-undelivered
@@ -104,6 +113,10 @@ func (s *Scheduler) Restore(st State) error {
 	s.rng.SetState(st.RNG)
 	s.nextCall = st.NextCall
 	s.maxDlvd = st.MaxDlvd
+	if st.AuditCount > 0 || st.AuditChain != 0 {
+		s.auditChain = st.AuditChain
+		s.auditCount = st.AuditCount
+	}
 	if st.Floor != vt.Never {
 		s.gov.RestoreFloor(st.Floor)
 	}

@@ -96,6 +96,17 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 			s.pessStart = time.Now()
 			s.rec.Record(trace.Event{Kind: trace.EvPessimismStart, VT: cand.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: cand.env.Seq})
 		}
+		// Track the laggard: among the wires still blocking this candidate,
+		// the one whose silence frontier trails furthest (lowest wire ID on
+		// ties). The value observed on the episode's final blocked pass is
+		// the last holdout, which the episode's end blames (§II.H).
+		s.pessBlame = blockers[0]
+		worst := s.inputs[blockers[0]].watermark
+		for _, w := range blockers[1:] {
+			if wm := s.inputs[w].watermark; wm < worst {
+				s.pessBlame, worst = w, wm
+			}
+		}
 		if s.gov.Strategy().Probes() {
 			for _, w := range blockers {
 				if s.probed[w] < cand.env.VT {
@@ -119,8 +130,15 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		wait := time.Since(s.pessStart)
 		s.cfg.Metrics.AddPessimismDelay(wait)
 		in.m.Pessimism.Observe(wait.Seconds())
-		s.rec.Record(trace.Event{Kind: trace.EvPessimismEnd, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Note: "waited " + wait.String()})
+		ev := trace.Event{Kind: trace.EvPessimismEnd, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, WaitNanos: int64(wait)}
+		if blamed, ok := s.inputs[s.pessBlame]; ok {
+			ev.SetBlame(s.pessBlame)
+			blamed.m.Blame.Inc()
+			blamed.m.BlameSeconds.Observe(wait.Seconds())
+		}
+		s.rec.Record(ev)
 		s.pessStart = time.Time{}
+		s.pessBlame = -1
 	}
 	outOfOrder := q.arrival < s.maxDlvd
 	if q.arrival > s.maxDlvd {
@@ -136,17 +154,35 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 	cost := s.cfg.Est.Cost(q.env.Payload, d)
 	s.inFlight = d
 	port := in.w.ToPort
+	if s.audit != nil {
+		// Fold the delivery into the rolling audit chain and verify it
+		// against the recorded chain (first run records; replay and the
+		// recovered replica compare, §II.G.4). On divergence, resync to the
+		// recorded value so one corrupted message yields exactly one fault
+		// instead of cascading down the rest of the chain.
+		digest := trace.PayloadDigest(q.env.Payload)
+		s.auditChain = trace.ChainNext(s.auditChain, candWire, q.env.Seq, q.env.VT, digest)
+		idx := s.auditCount
+		s.auditCount++
+		if ok, want := s.audit.Check(s.comp.Name, idx, q.env.VT, s.auditChain); !ok {
+			s.auditChain = want
+			s.cfg.Metrics.AddDeterminismFault()
+			s.detFaults.Inc()
+			s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops, Note: "replay divergence: delivered payload differs from recorded chain"})
+		}
+	}
 	s.mu.Unlock()
-	s.rec.Record(trace.Event{Kind: trace.EvDeliver, VT: d, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq})
+	s.rec.Record(trace.Event{Kind: trace.EvDeliver, VT: d, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops})
 
 	// Run the handler without holding the lock: it may Send (which locks
 	// briefly) and Call (which blocks awaiting a reply).
-	ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost)}
+	ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost), origin: q.env.Origin, hops: q.env.Hops}
 	start := time.Now()
 	reply, err := s.cfg.Handler.OnMessage(ctx, port, q.env.Payload)
 	elapsed := time.Since(start)
 	_ = err // handler errors are the application's concern; state advances regardless
 	s.handlerHist.Observe(elapsed.Seconds())
+	s.estErrHist.Observe((time.Duration(cost) - elapsed).Seconds())
 
 	if q.env.Kind == msg.KindCallRequest {
 		s.sendReply(ctx, q.env, reply)
@@ -273,8 +309,10 @@ func (s *Scheduler) sendReply(ctx *Ctx, req msg.Envelope, reply any) {
 	s.gov.NoteData(reqWire.Peer, stamped)
 	s.mu.Unlock()
 	ow.m.Sent.Inc()
-	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: reqWire.Peer, MsgSeq: seq, Note: "call reply"})
-	s.cfg.Router.Route(msg.NewCallReply(reqWire.Peer, seq, stamped, req.CallID, reply))
+	env := msg.NewCallReply(reqWire.Peer, seq, stamped, req.CallID, reply)
+	env.Origin, env.Hops = ctx.origin, ctx.hops+1
+	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: reqWire.Peer, MsgSeq: seq, Origin: env.Origin, Hops: env.Hops, Note: "call reply"})
+	s.cfg.Router.Route(env)
 }
 
 // replyOut returns (lazily creating) the out-wire state for a call-reply
@@ -312,6 +350,7 @@ func (s *Scheduler) observe(payload any, measured vt.Ticks) {
 	s.mu.Unlock()
 	if err := cal.Commit(*fault); err == nil {
 		s.cfg.Metrics.AddDeterminismFault()
+		s.reg.DeterminismFaults(s.comp.Name, "recalibration").Inc()
 		s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: fault.EffectiveVT, Component: s.comp.Name, Wire: -1, Note: "estimator recalibration"})
 	}
 }

@@ -220,6 +220,11 @@ type Result struct {
 	// FinalBacklog is the number of messages still queued at the end (a
 	// growing backlog signals instability for the throughput study).
 	FinalBacklog int
+	// Blame counts, per sender wire, the pessimism episodes whose last
+	// holdout was that wire's silence frontier; BlameWait accumulates the
+	// real time the merger spent blocked on it.
+	Blame     [2]int
+	BlameWait [2]time.Duration
 }
 
 // AvgPessimism returns the mean pessimism delay per delivered message.

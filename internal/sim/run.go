@@ -178,6 +178,8 @@ type simMerger struct {
 	pessWire  int     // wire whose missing silence caused the block
 	pessTotal float64
 	pessCount int
+	blame     [2]int     // episodes blamed on each wire's silence
+	blameWait [2]float64 // real ns spent blocked on each wire
 	delivered int
 }
 
@@ -254,7 +256,12 @@ func (m *simMerger) tryStartVTOrder() {
 		m.pessTotal += d
 		m.pessCount++
 		m.pessStart = -1
-		m.w.wires[m.pessWire].Pessimism.Observe(d / 1e9)
+		m.blame[m.pessWire]++
+		m.blameWait[m.pessWire] += d
+		wm := m.w.wires[m.pessWire]
+		wm.Pessimism.Observe(d / 1e9)
+		wm.Blame.Inc()
+		wm.BlameSeconds.Observe(d / 1e9)
 	}
 	m.deliver(cand)
 }
@@ -428,6 +435,10 @@ func Run(p Params) Result {
 		PessimismTotal: time.Duration(w.merger.pessTotal),
 		PessimismCount: w.merger.pessCount,
 		FinalBacklog:   w.backlog(),
+	}
+	for i := range res.Blame {
+		res.Blame[i] = w.merger.blame[i]
+		res.BlameWait[i] = time.Duration(w.merger.blameWait[i])
 	}
 	if len(w.latencies) > 0 {
 		var sum float64

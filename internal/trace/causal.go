@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/msg"
+)
+
+// CausalChain filters events down to those caused by one external input and
+// orders them causally: by virtual time, then by hop count (a message is
+// sent before its consequence is delivered at the same VT), then by
+// recorder sequence as a stable final tie-break. The result is the story of
+// origin through the pipeline — source emission, each deliver/send pair per
+// hop, and any replay re-deliveries.
+func CausalChain(events []Event, origin msg.OriginID) []Event {
+	var chain []Event
+	for _, e := range events {
+		if e.Origin == origin && origin != 0 {
+			chain = append(chain, e)
+		}
+	}
+	sort.SliceStable(chain, func(i, j int) bool {
+		a, b := chain[i], chain[j]
+		if a.VT != b.VT {
+			return a.VT < b.VT
+		}
+		if a.Hops != b.Hops {
+			return a.Hops < b.Hops
+		}
+		return a.Seq < b.Seq
+	})
+	return chain
+}
+
+// Origins returns the distinct non-zero origins present in events, sorted,
+// with the number of events attributed to each.
+func Origins(events []Event) []OriginCount {
+	counts := map[msg.OriginID]int{}
+	for _, e := range events {
+		if e.Origin != 0 {
+			counts[e.Origin]++
+		}
+	}
+	out := make([]OriginCount, 0, len(counts))
+	for o, n := range counts {
+		out = append(out, OriginCount{Origin: o, Events: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// OriginCount pairs an origin with how many recorded events it caused.
+type OriginCount struct {
+	Origin msg.OriginID
+	Events int
+}
+
+// ReadEvents parses flight-recorder events from r, accepting both formats
+// the runtime produces: the JSONL stream written by Recorder.WriteJSON
+// (one event per line) and the indented JSON array served by the debug
+// /trace endpoint.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	// Peek past leading whitespace to sniff the format.
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return nil, nil
+			}
+			return nil, err
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			br.ReadByte()
+			continue
+		}
+		if b[0] == '[' {
+			var events []Event
+			if err := json.NewDecoder(br).Decode(&events); err != nil {
+				return nil, fmt.Errorf("trace: parsing event array: %w", err)
+			}
+			return events, nil
+		}
+		break
+	}
+	var events []Event
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -30,8 +30,8 @@ const (
 	// EvPessimismStart marks a scheduler beginning to hold a deliverable
 	// candidate while waiting for other senders' silence.
 	EvPessimismStart
-	// EvPessimismEnd marks the end of a pessimism-wait episode; Note holds
-	// the measured real-time wait.
+	// EvPessimismEnd marks the end of a pessimism-wait episode; WaitNanos
+	// holds the measured real-time wait and Blame the last-holdout wire.
 	EvPessimismEnd
 	// EvCuriosityStanding marks a silence governor registering a standing
 	// curiosity target it cannot yet answer.
@@ -48,7 +48,10 @@ const (
 	// EvDuplicateDrop is a duplicate message or reply discarded by
 	// sequence/timestamp.
 	EvDuplicateDrop
-	// EvDeterminismFault is a logged estimator recalibration.
+	// EvDeterminismFault is a logged determinism fault (paper §II.G.4): an
+	// estimator recalibration, an audit-chain divergence detected during
+	// replay, or a checkpoint whose restored chain disagrees with the
+	// replica's record. Note names the cause.
 	EvDeterminismFault
 	// EvFailover is a passive-replica activation.
 	EvFailover
@@ -131,8 +134,33 @@ type Event struct {
 	// MsgSeq is the per-wire message sequence number (or checkpoint
 	// sequence for EvCheckpoint), 0 when not applicable.
 	MsgSeq uint64 `json:"msgSeq,omitempty"`
-	// Note carries free-form detail (sizes, peers, measured waits).
+	// Origin is the external input the event's message causally descends
+	// from (zero when unknown or not applicable), and Hops the number of
+	// handler boundaries crossed since it entered. Together they let a
+	// trace reader reconstruct the full causal chain of one input.
+	Origin msg.OriginID `json:"origin,omitempty"`
+	Hops   uint32       `json:"hops,omitempty"`
+	// WaitNanos is the measured real-time duration of a pessimism-wait
+	// episode in nanoseconds (EvPessimismEnd only; 0 otherwise). It is the
+	// machine-parseable counterpart of what used to live in Note.
+	WaitNanos int64 `json:"waitNanos,omitempty"`
+	// Blame encodes the blamed wire for EvPessimismEnd as wire ID + 1 so
+	// the zero value means "no blame recorded" while wire 0 stays
+	// representable. Use SetBlame/BlamedWire rather than touching it.
+	Blame int32 `json:"blameWire,omitempty"`
+	// Note carries free-form human-oriented detail (sizes, peers).
 	Note string `json:"note,omitempty"`
+}
+
+// SetBlame records w as the pessimism holdout blamed for this event.
+func (e *Event) SetBlame(w msg.WireID) { e.Blame = int32(w) + 1 }
+
+// BlamedWire returns the blamed wire and whether one was recorded.
+func (e Event) BlamedWire() (msg.WireID, bool) {
+	if e.Blame == 0 {
+		return -1, false
+	}
+	return msg.WireID(e.Blame - 1), true
 }
 
 // String renders the event compactly for logs and post-mortems.
@@ -149,6 +177,15 @@ func (e Event) String() string {
 	}
 	if e.MsgSeq != 0 {
 		s += fmt.Sprintf(" seq=%d", e.MsgSeq)
+	}
+	if e.Origin != 0 {
+		s += fmt.Sprintf(" origin=%s hop=%d", e.Origin, e.Hops)
+	}
+	if e.WaitNanos != 0 {
+		s += fmt.Sprintf(" waited=%s", time.Duration(e.WaitNanos))
+	}
+	if w, ok := e.BlamedWire(); ok {
+		s += fmt.Sprintf(" blame=%s", w)
 	}
 	if e.Note != "" {
 		s += " (" + e.Note + ")"

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRecorderEmpty is the regression guard for quantile queries on a
+// recorder with no samples: they must return zeros, not panic or index past
+// an empty slice.
+func TestLatencyRecorderEmpty(t *testing.T) {
+	var l LatencyRecorder
+	qs := l.Quantiles(0, 0.5, 0.95, 1)
+	if len(qs) != 4 {
+		t.Fatalf("Quantiles returned %d values, want 4", len(qs))
+	}
+	for i, q := range qs {
+		if q != 0 {
+			t.Errorf("empty quantile %d = %v, want 0", i, q)
+		}
+	}
+	s := l.Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Errorf("empty Summary = %+v, want zeros", s)
+	}
+}
+
+func TestLatencyRecorderQuantiles(t *testing.T) {
+	var l LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	qs := l.Quantiles(0.5, 1)
+	if qs[1] != 100*time.Millisecond {
+		t.Errorf("max quantile = %v", qs[1])
+	}
+	if qs[0] < 45*time.Millisecond || qs[0] > 55*time.Millisecond {
+		t.Errorf("median = %v", qs[0])
+	}
+}

@@ -160,6 +160,13 @@ var (
 	BytesBuckets = []float64{
 		256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
 	}
+	// SignedSecondsBuckets spans ±1 s symmetrically around zero, for signed
+	// errors (predicted − measured estimator cost): negative buckets mean
+	// underestimation, positive overestimation.
+	SignedSecondsBuckets = []float64{
+		-1, -0.1, -0.01, -1e-3, -1e-4, -1e-5, -1e-6,
+		0, 1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1,
+	}
 )
 
 type series struct {
@@ -452,6 +459,9 @@ const (
 	MetricDetFaults       = "tart_determinism_faults_total"
 	MetricSourceEmits     = "tart_source_emits_total"
 	MetricPeerFrames      = "tart_peer_frames_total"
+	MetricBlame           = "tart_pessimism_blame_total"
+	MetricBlameSeconds    = "tart_pessimism_blame_seconds"
+	MetricEstErr          = "tart_estimator_error_seconds"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler
@@ -464,18 +474,25 @@ type InWireMetrics struct {
 	Duplicates *Counter
 	Pessimism  *Histogram
 	QueueDepth *Gauge
+	// Blame counts pessimism episodes where this wire's silence frontier
+	// was the last holdout; BlameSeconds accumulates the real time those
+	// episodes cost (paper §II.H attribution).
+	Blame        *Counter
+	BlameSeconds *Histogram
 }
 
 // InWire resolves the receiver-side handles for one (component, wire).
 func (r *Registry) InWire(component, wire string) *InWireMetrics {
 	lbls := []Label{L("component", component), L("wire", wire)}
 	return &InWireMetrics{
-		Delivered:  r.Counter(MetricDelivered, "Messages delivered to handlers.", lbls...),
-		OutOfOrder: r.Counter(MetricOutOfOrder, "Messages delivered in VT order that arrived out of real-time order.", lbls...),
-		Probes:     r.Counter(MetricProbes, "Curiosity probes sent to the wire's sender.", lbls...),
-		Duplicates: r.Counter(MetricDuplicates, "Duplicate messages discarded by sequence/timestamp.", lbls...),
-		Pessimism:  r.Histogram(MetricPessimism, "Pessimism delay: real time spent holding a deliverable message awaiting other senders' silence.", SecondsBuckets, lbls...),
-		QueueDepth: r.Gauge(MetricQueueDepth, "Messages currently queued on the wire.", lbls...),
+		Delivered:    r.Counter(MetricDelivered, "Messages delivered to handlers.", lbls...),
+		OutOfOrder:   r.Counter(MetricOutOfOrder, "Messages delivered in VT order that arrived out of real-time order.", lbls...),
+		Probes:       r.Counter(MetricProbes, "Curiosity probes sent to the wire's sender.", lbls...),
+		Duplicates:   r.Counter(MetricDuplicates, "Duplicate messages discarded by sequence/timestamp.", lbls...),
+		Pessimism:    r.Histogram(MetricPessimism, "Pessimism delay: real time spent holding a deliverable message awaiting other senders' silence.", SecondsBuckets, lbls...),
+		QueueDepth:   r.Gauge(MetricQueueDepth, "Messages currently queued on the wire.", lbls...),
+		Blame:        r.Counter(MetricBlame, "Pessimism episodes where this wire's silence frontier was the last holdout.", lbls...),
+		BlameSeconds: r.Histogram(MetricBlameSeconds, "Real time pessimism episodes blamed on this wire cost the receiver.", SecondsBuckets, lbls...),
 	}
 }
 
@@ -497,4 +514,17 @@ func (r *Registry) OutWire(component, wire string) *OutWireMetrics {
 // HandlerSeconds resolves the per-component handler-duration histogram.
 func (r *Registry) HandlerSeconds(component string) *Histogram {
 	return r.Histogram(MetricHandlerSeconds, "Measured real-time handler execution duration.", SecondsBuckets, L("component", component))
+}
+
+// EstimatorError resolves the per-component signed estimator-error
+// histogram (predicted cost minus measured handler duration, in seconds).
+func (r *Registry) EstimatorError(component string) *Histogram {
+	return r.Histogram(MetricEstErr, "Signed estimator error: predicted cost minus measured handler duration (negative = underestimate).", SignedSecondsBuckets, L("component", component))
+}
+
+// DeterminismFaults resolves the determinism-fault counter for one
+// component and cause ("recalibration", "replay-divergence", or
+// "checkpoint-chain").
+func (r *Registry) DeterminismFaults(component, cause string) *Counter {
+	return r.Counter(MetricDetFaults, "Determinism faults: estimator recalibrations and audit-chain divergences, by cause.", L("component", component), L("cause", cause))
 }

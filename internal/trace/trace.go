@@ -34,8 +34,9 @@ type Metrics struct {
 	determinismFaults atomic.Int64
 	failovers         atomic.Int64
 
-	reg *Registry
-	rec *Recorder
+	reg   *Registry
+	rec   *Recorder
+	audit *AuditLog
 }
 
 // SetRegistry attaches a labeled metrics registry. Attach before the
@@ -62,6 +63,20 @@ func (m *Metrics) Recorder() *Recorder {
 		return nil
 	}
 	return m.rec
+}
+
+// SetAudit attaches a determinism audit log. Attach before the engine
+// starts; the field is read without synchronization afterwards. A nil
+// audit log disables delivery auditing (the scheduler skips the chain
+// entirely, keeping the hot path at its unobserved cost).
+func (m *Metrics) SetAudit(a *AuditLog) { m.audit = a }
+
+// Audit returns the attached audit log (nil when auditing is disabled).
+func (m *Metrics) Audit() *AuditLog {
+	if m == nil {
+		return nil
+	}
+	return m.audit
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -119,7 +134,8 @@ func (m *Metrics) AddReplayRequest() { m.replayRequests.Add(1) }
 // AddDuplicateDropped counts one duplicate message discarded by timestamp.
 func (m *Metrics) AddDuplicateDropped() { m.duplicatesDropped.Add(1) }
 
-// AddDeterminismFault counts one logged estimator recalibration.
+// AddDeterminismFault counts one logged determinism fault: an estimator
+// recalibration or an audit-chain divergence (paper §II.G.4).
 func (m *Metrics) AddDeterminismFault() { m.determinismFaults.Add(1) }
 
 // AddFailover counts one passive-replica activation.
@@ -185,8 +201,11 @@ func (l *LatencyRecorder) Reset() {
 // yields zeros.
 func (l *LatencyRecorder) Quantiles(ps ...float64) []time.Duration {
 	sorted := l.Samples()
-	sort.Float64s(sorted)
 	out := make([]time.Duration, len(ps))
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Float64s(sorted)
 	for i, p := range ps {
 		out[i] = time.Duration(stats.Percentile(sorted, p))
 	}

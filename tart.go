@@ -119,6 +119,26 @@ type Metrics = trace.Snapshot
 // /trace debug endpoint.
 type TraceEvent = trace.Event
 
+// OriginID identifies the external input a message causally descends from:
+// the source wire it entered on plus its logged sequence number. Origins
+// are deterministic, so the same input carries the same OriginID across
+// the original run, replay, and the passive replica.
+type OriginID = msg.OriginID
+
+// NewOrigin packs a source wire ID and input sequence number into an
+// OriginID (see Cluster.TraceEvents / TraceEvent.Origin).
+func NewOrigin(wire int32, seq uint64) OriginID { return msg.NewOrigin(msg.WireID(wire), seq) }
+
+// ParseOrigin parses the "w<wire>#<seq>" rendering of an OriginID.
+func ParseOrigin(s string) (OriginID, error) { return msg.ParseOrigin(s) }
+
+// CausalChain filters flight-recorder events down to those caused by one
+// external input and orders them causally (VT, then hop count): the story
+// of that input's journey through the pipeline.
+func CausalChain(events []TraceEvent, origin OriginID) []TraceEvent {
+	return trace.CausalChain(events, origin)
+}
+
 // TraceEventKind discriminates flight-recorder events.
 type TraceEventKind = trace.EventKind
 
