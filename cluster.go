@@ -33,6 +33,7 @@ type clusterConfig struct {
 	addrs              map[string]string
 	checkpointEvery    time.Duration
 	sourceSilenceEvery time.Duration
+	flushDelay         time.Duration
 	logDir             string
 	manualClock        func() VirtualTime
 	debugAddrs         map[string]string
@@ -48,6 +49,16 @@ func WithTCP(addrs map[string]string) ClusterOption {
 		c.transport = transport.TCP{}
 		c.addrs = addrs
 	})
+}
+
+// WithFlushDelay tunes the cluster's write-coalescing windows: the TCP
+// sender's bounded linger (envelopes encoded within the window share one
+// syscall) and the engines' silence-promise coalescing window (only the
+// newest watermark per wire is transmitted per window). Zero keeps the
+// defaults (50µs linger, 100µs silence window); negative disables both,
+// flushing every envelope immediately.
+func WithFlushDelay(d time.Duration) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.flushDelay = d })
 }
 
 // WithCheckpointEvery sets the soft-checkpoint cadence (the paper's
@@ -149,6 +160,12 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 	if cfg.sourceSilenceEvery == 0 {
 		cfg.sourceSilenceEvery = time.Millisecond
 	}
+	if cfg.flushDelay != 0 {
+		if t, ok := cfg.transport.(transport.TCP); ok {
+			t.FlushDelay = cfg.flushDelay
+			cfg.transport = t
+		}
+	}
 	if cfg.transport == nil && len(tp.Engines()) > 1 {
 		cfg.transport = transport.NewInproc()
 		cfg.addrs = make(map[string]string, len(tp.Engines()))
@@ -229,6 +246,7 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		Backup:             slot.store,
 		CheckpointEvery:    c.cfg.checkpointEvery,
 		SourceSilenceEvery: silenceEvery,
+		SilenceFlushEvery:  c.cfg.flushDelay,
 		Clock:              c.cfg.manualClock,
 		Recorder:           slot.rec,
 		Audit:              slot.audit,

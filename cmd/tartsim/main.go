@@ -9,6 +9,7 @@
 //	tartsim -exp bias        §II.G.1 bias algorithm under asymmetric rates
 //	tartsim -exp wires       Per-wire registry table for one deterministic run
 //	tartsim -exp blame       Pessimism blame attribution across sender configs
+//	tartsim -exp fanin       Merge fan-in sweep: heap fast path vs linear scan
 //	tartsim -exp all         Everything above
 package main
 
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -55,6 +56,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		wires(duration, seed)
 	case "blame":
 		blame(duration, seed)
+	case "fanin":
+		return fanin(seed)
 	case "all":
 		fig2(fig2n, fig2reps, seed)
 		fig3(duration, seed, 0)
@@ -64,6 +67,9 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		bias(duration, seed)
 		wires(duration, seed)
 		blame(duration, seed)
+		if err := fanin(seed); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

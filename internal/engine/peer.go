@@ -27,14 +27,28 @@ type peerSet struct {
 	listener  transport.Listener
 	stopped   bool
 	wg        sync.WaitGroup
+
+	// Silence-promise coalescing: promises bound for peers park here for
+	// one flush window, keeping only the newest watermark per wire (the
+	// newest subsumes the rest — promises are monotone). silCoalesced
+	// counts promises absorbed by a newer one instead of being transmitted.
+	silMu        sync.Mutex
+	silPending   map[string]map[msg.WireID]vt.Time
+	silTimer     *time.Timer
+	silArmed     bool
+	silLast      time.Time
+	silCoalesced *trace.Counter
 }
 
 func newPeerSet(e *Engine) *peerSet {
 	return &peerSet{
-		e:         e,
-		conns:     make(map[string]transport.Conn),
-		needed:    make(map[string]bool),
-		lastHeard: make(map[string]time.Time),
+		e:          e,
+		conns:      make(map[string]transport.Conn),
+		needed:     make(map[string]bool),
+		lastHeard:  make(map[string]time.Time),
+		silPending: make(map[string]map[msg.WireID]vt.Time),
+		silCoalesced: e.metrics.Registry().Counter(trace.MetricSilenceCoalesce,
+			"Peer-bound silence promises absorbed by a newer promise within a flush window."),
 	}
 }
 
@@ -85,6 +99,15 @@ func (p *peerSet) start() error {
 }
 
 func (p *peerSet) stop() {
+	// Ship parked silence promises while connections are still up, so a
+	// graceful shutdown's final promises (e.g. end-of-stream silence) are
+	// not stranded in the coalescing window.
+	p.silMu.Lock()
+	if p.silTimer != nil {
+		p.silTimer.Stop()
+	}
+	p.silMu.Unlock()
+	p.flushSilence()
 	p.mu.Lock()
 	p.stopped = true
 	if p.listener != nil {
@@ -113,6 +136,75 @@ func (p *peerSet) send(peer string, env msg.Envelope) {
 	}
 	if err := c.Send(env); err != nil {
 		p.dropConn(peer, c)
+	}
+}
+
+// sendSilence transmits a silence promise to a peer, coalescing through the
+// engine's flush window: the promise parks in silPending and ships with the
+// newest watermark per wire. A promise arriving after a flush-quiet window
+// flushes inline (sparse silence — probe responses, end-of-stream — pays no
+// latency), while promises inside the window wait for the closing timer.
+// Lossless, because a newer promise on the same wire strictly subsumes an
+// older one.
+func (p *peerSet) sendSilence(peer string, env msg.Envelope) {
+	window := p.e.cfg.SilenceFlushEvery
+	if window <= 0 {
+		p.send(peer, env)
+		return
+	}
+	p.silMu.Lock()
+	m := p.silPending[peer]
+	if m == nil {
+		m = make(map[msg.WireID]vt.Time)
+		p.silPending[peer] = m
+	}
+	if old, ok := m[env.Wire]; ok {
+		p.silCoalesced.Inc()
+		if env.Promise <= old {
+			p.silMu.Unlock()
+			return
+		}
+	}
+	m[env.Wire] = env.Promise
+	if time.Since(p.silLast) >= window {
+		p.silMu.Unlock()
+		p.flushSilence()
+		return
+	}
+	if !p.silArmed {
+		p.silArmed = true
+		if p.silTimer == nil {
+			p.silTimer = time.AfterFunc(window, p.flushSilence)
+		} else {
+			p.silTimer.Reset(window)
+		}
+	}
+	p.silMu.Unlock()
+}
+
+// flushSilence ships every parked promise (newest per wire), in sorted
+// peer and wire order.
+func (p *peerSet) flushSilence() {
+	p.silMu.Lock()
+	pending := p.silPending
+	p.silPending = make(map[string]map[msg.WireID]vt.Time)
+	p.silArmed = false
+	p.silLast = time.Now()
+	p.silMu.Unlock()
+	peers := make([]string, 0, len(pending))
+	for peer := range pending {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		wires := make([]msg.WireID, 0, len(pending[peer]))
+		for w := range pending[peer] {
+			wires = append(wires, w)
+		}
+		sort.Slice(wires, func(i, j int) bool { return wires[i] < wires[j] })
+		for _, w := range wires {
+			p.send(peer, msg.NewSilence(w, pending[peer][w]))
+		}
 	}
 }
 

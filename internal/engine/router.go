@@ -55,6 +55,10 @@ func (e *Engine) forward(w *topo.Wire, env msg.Envelope) {
 		h.sch.Deliver(env)
 		return
 	}
+	if env.Kind == msg.KindSilence {
+		e.peers.sendSilence(e.tp.EngineOf(w.To), env)
+		return
+	}
 	e.peers.send(e.tp.EngineOf(w.To), env)
 }
 

@@ -1,0 +1,354 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/estimator"
+	"repro/internal/msg"
+	"repro/internal/silence"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// captureRouter records the data envelopes a scheduler emits and drops all
+// control traffic (probes, silence) — a stand-in engine for driving one
+// scheduler directly.
+type captureRouter struct {
+	mu   sync.Mutex
+	outs []string
+}
+
+func (r *captureRouter) Route(env msg.Envelope) {
+	if env.Kind != msg.KindData {
+		return
+	}
+	r.mu.Lock()
+	r.outs = append(r.outs, fmt.Sprintf("w%d#%d@%v", env.Wire, env.Seq, env.VT))
+	r.mu.Unlock()
+}
+
+// mergeRun is everything one merge execution produced that determinism
+// requires to be bit-identical: the delivered sequence (port, dequeue VT,
+// payload), the emitted output envelopes (wire, seq, VT), and the audit
+// chain over the delivered prefix.
+type mergeRun struct {
+	order      []string
+	outs       []string
+	chain      uint64
+	chainCount uint64
+}
+
+// runMergeSchedule drives a lone merger scheduler through a fixed arrival
+// schedule and returns the run's deterministic fingerprint. expected is the
+// number of unique data envelopes in the schedule.
+func runMergeSchedule(t *testing.T, tp *topo.Topology, schedule []msg.Envelope, expected int, reference bool) mergeRun {
+	t.Helper()
+	comp, _ := tp.ComponentByName("merger")
+	router := &captureRouter{}
+	metrics := &trace.Metrics{}
+	metrics.SetAudit(trace.NewAuditLog())
+
+	var run mergeRun
+	var mu sync.Mutex
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	handler := HandlerFunc(func(ctx *Ctx, port string, payload any) (any, error) {
+		mu.Lock()
+		run.order = append(run.order, fmt.Sprintf("%s@%v:%v", port, ctx.Now(), payload))
+		mu.Unlock()
+		err := ctx.Send("out", payload)
+		if delivered.Add(1) == int64(expected) {
+			close(done)
+		}
+		return nil, err
+	})
+	s, err := New(Config{
+		Comp:           comp,
+		Topo:           tp,
+		Handler:        handler,
+		Est:            estimator.Constant{C: 250},
+		Silence:        silence.Config{Strategy: silence.Lazy},
+		Router:         router,
+		Metrics:        metrics,
+		Seed:           42,
+		ReferenceMerge: reference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	for _, env := range schedule {
+		s.Deliver(env)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("merge (reference=%v) stalled: delivered %d of %d", reference, delivered.Load(), expected)
+	}
+	st := s.Snapshot()
+	run.chain, run.chainCount = st.AuditChain, st.AuditCount
+	router.mu.Lock()
+	run.outs = append([]string(nil), router.outs...)
+	router.mu.Unlock()
+	return run
+}
+
+// buildMergeSchedule generates a randomized arrival schedule for the
+// merger's input wires: per-wire strictly increasing VTs on a shared coarse
+// lattice (so cross-wire VT ties are common and the wire-ID tie-break is
+// exercised), random cross-wire interleaving that preserves per-wire FIFO
+// order, occasional duplicate deliveries, interleaved silence promises, and
+// a final silence-forever on every wire so the merge drains. It returns the
+// schedule and the number of unique data envelopes.
+func buildMergeSchedule(tp *topo.Topology, rng *stats.RNG) ([]msg.Envelope, int) {
+	comp, _ := tp.ComponentByName("merger")
+	type wireGen struct {
+		id   msg.WireID
+		msgs []msg.Envelope
+		next int
+	}
+	gens := make([]*wireGen, 0, len(comp.Inputs))
+	unique := 0
+	for _, wid := range comp.Inputs {
+		g := &wireGen{id: wid}
+		n := int(rng.Int63n(13))
+		t := vt.Time(0)
+		for j := 0; j < n; j++ {
+			t = t.Add(vt.Ticks(500 * (1 + rng.Int63n(4))))
+			g.msgs = append(g.msgs, msg.NewData(wid, uint64(j+1), t, fmt.Sprintf("%d/%d", wid, j)))
+		}
+		unique += n
+		gens = append(gens, g)
+	}
+	var schedule []msg.Envelope
+	remaining := unique
+	for remaining > 0 {
+		g := gens[rng.Intn(len(gens))]
+		if g.next >= len(g.msgs) {
+			continue
+		}
+		env := g.msgs[g.next]
+		g.next++
+		remaining--
+		schedule = append(schedule, env)
+		switch rng.Intn(10) {
+		case 0: // duplicate an already-sent envelope
+			schedule = append(schedule, g.msgs[rng.Intn(g.next)])
+		case 1, 2: // silence promise a little past the data just sent
+			schedule = append(schedule, msg.NewSilence(g.id, env.VT.Add(vt.Ticks(rng.Int63n(1500)))))
+		}
+	}
+	for _, g := range gens {
+		schedule = append(schedule, msg.NewSilence(g.id, vt.Max))
+	}
+	return schedule, unique
+}
+
+// TestHeapMergeMatchesReferenceMerge is the differential determinism test:
+// across randomized wide fan-in shapes and arrival schedules, the indexed-
+// heap merge and the reference linear-scan merge must produce identical
+// delivery order, dequeue VTs, output envelopes, and audit chains.
+func TestHeapMergeMatchesReferenceMerge(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := stats.NewRNG(seed * 977)
+		wires := 2 + int(rng.Int63n(15))
+		tp := fanInTopo(t, wires)
+		schedule, unique := buildMergeSchedule(tp, rng)
+		if unique == 0 {
+			continue
+		}
+		ref := runMergeSchedule(t, tp, schedule, unique, true)
+		heap := runMergeSchedule(t, tp, schedule, unique, false)
+
+		if ref.chain != heap.chain || ref.chainCount != heap.chainCount {
+			t.Fatalf("seed %d (%d wires): audit chains diverged: scan %d/%d vs heap %d/%d",
+				seed, wires, ref.chain, ref.chainCount, heap.chain, heap.chainCount)
+		}
+		if len(ref.order) != len(heap.order) {
+			t.Fatalf("seed %d: delivery counts differ: scan %d vs heap %d", seed, len(ref.order), len(heap.order))
+		}
+		for i := range ref.order {
+			if ref.order[i] != heap.order[i] {
+				t.Fatalf("seed %d: delivery %d differs: scan %q vs heap %q", seed, i, ref.order[i], heap.order[i])
+			}
+		}
+		if len(ref.outs) != len(heap.outs) {
+			t.Fatalf("seed %d: output counts differ: scan %d vs heap %d", seed, len(ref.outs), len(heap.outs))
+		}
+		for i := range ref.outs {
+			if ref.outs[i] != heap.outs[i] {
+				t.Fatalf("seed %d: output %d differs: scan %q vs heap %q", seed, i, ref.outs[i], heap.outs[i])
+			}
+		}
+	}
+}
+
+// TestWithQuiescentSeesQuiescentState checks the sync.Cond-based
+// quiescence: snapshots taken while a stream is being handled never observe
+// a handler mid-flight, and they complete promptly (the delivery batch
+// yields to waiters) instead of starving behind the backlog.
+func TestWithQuiescentSeesQuiescentState(t *testing.T) {
+	tp := fanInTopo(t, 1)
+	f := newFabric(t, tp)
+	var inHandler atomic.Int32
+	var handled atomic.Int64
+	f.add("sender0", passthrough("out"))
+	s := f.add("merger", HandlerFunc(func(ctx *Ctx, port string, payload any) (any, error) {
+		inHandler.Store(1)
+		time.Sleep(50 * time.Microsecond)
+		inHandler.Store(0)
+		handled.Add(1)
+		return nil, ctx.Send("out", payload)
+	}))
+	f.start()
+	defer f.stop()
+
+	const n = 400
+	go func() {
+		base := vt.Time(0)
+		for i := 0; i < n; i++ {
+			base = base.Add(1000)
+			f.emit("in0", base, i)
+		}
+		f.quiesce("in0", vt.Max)
+	}()
+
+	snapshots := 0
+	deadline := time.Now().Add(20 * time.Second)
+	for handled.Load() < n && time.Now().Before(deadline) {
+		s.WithQuiescent(func(st State) {
+			if inHandler.Load() != 0 {
+				t.Error("WithQuiescent observed a handler mid-flight")
+			}
+			if st.Clock < 0 && st.Clock != vt.Never {
+				t.Errorf("inconsistent snapshot clock %v", st.Clock)
+			}
+		})
+		snapshots++
+	}
+	if handled.Load() < n {
+		t.Fatalf("stream stalled: handled %d of %d after %d snapshots", handled.Load(), n, snapshots)
+	}
+	if snapshots == 0 {
+		t.Fatal("no snapshot completed while the stream was in flight")
+	}
+}
+
+// TestHoldbackCapSheds checks the bounded hold-back area: out-of-gap
+// arrivals beyond the cap are dropped (and counted), the high-water metric
+// reports the cap, and shed envelopes can be re-delivered after the gap
+// fills — the drop is lossless given replay.
+func TestHoldbackCapSheds(t *testing.T) {
+	tp := fanInTopo(t, 1)
+	f := newFabric(t, tp)
+	reg := trace.NewRegistry()
+	metrics := &trace.Metrics{}
+	metrics.SetRegistry(reg)
+	var handled atomic.Int64
+	const cap = 4
+	f.add("sender0", passthrough("out"))
+	m := f.add("merger", HandlerFunc(func(ctx *Ctx, port string, payload any) (any, error) {
+		handled.Add(1)
+		return nil, ctx.Send("out", payload)
+	}), func(c *Config) {
+		c.HoldbackLimit = cap
+		c.Metrics = metrics
+	})
+	f.start()
+	defer f.stop()
+
+	// The merger's single input wire comes from sender0; address it directly.
+	merger, _ := tp.ComponentByName("merger")
+	wid := merger.Inputs[0]
+
+	// Seq 1 is missing: 2..cap+1 park in holdback, cap+2..11 are shed.
+	const total = 11
+	for seq := 2; seq <= total; seq++ {
+		m.Deliver(msg.NewData(wid, uint64(seq), vt.Time(seq*1000), seq))
+	}
+	if g := gatherValue(reg, trace.MetricHoldbackDepth); g != cap {
+		t.Fatalf("holdback high-water = %v, want %d", g, cap)
+	}
+	if d := gatherValue(reg, trace.MetricHoldbackDrops); d != total-1-cap {
+		t.Fatalf("holdback drops = %v, want %d", d, total-1-cap)
+	}
+	if from, ok := func() (uint64, bool) {
+		gaps := m.Gaps()
+		v, ok := gaps[wid]
+		return v, ok
+	}(); !ok || from != 1 {
+		t.Fatalf("gap report = (%d,%v), want (1,true)", from, ok)
+	}
+
+	// Fill the gap: 1..cap+1 deliver; then replay the shed suffix.
+	m.Deliver(msg.NewData(wid, 1, 500, 1))
+	for seq := cap + 2; seq <= total; seq++ {
+		m.Deliver(msg.NewData(wid, uint64(seq), vt.Time(seq*1000), seq))
+	}
+	m.Deliver(msg.NewSilence(wid, vt.Max))
+	deadline := time.Now().Add(10 * time.Second)
+	for handled.Load() < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if handled.Load() != total {
+		t.Fatalf("handled %d of %d after gap fill + replay", handled.Load(), total)
+	}
+}
+
+// gatherValue sums a metric family's series values.
+func gatherValue(reg *trace.Registry, name string) int64 {
+	var total int64
+	for _, mf := range reg.Gather() {
+		if mf.Name != name {
+			continue
+		}
+		for _, s := range mf.Series {
+			total += int64(s.Value)
+		}
+	}
+	return total
+}
+
+// TestRingQueue exercises the ring buffer across growth and wrap-around.
+func TestRingQueue(t *testing.T) {
+	var r ring
+	next := uint64(0)
+	popped := uint64(0)
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			next++
+			r.push(queued{env: msg.Envelope{Seq: next}})
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			if h := r.peek(); h == nil || h.env.Seq != popped+1 {
+				t.Fatalf("peek = %v, want seq %d", h, popped+1)
+			}
+			q := r.pop()
+			popped++
+			if q.env.Seq != popped {
+				t.Fatalf("pop seq = %d, want %d", q.env.Seq, popped)
+			}
+		}
+	}
+	push(3)
+	pop(2)
+	push(9) // forces growth with wrapped head
+	pop(8)
+	push(30) // second growth
+	pop(int(next - popped))
+	if r.n != 0 || r.peek() != nil {
+		t.Fatalf("ring not empty after draining: n=%d", r.n)
+	}
+}

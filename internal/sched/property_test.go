@@ -15,7 +15,7 @@ import (
 )
 
 // fanInTopo wires n senders into one merger.
-func fanInTopo(t *testing.T, n int) *topo.Topology {
+func fanInTopo(t testing.TB, n int) *topo.Topology {
 	t.Helper()
 	b := topo.NewBuilder()
 	for i := 0; i < n; i++ {

@@ -94,6 +94,14 @@ type Config struct {
 	// received again (a recovering caller re-issuing a call); the engine
 	// uses it to re-send the buffered reply. Optional.
 	OnDuplicateCall func(req msg.Envelope)
+	// ReferenceMerge selects the O(W) linear-scan merge instead of the
+	// indexed-heap fast path. The two are bit-for-bit equivalent (enforced
+	// by the differential property test); the scan is kept as the oracle
+	// and for benchmark comparison.
+	ReferenceMerge bool
+	// HoldbackLimit caps the per-wire hold-back area for out-of-gap
+	// arrivals. 0 means DefaultHoldbackLimit; negative means unbounded.
+	HoldbackLimit int
 }
 
 // ErrStopped is returned by blocking operations when the scheduler stops.
@@ -109,6 +117,10 @@ type Scheduler struct {
 	clock            vt.Time
 	inFlight         vt.Time // dequeue VT of the message being handled; Never if idle
 	inputs           map[msg.WireID]*inWire
+	front            frontier // merge index over inputs (see merge.go)
+	holdbackLimit    int
+	quiet            *sync.Cond // signalled when inFlight returns to Never
+	quietWaiters     int
 	byPort           map[string]*outWire
 	outputs          map[msg.WireID]*outWire
 	gov              *silence.Governor
@@ -182,6 +194,15 @@ func New(cfg Config) (*Scheduler, error) {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	s.quiet = sync.NewCond(&s.mu)
+	switch {
+	case cfg.HoldbackLimit > 0:
+		s.holdbackLimit = cfg.HoldbackLimit
+	case cfg.HoldbackLimit == 0:
+		s.holdbackLimit = DefaultHoldbackLimit
+	default:
+		s.holdbackLimit = 0 // unbounded
+	}
 	reg := cfg.Metrics.Registry()
 	s.reg = reg
 	s.rec = cfg.Metrics.Recorder()
@@ -193,6 +214,7 @@ func New(cfg Config) (*Scheduler, error) {
 		in := newInWire(cfg.Topo.Wire(wid))
 		in.m = reg.InWire(cfg.Comp.Name, WireName(cfg.Topo, in.w))
 		s.inputs[wid] = in
+		s.front.add(in)
 	}
 	for port, wid := range cfg.Comp.Outputs {
 		w := cfg.Topo.Wire(wid)
@@ -303,23 +325,33 @@ func (s *Scheduler) deliverMessage(env msg.Envelope) {
 		return // not one of our input wires; drop
 	}
 	s.arrival++
-	accepted := in.accept(env, s.arrival)
-	if !accepted {
-		s.cfg.Metrics.AddDuplicateDropped()
-		in.m.Duplicates.Inc()
-	} else {
+	verdict := in.accept(env, s.arrival, s.holdbackLimit)
+	if verdict == acceptQueued {
 		in.noteDepth()
+		s.front.update(in)
+	} else {
+		s.cfg.Metrics.AddDuplicateDropped()
+		if verdict == acceptOverflow {
+			in.m.HoldbackDrops.Inc()
+		} else {
+			in.m.Duplicates.Inc()
+		}
 	}
 	s.mu.Unlock()
-	if accepted {
+	switch verdict {
+	case acceptQueued:
 		s.wake()
-		return
-	}
-	s.rec.Record(trace.Event{Kind: trace.EvDuplicateDrop, VT: env.VT, Component: s.comp.Name, Wire: env.Wire, MsgSeq: env.Seq})
-	if env.Kind == msg.KindCallRequest && s.cfg.OnDuplicateCall != nil {
-		// A recovering caller re-issued a call this component already
-		// processed; let the engine re-send the buffered reply.
-		s.cfg.OnDuplicateCall(env)
+	case acceptOverflow:
+		// Shed, not lost: the gap-repair loop will re-request everything
+		// from the delivery cursor once the gap persists.
+		s.rec.Record(trace.Event{Kind: trace.EvDuplicateDrop, VT: env.VT, Component: s.comp.Name, Wire: env.Wire, MsgSeq: env.Seq, Note: "holdback overflow"})
+	case acceptDuplicate:
+		s.rec.Record(trace.Event{Kind: trace.EvDuplicateDrop, VT: env.VT, Component: s.comp.Name, Wire: env.Wire, MsgSeq: env.Seq})
+		if env.Kind == msg.KindCallRequest && s.cfg.OnDuplicateCall != nil {
+			// A recovering caller re-issued a call this component already
+			// processed; let the engine re-send the buffered reply.
+			s.cfg.OnDuplicateCall(env)
+		}
 	}
 }
 
@@ -328,6 +360,7 @@ func (s *Scheduler) deliverSilence(env msg.Envelope) {
 	in, ok := s.inputs[env.Wire]
 	if ok && env.Promise > in.watermark {
 		in.watermark = env.Promise
+		s.front.update(in)
 	}
 	s.mu.Unlock()
 	if ok {

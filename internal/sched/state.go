@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/msg"
 	"repro/internal/vt"
@@ -65,16 +64,19 @@ func (s *Scheduler) Snapshot() State {
 // application state inside fn and know it is consistent with the returned
 // scheduler state — this is how the engine takes component checkpoints.
 // fn must not call methods of this Scheduler.
+//
+// Quiescence is condition-variable based: the worker signals s.quiet when
+// a handler finishes, and its delivery batch yields whenever waiters are
+// registered, so a checkpoint blocks for at most one handler invocation
+// without any busy-wait.
 func (s *Scheduler) WithQuiescent(fn func(st State)) {
-	for {
-		s.mu.Lock()
-		if s.inFlight == vt.Never {
-			break
-		}
-		s.mu.Unlock()
-		time.Sleep(50 * time.Microsecond)
-	}
+	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.quietWaiters++
+	for s.inFlight != vt.Never {
+		s.quiet.Wait()
+	}
+	s.quietWaiters--
 	fn(s.snapshotLocked())
 }
 
@@ -93,7 +95,7 @@ func (s *Scheduler) snapshotLocked() State {
 	for id, in := range s.inputs {
 		// The cursor reflects delivered messages only: queued-but-undelivered
 		// messages will be replayed by their senders.
-		delivered := in.nextSeq - uint64(len(in.queue)) - uint64(len(in.holdback))
+		delivered := in.nextSeq - uint64(in.q.n) - uint64(len(in.holdback))
 		st.Inputs[id] = InputState{NextSeq: delivered, LastVT: in.lastVT}
 	}
 	for id, ow := range s.outputs {
@@ -131,6 +133,7 @@ func (s *Scheduler) Restore(st State) error {
 		// restarts at the last delivered VT and grows from fresh promises.
 		if ist.LastVT > in.watermark {
 			in.watermark = ist.LastVT
+			s.front.update(in)
 		}
 	}
 	for id, ost := range st.Outputs {
@@ -159,7 +162,7 @@ func (s *Scheduler) ReplayNeeds() map[msg.WireID]uint64 {
 	defer s.mu.Unlock()
 	out := make(map[msg.WireID]uint64, len(s.inputs))
 	for id, in := range s.inputs {
-		delivered := in.nextSeq - uint64(len(in.queue)) - uint64(len(in.holdback))
+		delivered := in.nextSeq - uint64(in.q.n) - uint64(len(in.holdback))
 		out[id] = delivered
 	}
 	return out

@@ -30,6 +30,25 @@ func WireName(tp *topo.Topology, w *topo.Wire) string {
 	return fmt.Sprintf("%s:%s>%s", w.ID, from, to)
 }
 
+// DefaultHoldbackLimit caps how many out-of-gap envelopes one input wire
+// parks awaiting a sequence-gap fill. Arrivals beyond the cap are dropped
+// — losslessly, because the gap-repair loop re-requests everything from
+// the delivery cursor, dropped suffix included.
+const DefaultHoldbackLimit = 4096
+
+// acceptVerdict classifies what inWire.accept did with an envelope.
+type acceptVerdict int8
+
+const (
+	// acceptQueued: the message joined the queue (or the holdback area).
+	acceptQueued acceptVerdict = iota
+	// acceptDuplicate: seq already delivered, queued, or held back.
+	acceptDuplicate
+	// acceptOverflow: the holdback area is full; the message was dropped
+	// and will be recovered by a replay request when the gap repairs.
+	acceptOverflow
+)
+
 // inWire is the receiver-side state of one input wire: the pending
 // messages, the silence watermark, the next expected sequence number (for
 // duplicate discard and gap hold-back), and the delivery cursor restored
@@ -37,14 +56,16 @@ func WireName(tp *topo.Topology, w *topo.Wire) string {
 type inWire struct {
 	w *topo.Wire
 
-	// queue holds deliverable messages in sequence order, which — because
+	// q holds deliverable messages in sequence order, which — because
 	// per-wire virtual times are strictly increasing and the transport is
-	// FIFO — is also virtual-time order.
-	queue []queued
+	// FIFO — is also virtual-time order. It is a ring buffer so pop is O(1).
+	q ring
 
 	// holdback parks messages that arrived with a sequence gap (possible
-	// transiently around reconnects) until the gap fills.
+	// transiently around reconnects) until the gap fills. Bounded by the
+	// scheduler's holdback limit; holdHigh is the high-water depth.
 	holdback map[uint64]queued
+	holdHigh int
 
 	// watermark: the sender will never send another message on this wire
 	// with VT <= watermark.
@@ -56,14 +77,22 @@ type inWire struct {
 	// lastVT is the virtual time of the last delivered message.
 	lastVT vt.Time
 
+	// Merge-index bookkeeping, owned by the scheduler's frontier (see
+	// merge.go): the cached sort key, the heap slot, and which heap.
+	hkey vt.Time
+	hpos int
+	hset int8
+
 	// m holds the wire's receiver-side metric handles (never nil; the
 	// handles inside are nil no-ops when metrics are disabled).
 	m *trace.InWireMetrics
 }
 
-// noteDepth publishes the wire's current queue depth (pending + held-back).
+// noteDepth publishes the wire's current queue depth (pending + held-back)
+// and the holdback high-water mark.
 func (in *inWire) noteDepth() {
-	in.m.QueueDepth.Set(int64(len(in.queue) + len(in.holdback)))
+	in.m.QueueDepth.Set(int64(in.q.n + len(in.holdback)))
+	in.m.Holdback.Set(int64(in.holdHigh))
 }
 
 // queued pairs an envelope with its real-time arrival index (for
@@ -80,22 +109,30 @@ func newInWire(w *topo.Wire) *inWire {
 		watermark: vt.Never,
 		nextSeq:   1,
 		lastVT:    vt.Never,
+		hpos:      -1,
 	}
 }
 
-// accept ingests a data or call-request envelope. It returns false for
-// duplicates (seq already delivered or queued). Messages beyond a sequence
-// gap are held back and released in order when the gap fills.
-func (in *inWire) accept(env msg.Envelope, arrival uint64) bool {
+// accept ingests a data or call-request envelope. Duplicates (seq already
+// delivered or queued) are rejected. Messages beyond a sequence gap are
+// held back — up to limit of them — and released in order when the gap
+// fills; beyond the limit they are dropped for later replay.
+func (in *inWire) accept(env msg.Envelope, arrival uint64, limit int) acceptVerdict {
 	switch {
 	case env.Seq < in.nextSeq:
-		return false // duplicate of something already delivered/queued
+		return acceptDuplicate // duplicate of something already delivered/queued
 	case env.Seq > in.nextSeq:
 		if _, dup := in.holdback[env.Seq]; dup {
-			return false
+			return acceptDuplicate
+		}
+		if limit > 0 && len(in.holdback) >= limit {
+			return acceptOverflow
 		}
 		in.holdback[env.Seq] = queued{env: env, arrival: arrival}
-		return true
+		if d := len(in.holdback); d > in.holdHigh {
+			in.holdHigh = d
+		}
+		return acceptQueued
 	}
 	in.enqueue(queued{env: env, arrival: arrival})
 	// Release any consecutive held-back successors.
@@ -107,11 +144,11 @@ func (in *inWire) accept(env msg.Envelope, arrival uint64) bool {
 		delete(in.holdback, in.nextSeq)
 		in.enqueue(q)
 	}
-	return true
+	return acceptQueued
 }
 
 func (in *inWire) enqueue(q queued) {
-	in.queue = append(in.queue, q)
+	in.q.push(q)
 	in.nextSeq = q.env.Seq + 1
 	// A data message at VT t implies the sender is silent through t.
 	if q.env.VT > in.watermark {
@@ -121,16 +158,12 @@ func (in *inWire) enqueue(q queued) {
 
 // head returns the earliest pending message, or nil.
 func (in *inWire) head() *queued {
-	if len(in.queue) == 0 {
-		return nil
-	}
-	return &in.queue[0]
+	return in.q.peek()
 }
 
 // pop removes and returns the head. Caller must have checked head != nil.
 func (in *inWire) pop() queued {
-	q := in.queue[0]
-	in.queue = in.queue[1:]
+	q := in.q.pop()
 	in.lastVT = q.env.VT
 	return q
 }
@@ -142,6 +175,46 @@ func (in *inWire) gapFrom() (uint64, bool) {
 		return 0, false
 	}
 	return in.nextSeq, true
+}
+
+// ring is a growable circular queue of queued messages. Pop is O(1) — the
+// old slice-shift pop made every delivery O(queue length).
+type ring struct {
+	buf  []queued // capacity is always a power of two (mask = len-1)
+	head int
+	n    int
+}
+
+func (r *ring) push(q queued) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = q
+	r.n++
+}
+
+func (r *ring) peek() *queued {
+	if r.n == 0 {
+		return nil
+	}
+	return &r.buf[r.head]
+}
+
+func (r *ring) pop() queued {
+	q := r.buf[r.head]
+	r.buf[r.head] = queued{} // release payload reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return q
+}
+
+func (r *ring) grow() {
+	next := make([]queued, max(8, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
 }
 
 // outWire is the sender-side state of one output wire: the sequence

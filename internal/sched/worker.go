@@ -11,6 +11,12 @@ import (
 	"repro/internal/vt"
 )
 
+// maxDeliveryBatch bounds how many consecutive already-deliverable messages
+// one step drains before returning to the outer loop. The bound keeps stop
+// latency, control-envelope flushing, and checkpoint quiescence responsive
+// under a sustained backlog.
+const maxDeliveryBatch = 128
+
 // loop is the component's single worker goroutine: it repeatedly selects
 // the earliest deliverable message, runs the handler, and publishes the
 // resulting silence knowledge.
@@ -54,154 +60,177 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// step attempts to deliver one message. It returns whether a message was
-// handled and any control envelopes (curiosity probes, silence promises
-// triggered by frontier advances) to send.
+// step drains a batch of deliverable messages. It returns whether any
+// message was handled and any control envelopes (curiosity probes, silence
+// promises triggered by frontier advances) to send.
+//
+// The lock is held across the per-delivery bookkeeping and the next
+// candidate selection — with the heap index both are O(log W) — and
+// released only around the handler itself, so draining an already-
+// deliverable run costs one lock round-trip per handler instead of the old
+// full frontier rescan.
 func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
+	n := 0
 	s.mu.Lock()
-	// Advance the clock over known-silent input ticks first: like a
-	// discrete-event simulator, a component whose inputs are all silent
-	// through T has deterministically "lived through" T, which extends the
-	// silence promises it can make downstream.
-	if s.advanceFrontierLocked() {
+	for {
+		// Advance the clock over known-silent input ticks first: like a
+		// discrete-event simulator, a component whose inputs are all silent
+		// through T has deterministically "lived through" T, which extends
+		// the silence promises it can make downstream.
+		if s.advanceFrontierLocked() {
+			for _, p := range s.gov.OnAdvance(s.viewsLocked()) {
+				s.noteSilence(s.outputs[p.Wire], p.Through)
+				control = append(control, msg.NewSilence(p.Wire, p.Through))
+			}
+			// End of stream: when every input has promised silence forever,
+			// the component will never send again. Flush a final promise on
+			// every output wire regardless of strategy — even Lazy — so
+			// downstream merges can drain (there is no "next data message"
+			// to carry the silence implicitly).
+			if s.clock == vt.Max && !s.finalSilenceSent {
+				s.finalSilenceSent = true
+				for id, ow := range s.outputs {
+					if ow.w.Kind == topo.WireCallReply {
+						continue
+					}
+					s.gov.NoteData(id, vt.Max)
+					s.noteSilence(ow, vt.Max)
+					control = append(control, msg.NewSilence(id, vt.Max))
+				}
+			}
+		}
+		in := s.candidateLocked()
+		if in == nil {
+			break
+		}
+		cand := in.head()
+		candWire := in.w.ID
+		if blockers := s.blockersLocked(cand.env.VT, candWire); len(blockers) > 0 {
+			if s.pessStart.IsZero() {
+				s.pessStart = time.Now()
+				s.rec.Record(trace.Event{Kind: trace.EvPessimismStart, VT: cand.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: cand.env.Seq})
+			}
+			// Track the laggard: among the wires still blocking this
+			// candidate, the one whose silence frontier trails furthest
+			// (lowest wire ID on ties). The value observed on the episode's
+			// final blocked pass is the last holdout, which the episode's
+			// end blames (§II.H).
+			s.pessBlame = blockers[0]
+			worst := s.inputs[blockers[0]].watermark
+			for _, w := range blockers[1:] {
+				if wm := s.inputs[w].watermark; wm < worst {
+					s.pessBlame, worst = w, wm
+				}
+			}
+			if s.gov.Strategy().Probes() {
+				for _, w := range blockers {
+					if s.probed[w] < cand.env.VT {
+						s.probed[w] = cand.env.VT
+						s.cfg.Metrics.AddProbe()
+						s.inputs[w].m.Probes.Inc()
+						s.rec.Record(trace.Event{Kind: trace.EvProbe, VT: cand.env.VT, Component: s.comp.Name, Wire: w})
+						control = append(control, msg.NewProbe(w, cand.env.VT))
+					}
+				}
+			}
+			break
+		}
+
+		// Deliverable: commit the dequeue.
+		q := in.pop()
+		s.front.update(in)
+		in.noteDepth()
+		if !s.pessStart.IsZero() {
+			wait := time.Since(s.pessStart)
+			s.cfg.Metrics.AddPessimismDelay(wait)
+			in.m.Pessimism.Observe(wait.Seconds())
+			ev := trace.Event{Kind: trace.EvPessimismEnd, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, WaitNanos: int64(wait)}
+			if blamed, ok := s.inputs[s.pessBlame]; ok {
+				ev.SetBlame(s.pessBlame)
+				blamed.m.Blame.Inc()
+				blamed.m.BlameSeconds.Observe(wait.Seconds())
+			}
+			s.rec.Record(ev)
+			s.pessStart = time.Time{}
+			s.pessBlame = -1
+		}
+		outOfOrder := q.arrival < s.maxDlvd
+		if q.arrival > s.maxDlvd {
+			s.maxDlvd = q.arrival
+		}
+		s.cfg.Metrics.AddDelivered(outOfOrder)
+		in.m.Delivered.Inc()
+		if outOfOrder {
+			in.m.OutOfOrder.Inc()
+		}
+
+		d := vt.MaxOf(q.env.VT, s.clock)
+		cost := s.cfg.Est.Cost(q.env.Payload, d)
+		s.inFlight = d
+		port := in.w.ToPort
+		if s.audit != nil {
+			// Fold the delivery into the rolling audit chain and verify it
+			// against the recorded chain (first run records; replay and the
+			// recovered replica compare, §II.G.4). On divergence, resync to
+			// the recorded value so one corrupted message yields exactly one
+			// fault instead of cascading down the rest of the chain.
+			digest := trace.PayloadDigest(q.env.Payload)
+			s.auditChain = trace.ChainNext(s.auditChain, candWire, q.env.Seq, q.env.VT, digest)
+			idx := s.auditCount
+			s.auditCount++
+			if ok, want := s.audit.Check(s.comp.Name, idx, q.env.VT, s.auditChain); !ok {
+				s.auditChain = want
+				s.cfg.Metrics.AddDeterminismFault()
+				s.detFaults.Inc()
+				s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops, Note: "replay divergence: delivered payload differs from recorded chain"})
+			}
+		}
+		s.mu.Unlock()
+		s.rec.Record(trace.Event{Kind: trace.EvDeliver, VT: d, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops})
+
+		// Run the handler without holding the lock: it may Send (which locks
+		// briefly) and Call (which blocks awaiting a reply).
+		ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost), origin: q.env.Origin, hops: q.env.Hops}
+		start := time.Now()
+		reply, err := s.cfg.Handler.OnMessage(ctx, port, q.env.Payload)
+		elapsed := time.Since(start)
+		_ = err // handler errors are the application's concern; state advances regardless
+		s.handlerHist.Observe(elapsed.Seconds())
+		s.estErrHist.Observe((time.Duration(cost) - elapsed).Seconds())
+
+		if q.env.Kind == msg.KindCallRequest {
+			s.sendReply(ctx, q.env, reply)
+		}
+
+		s.mu.Lock()
+		if ctx.handlerVT > s.clock {
+			s.clock = ctx.handlerVT
+		}
+		s.inFlight = vt.Never
+		if s.quietWaiters > 0 {
+			s.quiet.Broadcast()
+		}
 		for _, p := range s.gov.OnAdvance(s.viewsLocked()) {
 			s.noteSilence(s.outputs[p.Wire], p.Through)
 			control = append(control, msg.NewSilence(p.Wire, p.Through))
 		}
-		// End of stream: when every input has promised silence forever, the
-		// component will never send again. Flush a final promise on every
-		// output wire regardless of strategy — even Lazy — so downstream
-		// merges can drain (there is no "next data message" to carry the
-		// silence implicitly).
-		if s.clock == vt.Max && !s.finalSilenceSent {
-			s.finalSilenceSent = true
-			for id, ow := range s.outputs {
-				if ow.w.Kind == topo.WireCallReply {
-					continue
-				}
-				s.gov.NoteData(id, vt.Max)
-				s.noteSilence(ow, vt.Max)
-				control = append(control, msg.NewSilence(id, vt.Max))
-			}
-		}
-	}
-	cand, candWire := s.candidateLocked()
-	if cand == nil {
-		s.mu.Unlock()
-		return false, control
-	}
-	blockers := s.blockersLocked(cand.env.VT, candWire)
-	if len(blockers) > 0 {
-		if s.pessStart.IsZero() {
-			s.pessStart = time.Now()
-			s.rec.Record(trace.Event{Kind: trace.EvPessimismStart, VT: cand.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: cand.env.Seq})
-		}
-		// Track the laggard: among the wires still blocking this candidate,
-		// the one whose silence frontier trails furthest (lowest wire ID on
-		// ties). The value observed on the episode's final blocked pass is
-		// the last holdout, which the episode's end blames (§II.H).
-		s.pessBlame = blockers[0]
-		worst := s.inputs[blockers[0]].watermark
-		for _, w := range blockers[1:] {
-			if wm := s.inputs[w].watermark; wm < worst {
-				s.pessBlame, worst = w, wm
-			}
-		}
-		if s.gov.Strategy().Probes() {
-			for _, w := range blockers {
-				if s.probed[w] < cand.env.VT {
-					s.probed[w] = cand.env.VT
-					s.cfg.Metrics.AddProbe()
-					s.inputs[w].m.Probes.Inc()
-					s.rec.Record(trace.Event{Kind: trace.EvProbe, VT: cand.env.VT, Component: s.comp.Name, Wire: w})
-					control = append(control, msg.NewProbe(w, cand.env.VT))
-				}
-			}
-		}
-		s.mu.Unlock()
-		return false, control
-	}
+		delivered = true
+		n++
 
-	// Deliverable: commit the dequeue.
-	in := s.inputs[candWire]
-	q := in.pop()
-	in.noteDepth()
-	if !s.pessStart.IsZero() {
-		wait := time.Since(s.pessStart)
-		s.cfg.Metrics.AddPessimismDelay(wait)
-		in.m.Pessimism.Observe(wait.Seconds())
-		ev := trace.Event{Kind: trace.EvPessimismEnd, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, WaitNanos: int64(wait)}
-		if blamed, ok := s.inputs[s.pessBlame]; ok {
-			ev.SetBlame(s.pessBlame)
-			blamed.m.Blame.Inc()
-			blamed.m.BlameSeconds.Observe(wait.Seconds())
+		if s.cfg.Calibration != nil {
+			// Calibration commits determinism faults through the WAL (disk
+			// IO) and must run unlocked; fall back to one delivery per step.
+			s.mu.Unlock()
+			s.observe(q.env.Payload, vt.FromDuration(elapsed))
+			return delivered, control
 		}
-		s.rec.Record(ev)
-		s.pessStart = time.Time{}
-		s.pessBlame = -1
-	}
-	outOfOrder := q.arrival < s.maxDlvd
-	if q.arrival > s.maxDlvd {
-		s.maxDlvd = q.arrival
-	}
-	s.cfg.Metrics.AddDelivered(outOfOrder)
-	in.m.Delivered.Inc()
-	if outOfOrder {
-		in.m.OutOfOrder.Inc()
-	}
-
-	d := vt.MaxOf(q.env.VT, s.clock)
-	cost := s.cfg.Est.Cost(q.env.Payload, d)
-	s.inFlight = d
-	port := in.w.ToPort
-	if s.audit != nil {
-		// Fold the delivery into the rolling audit chain and verify it
-		// against the recorded chain (first run records; replay and the
-		// recovered replica compare, §II.G.4). On divergence, resync to the
-		// recorded value so one corrupted message yields exactly one fault
-		// instead of cascading down the rest of the chain.
-		digest := trace.PayloadDigest(q.env.Payload)
-		s.auditChain = trace.ChainNext(s.auditChain, candWire, q.env.Seq, q.env.VT, digest)
-		idx := s.auditCount
-		s.auditCount++
-		if ok, want := s.audit.Check(s.comp.Name, idx, q.env.VT, s.auditChain); !ok {
-			s.auditChain = want
-			s.cfg.Metrics.AddDeterminismFault()
-			s.detFaults.Inc()
-			s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops, Note: "replay divergence: delivered payload differs from recorded chain"})
+		if n >= maxDeliveryBatch || s.quietWaiters > 0 || s.stopped {
+			// Yield: flush control traffic, let checkpoints in, honor Stop.
+			break
 		}
 	}
 	s.mu.Unlock()
-	s.rec.Record(trace.Event{Kind: trace.EvDeliver, VT: d, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops})
-
-	// Run the handler without holding the lock: it may Send (which locks
-	// briefly) and Call (which blocks awaiting a reply).
-	ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost), origin: q.env.Origin, hops: q.env.Hops}
-	start := time.Now()
-	reply, err := s.cfg.Handler.OnMessage(ctx, port, q.env.Payload)
-	elapsed := time.Since(start)
-	_ = err // handler errors are the application's concern; state advances regardless
-	s.handlerHist.Observe(elapsed.Seconds())
-	s.estErrHist.Observe((time.Duration(cost) - elapsed).Seconds())
-
-	if q.env.Kind == msg.KindCallRequest {
-		s.sendReply(ctx, q.env, reply)
-	}
-
-	s.mu.Lock()
-	if ctx.handlerVT > s.clock {
-		s.clock = ctx.handlerVT
-	}
-	s.inFlight = vt.Never
-	views := s.viewsLocked()
-	for _, p := range s.gov.OnAdvance(views) {
-		s.noteSilence(s.outputs[p.Wire], p.Through)
-		control = append(control, msg.NewSilence(p.Wire, p.Through))
-	}
-	s.mu.Unlock()
-
-	s.observe(q.env.Payload, vt.FromDuration(elapsed))
-	return true, control
+	return delivered, control
 }
 
 // advanceFrontierLocked moves the component clock up to the earliest
@@ -215,7 +244,23 @@ func (s *Scheduler) advanceFrontierLocked() bool {
 	if s.inFlight != vt.Never || len(s.inputs) == 0 {
 		return false
 	}
-	frontier := vt.Max
+	var bound vt.Time
+	if s.cfg.ReferenceMerge {
+		bound = s.frontierBoundScanLocked()
+	} else {
+		bound = s.front.bound()
+	}
+	if bound > s.clock {
+		s.clock = bound
+		return true
+	}
+	return false
+}
+
+// frontierBoundScanLocked is the reference linear-scan frontier bound,
+// equivalent to frontier.bound.
+func (s *Scheduler) frontierBoundScanLocked() vt.Time {
+	bound := vt.Max
 	for _, in := range s.inputs {
 		var h vt.Time
 		switch {
@@ -226,41 +271,57 @@ func (s *Scheduler) advanceFrontierLocked() bool {
 		default:
 			h = in.watermark.Add(1)
 		}
-		if h < frontier {
-			frontier = h
+		if h < bound {
+			bound = h
 		}
 	}
-	if frontier > s.clock {
-		s.clock = frontier
-		return true
-	}
-	return false
+	return bound
 }
 
-// candidateLocked returns the earliest queued message across all input
-// wires (by VT, tie-broken by wire ID) and its wire.
-func (s *Scheduler) candidateLocked() (*queued, msg.WireID) {
-	var best *queued
-	var bestWire msg.WireID
+// candidateLocked returns the input wire holding the earliest queued
+// message (by VT, tie-broken by wire ID), or nil if nothing is queued.
+func (s *Scheduler) candidateLocked() *inWire {
+	if s.cfg.ReferenceMerge {
+		return s.candidateScanLocked()
+	}
+	return s.front.candidate()
+}
+
+// candidateScanLocked is the reference linear-scan candidate selection the
+// heap fast path must agree with bit-for-bit.
+func (s *Scheduler) candidateScanLocked() *inWire {
+	var best *inWire
 	for _, id := range s.sortedInputIDs() {
-		h := s.inputs[id].head()
+		in := s.inputs[id]
+		h := in.head()
 		if h == nil {
 			continue
 		}
-		if best == nil || msg.Less(h.env, best.env) {
-			best = h
-			bestWire = id
+		if best == nil || msg.Less(h.env, best.head().env) {
+			best = in
 		}
 	}
-	return best, bestWire
+	return best
 }
 
 // blockersLocked returns the input wires that prevent delivering a message
 // with virtual time t on wire w: wires with no queued message whose
 // watermark has not reached t. (A wire with a queued message cannot hide an
 // earlier message: per-wire VTs are strictly increasing and delivery is
-// FIFO, so its head bounds everything behind it.)
+// FIFO, so its head bounds everything behind it.) The common case — no
+// blockers — is answered by one heap-top watermark compare.
 func (s *Scheduler) blockersLocked(t vt.Time, w msg.WireID) []msg.WireID {
+	if s.cfg.ReferenceMerge {
+		return s.blockersScanLocked(t, w)
+	}
+	if wm, ok := s.front.minWatermark(); !ok || wm >= t {
+		return nil
+	}
+	return s.front.blockers(t)
+}
+
+// blockersScanLocked is the reference linear-scan blocker computation.
+func (s *Scheduler) blockersScanLocked(t vt.Time, w msg.WireID) []msg.WireID {
 	var out []msg.WireID
 	for _, id := range s.sortedInputIDs() {
 		if id == w {

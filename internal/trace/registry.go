@@ -462,6 +462,9 @@ const (
 	MetricBlame           = "tart_pessimism_blame_total"
 	MetricBlameSeconds    = "tart_pessimism_blame_seconds"
 	MetricEstErr          = "tart_estimator_error_seconds"
+	MetricHoldbackDepth   = "tart_holdback_depth"
+	MetricHoldbackDrops   = "tart_holdback_dropped_total"
+	MetricSilenceCoalesce = "tart_silences_coalesced_total"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler
@@ -479,20 +482,27 @@ type InWireMetrics struct {
 	// episodes cost (paper §II.H attribution).
 	Blame        *Counter
 	BlameSeconds *Histogram
+	// Holdback is the high-water count of envelopes ever parked behind a
+	// sequence gap at once; HoldbackDrops counts arrivals shed because the
+	// hold-back area was at its cap (recovered later via gap repair).
+	Holdback      *Gauge
+	HoldbackDrops *Counter
 }
 
 // InWire resolves the receiver-side handles for one (component, wire).
 func (r *Registry) InWire(component, wire string) *InWireMetrics {
 	lbls := []Label{L("component", component), L("wire", wire)}
 	return &InWireMetrics{
-		Delivered:    r.Counter(MetricDelivered, "Messages delivered to handlers.", lbls...),
-		OutOfOrder:   r.Counter(MetricOutOfOrder, "Messages delivered in VT order that arrived out of real-time order.", lbls...),
-		Probes:       r.Counter(MetricProbes, "Curiosity probes sent to the wire's sender.", lbls...),
-		Duplicates:   r.Counter(MetricDuplicates, "Duplicate messages discarded by sequence/timestamp.", lbls...),
-		Pessimism:    r.Histogram(MetricPessimism, "Pessimism delay: real time spent holding a deliverable message awaiting other senders' silence.", SecondsBuckets, lbls...),
-		QueueDepth:   r.Gauge(MetricQueueDepth, "Messages currently queued on the wire.", lbls...),
-		Blame:        r.Counter(MetricBlame, "Pessimism episodes where this wire's silence frontier was the last holdout.", lbls...),
-		BlameSeconds: r.Histogram(MetricBlameSeconds, "Real time pessimism episodes blamed on this wire cost the receiver.", SecondsBuckets, lbls...),
+		Delivered:     r.Counter(MetricDelivered, "Messages delivered to handlers.", lbls...),
+		OutOfOrder:    r.Counter(MetricOutOfOrder, "Messages delivered in VT order that arrived out of real-time order.", lbls...),
+		Probes:        r.Counter(MetricProbes, "Curiosity probes sent to the wire's sender.", lbls...),
+		Duplicates:    r.Counter(MetricDuplicates, "Duplicate messages discarded by sequence/timestamp.", lbls...),
+		Pessimism:     r.Histogram(MetricPessimism, "Pessimism delay: real time spent holding a deliverable message awaiting other senders' silence.", SecondsBuckets, lbls...),
+		QueueDepth:    r.Gauge(MetricQueueDepth, "Messages currently queued on the wire.", lbls...),
+		Blame:         r.Counter(MetricBlame, "Pessimism episodes where this wire's silence frontier was the last holdout.", lbls...),
+		BlameSeconds:  r.Histogram(MetricBlameSeconds, "Real time pessimism episodes blamed on this wire cost the receiver.", SecondsBuckets, lbls...),
+		Holdback:      r.Gauge(MetricHoldbackDepth, "High-water count of envelopes parked behind a sequence gap at once.", lbls...),
+		HoldbackDrops: r.Counter(MetricHoldbackDrops, "Arrivals shed because the hold-back area was at its cap.", lbls...),
 	}
 }
 

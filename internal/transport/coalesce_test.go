@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/vt"
+)
+
+// tcpPair dials a loopback connection and returns both ends.
+func tcpPair(tb testing.TB, tr TCP) (client, server *tcpConn, cleanup func()) {
+	tb.Helper()
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	acceptCh := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(acceptCh)
+			return
+		}
+		acceptCh <- c
+	}()
+	cl, err := tr.Dial(l.Addr())
+	if err != nil {
+		l.Close()
+		tb.Fatal(err)
+	}
+	srv, ok := <-acceptCh
+	if !ok {
+		cl.Close()
+		l.Close()
+		tb.Fatal("accept failed")
+	}
+	return cl.(*tcpConn), srv.(*tcpConn), func() {
+		cl.Close()
+		srv.Close()
+		l.Close()
+	}
+}
+
+// TestTCPCoalescesWrites sends a burst through a connection with a wide
+// flush window and checks the burst shares a handful of socket flushes
+// while still arriving complete and in order.
+func TestTCPCoalescesWrites(t *testing.T) {
+	client, server, cleanup := tcpPair(t, TCP{FlushDelay: 5 * time.Millisecond})
+	defer cleanup()
+
+	const n = 100
+	recvd := make(chan msg.Envelope, n)
+	go func() {
+		for {
+			env, err := server.Recv()
+			if err != nil {
+				close(recvd)
+				return
+			}
+			recvd <- env
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		if err := client.Send(msg.NewData(1, uint64(i), vt.Time(i*10), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		select {
+		case env := <-recvd:
+			if env.Seq != uint64(i) {
+				t.Fatalf("frame %d arrived with seq %d", i, env.Seq)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+	st := client.Stats()
+	if st.Envelopes != n {
+		t.Fatalf("envelope count = %d, want %d", st.Envelopes, n)
+	}
+	if st.Flushes*2 > st.Envelopes {
+		t.Errorf("burst was not coalesced: %d flushes for %d envelopes", st.Flushes, st.Envelopes)
+	}
+}
+
+// TestTCPEagerFlushWhenDisabled checks that a negative FlushDelay restores
+// one syscall per Send.
+func TestTCPEagerFlushWhenDisabled(t *testing.T) {
+	client, server, cleanup := tcpPair(t, TCP{FlushDelay: -1})
+	defer cleanup()
+
+	const n = 20
+	go func() {
+		for {
+			if _, err := server.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		if err := client.Send(msg.NewSilence(1, vt.Time(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := client.Stats()
+	if st.Flushes != st.Envelopes || st.Envelopes != n {
+		t.Errorf("eager mode stats = %+v, want one flush per envelope", st)
+	}
+}
+
+// benchCoalescing pushes a silence-heavy envelope mix (the watermark chatter
+// that dominates idle wires) through a loopback TCP connection and reports
+// socket writes per envelope.
+func benchCoalescing(b *testing.B, delay time.Duration) {
+	client, server, cleanup := tcpPair(b, TCP{FlushDelay: delay})
+	defer cleanup()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := server.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := uint64(0)
+	for i := 0; i < b.N; i++ {
+		var env msg.Envelope
+		if i%5 == 0 { // 20% data, 80% silence promises
+			seq++
+			env = msg.NewData(1, seq, vt.Time(i*100), nil)
+		} else {
+			env = msg.NewSilence(msg.WireID(1+i%4), vt.Time(i*100))
+		}
+		if err := client.Send(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+	b.StopTimer()
+	st := client.Stats()
+	if st.Envelopes > 0 {
+		b.ReportMetric(float64(st.Flushes)/float64(st.Envelopes), "writes/envelope")
+	}
+}
+
+// BenchmarkTransportCoalescing compares the default bounded-linger window
+// against eager per-Send flushing on a silence-heavy mix.
+func BenchmarkTransportCoalescing(b *testing.B) {
+	b.Run("coalesced", func(b *testing.B) { benchCoalescing(b, 0) })
+	b.Run("eager", func(b *testing.B) { benchCoalescing(b, -1) })
+}

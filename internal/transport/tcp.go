@@ -6,38 +6,65 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/msg"
 )
 
+// DefaultFlushDelay is the bounded linger applied to outgoing envelopes
+// when TCP.FlushDelay is zero: an encoded envelope waits at most this long
+// for companions before the buffer is flushed to the socket.
+const DefaultFlushDelay = 50 * time.Microsecond
+
 // TCP is a Transport over real sockets. Envelopes are carried as a gob
 // stream per direction; payload types must be registered with
 // msg.RegisterPayload before use.
-type TCP struct{}
+type TCP struct {
+	// FlushDelay enables Nagle-style write coalescing: the first envelope
+	// after an idle window is flushed to the socket immediately (sparse
+	// traffic pays no latency tax), while envelopes sent within FlushDelay
+	// of the previous flush linger in the buffer until a timer closes the
+	// window — a burst shares one syscall. Zero means DefaultFlushDelay;
+	// negative disables coalescing (one flush per Send).
+	FlushDelay time.Duration
+}
 
 var _ Transport = TCP{}
 
+func (t TCP) flushDelay() time.Duration {
+	if t.FlushDelay == 0 {
+		return DefaultFlushDelay
+	}
+	if t.FlushDelay < 0 {
+		return 0
+	}
+	return t.FlushDelay
+}
+
 // Listen implements Transport.
-func (TCP) Listen(addr string) (Listener, error) {
+func (t TCP) Listen(addr string) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{nl: nl}, nil
+	return &tcpListener{nl: nl, flushDelay: t.flushDelay()}, nil
 }
 
 // Dial implements Transport.
-func (TCP) Dial(addr string) (Conn, error) {
+func (t TCP) Dial(addr string) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(nc), nil
+	return newTCPConn(nc, t.flushDelay()), nil
 }
 
 type tcpListener struct {
-	nl net.Listener
+	nl         net.Listener
+	flushDelay time.Duration
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -48,20 +75,41 @@ func (l *tcpListener) Accept() (Conn, error) {
 		}
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return newTCPConn(nc), nil
+	return newTCPConn(nc, l.flushDelay), nil
 }
 
 func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 
 func (l *tcpListener) Close() error { return l.nl.Close() }
 
-// tcpConn frames envelopes with the msg gob codec over one socket.
-type tcpConn struct {
-	nc net.Conn
+// CoalesceStats counts a connection's outgoing envelopes and the socket
+// flushes that carried them; Flushes/Envelopes is the coalescing ratio
+// (1.0 = one syscall per envelope, lower is better).
+type CoalesceStats struct {
+	Envelopes uint64
+	Flushes   uint64
+}
 
-	sendMu sync.Mutex
-	bw     *bufio.Writer
-	enc    *msg.Encoder
+// tcpConn frames envelopes with the msg gob codec over one socket. With a
+// positive flushDelay, a Send that follows a flush-quiet window flushes
+// inline; Sends inside the window only encode, and a timer drains the
+// buffered bytes when the window closes — so sparse envelopes ship at once
+// while a burst shares one syscall and lingers at most flushDelay.
+type tcpConn struct {
+	nc         net.Conn
+	flushDelay time.Duration
+
+	sendMu     sync.Mutex
+	bw         *bufio.Writer
+	enc        *msg.Encoder
+	flushKick  chan struct{} // wakes the flush loop; nil when coalescing is off
+	flushDone  chan struct{}
+	flushArmed bool
+	lastFlush  time.Time
+	sendErr    error // sticky flush error, surfaced on later Sends
+
+	envelopes atomic.Uint64
+	flushes   atomic.Uint64
 
 	dec *msg.Decoder
 
@@ -69,26 +117,97 @@ type tcpConn struct {
 	closeErr  error
 }
 
-func newTCPConn(nc net.Conn) *tcpConn {
+func newTCPConn(nc net.Conn, flushDelay time.Duration) *tcpConn {
 	bw := bufio.NewWriter(nc)
-	return &tcpConn{
-		nc:  nc,
-		bw:  bw,
-		enc: msg.NewEncoder(bw),
-		dec: msg.NewDecoder(bufio.NewReader(nc)),
+	c := &tcpConn{
+		nc:         nc,
+		flushDelay: flushDelay,
+		bw:         bw,
+		enc:        msg.NewEncoder(bw),
+		dec:        msg.NewDecoder(bufio.NewReader(nc)),
 	}
+	if flushDelay > 0 {
+		c.flushKick = make(chan struct{}, 1)
+		c.flushDone = make(chan struct{})
+		go c.flushLoop()
+	}
+	return c
 }
 
 func (c *tcpConn) Send(env msg.Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	if err := c.enc.Encode(env); err != nil {
-		return c.mapErr(err)
+	if c.sendErr != nil {
+		return c.sendErr
 	}
+	if err := c.enc.Encode(env); err != nil {
+		c.sendErr = c.mapErr(err)
+		return c.sendErr
+	}
+	c.envelopes.Add(1)
+	if c.flushDelay <= 0 {
+		return c.flushLocked()
+	}
+	if time.Since(c.lastFlush) >= c.flushDelay {
+		// Idle window: ship immediately — coalescing must never add
+		// latency to sparse traffic, only batch bursts.
+		return c.flushLocked()
+	}
+	if !c.flushArmed {
+		c.flushArmed = true
+		select {
+		case c.flushKick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// flushLoop drains the send buffer once per linger window. The window
+// remainder is waited out by yielding the processor rather than a runtime
+// timer: timers carry millisecond-scale slop under load, which would tax
+// every coalesced envelope with ~25x the configured linger.
+func (c *tcpConn) flushLoop() {
+	for {
+		select {
+		case <-c.flushDone:
+			return
+		case <-c.flushKick:
+		}
+		c.sendMu.Lock()
+		deadline := c.lastFlush.Add(c.flushDelay)
+		c.sendMu.Unlock()
+		for time.Now().Before(deadline) {
+			select {
+			case <-c.flushDone:
+				return
+			default:
+			}
+			runtime.Gosched()
+		}
+		c.sendMu.Lock()
+		c.flushArmed = false
+		if c.sendErr == nil && c.bw.Buffered() > 0 {
+			if err := c.flushLocked(); err != nil {
+				c.sendErr = err
+			}
+		}
+		c.sendMu.Unlock()
+	}
+}
+
+func (c *tcpConn) flushLocked() error {
+	c.flushes.Add(1)
+	c.lastFlush = time.Now()
 	if err := c.bw.Flush(); err != nil {
 		return c.mapErr(err)
 	}
 	return nil
+}
+
+// Stats reports the connection's coalescing counters.
+func (c *tcpConn) Stats() CoalesceStats {
+	return CoalesceStats{Envelopes: c.envelopes.Load(), Flushes: c.flushes.Load()}
 }
 
 func (c *tcpConn) Recv() (msg.Envelope, error) {
@@ -100,7 +219,19 @@ func (c *tcpConn) Recv() (msg.Envelope, error) {
 }
 
 func (c *tcpConn) Close() error {
-	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	c.closeOnce.Do(func() {
+		// Drain any lingering bytes so a graceful close does not strand the
+		// tail of the stream in the coalescing buffer.
+		if c.flushDone != nil {
+			close(c.flushDone)
+		}
+		c.sendMu.Lock()
+		if c.sendErr == nil && c.bw.Buffered() > 0 {
+			_ = c.flushLocked()
+		}
+		c.sendMu.Unlock()
+		c.closeErr = c.nc.Close()
+	})
 	return c.closeErr
 }
 
