@@ -14,6 +14,7 @@ import (
 	"repro/internal/silence"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 	"repro/internal/transport"
 	"repro/internal/vt"
 	"repro/internal/wal"
@@ -39,6 +40,9 @@ type clusterConfig struct {
 	debugAddrs         map[string]string
 	flightOn           bool
 	flightDir          string
+	spansOn            bool
+	spanSample         int
+	pprofOn            bool
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -121,6 +125,28 @@ func WithFlightRecorder(dir string) ClusterOption {
 	})
 }
 
+// WithSpanTracing turns the span layer on: deliveries, pessimism waits,
+// handler runs, and transport linger windows of head-sampled origins are
+// recorded as wall-clock+VT spans, queryable via Cluster.Spans, the /spans
+// debug endpoint, and `tartctl timeline`. sampleN selects one traced
+// origin in N by deterministic OriginID hash (<=0 uses the default 1/64;
+// 1 traces everything) — every engine, replica, and replay picks the same
+// origins with no coordination. Collectors survive Fail/Recover like the
+// flight recorder, and replayed re-deliveries re-emit spans tagged
+// replayed=true, so a recovery's latency cost lands in the same timeline.
+func WithSpanTracing(sampleN int) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		c.spansOn = true
+		c.spanSample = sampleN
+	})
+}
+
+// WithDebugPprof mounts net/http/pprof under /debug/pprof/ on every debug
+// HTTP listener (requires WithDebugHTTP). Off by default.
+func WithDebugPprof() ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.pprofOn = true })
+}
+
 // Cluster is a running deployment: one engine per placement name, each
 // paired with a passive replica (a checkpoint store) and a stable input
 // log. Cluster survives engine failures: Fail simulates a crash and
@@ -144,6 +170,7 @@ type engineSlot struct {
 	sinks  map[string]func(Output) // sink name -> user callback
 	rec    *trace.Recorder         // shared across engine generations
 	audit  *trace.AuditLog         // shared across engine generations
+	spans  *span.Collector         // shared across engine generations
 	failed bool
 }
 
@@ -196,6 +223,9 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			slot.rec = trace.NewRecorder(0)
 			slot.audit = trace.NewAuditLog()
 		}
+		if cfg.spansOn {
+			slot.spans = span.NewCollector(name, 0, cfg.spanSample)
+		}
 		slot.log, err = c.newLog(name)
 		if err != nil {
 			return nil, err
@@ -236,11 +266,18 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 	if c.cfg.flightDir != "" {
 		dump = filepath.Join(c.cfg.flightDir, slot.name+"-flight.jsonl")
 	}
+	tr := c.cfg.transport
+	if t, ok := tr.(transport.TCP); ok && slot.spans != nil {
+		// Per-engine transport copy so outgoing connections record their
+		// coalescing-linger spans into this engine's collector.
+		t.Spans = slot.spans
+		tr = t
+	}
 	return engine.Config{
 		Name:               slot.name,
 		Topo:               c.tp,
 		Components:         comps,
-		Transport:          c.cfg.transport,
+		Transport:          tr,
 		Addrs:              c.cfg.addrs,
 		Log:                slot.log,
 		Backup:             slot.store,
@@ -250,7 +287,9 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		Clock:              c.cfg.manualClock,
 		Recorder:           slot.rec,
 		Audit:              slot.audit,
+		Spans:              slot.spans,
 		DebugAddr:          c.cfg.debugAddrs[slot.name],
+		DebugPprof:         c.cfg.pprofOn,
 		FlightDump:         dump,
 	}
 }
@@ -453,6 +492,18 @@ func (c *Cluster) TraceEvents(engineName string, last int) ([]TraceEvent, error)
 		return nil, err
 	}
 	return slot.rec.Last(last), nil
+}
+
+// Spans returns the named engine's retained spans in record order.
+// Requires WithSpanTracing; returns nil otherwise. The collector survives
+// Fail/Recover, so after a failover the result holds both the pre-crash
+// spans and the replayed=true re-deliveries.
+func (c *Cluster) Spans(engineName string) ([]Span, error) {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return nil, err
+	}
+	return slot.spans.Spans(), nil
 }
 
 // DebugAddr returns the bound debug HTTP address of the named engine ("" if

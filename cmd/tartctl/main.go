@@ -8,6 +8,8 @@
 //	tartctl status -addr H:P     health + per-wire tables from a debug listener
 //	tartctl trace -file f.json   causal chains from a flight-recorder dump
 //	tartctl trace -addr H:P -origin w0#3   one input's chain from a live engine
+//	tartctl timeline -addr H:P   per-origin critical-path table from /spans
+//	tartctl timeline -file s.json -origin w0#3 -chrome t.json   span tree + Perfetto export
 package main
 
 import (
@@ -55,6 +57,14 @@ func main() {
 		last := fs.Int("last", 4096, "with -addr, fetch the last N events")
 		_ = fs.Parse(os.Args[2:])
 		err = traceCmd(*file, *addr, *origin, *last)
+	case "timeline":
+		fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+		file := fs.String("file", "", "span dump file (JSON array or JSONL, as served by /spans)")
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		origin := fs.String("origin", "", "origin ID to render (e.g. w0#3); empty prints the per-origin table")
+		chrome := fs.String("chrome", "", "also write Chrome trace_event JSON to this file (Perfetto-loadable)")
+		_ = fs.Parse(os.Args[2:])
+		err = timelineCmd(*file, *addr, *origin, *chrome)
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline> [flags]")
 }
 
 func fig1Topology() (*topo.Topology, error) {

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	tart "repro"
+	"repro/internal/trace/span"
+)
+
+// timelineCmd renders span timelines and critical-path breakdowns. Spans
+// come from a dump file (-file; JSON array or JSONL, as served by /spans)
+// or live from an engine's debug listener (-addr). Without -origin it
+// prints the per-origin critical-path table — where each traced input's
+// end-to-end latency went. With -origin it prints that input's span tree
+// (hop-indented, wall-clock and VT bounds, replayed tags) followed by the
+// phase breakdown, whose durations sum to the end-to-end total exactly.
+// -chrome additionally writes the spans as Chrome trace_event JSON for
+// Perfetto/chrome://tracing.
+func timelineCmd(file, addr, origin, chromeOut string) error {
+	spans, err := loadSpans(file, addr)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans (was the cluster launched with WithSpanTracing?)")
+		return nil
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+		if err := tart.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			return fmt.Errorf("timeline: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace of %d spans to %s (load in ui.perfetto.dev)\n", len(spans), chromeOut)
+	}
+	if origin == "" {
+		printBreakdownTable(tart.CriticalPathTable(spans))
+		return nil
+	}
+	o, err := tart.ParseOrigin(origin)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	return printTimeline(spans, o)
+}
+
+// printBreakdownTable renders the per-origin critical-path table.
+func printBreakdownTable(table []tart.CriticalPathBreakdown) {
+	fmt.Printf("%d traced origins; rerun with -origin <id> for one span tree\n", len(table))
+	fmt.Printf("  %-10s %-6s %-12s %9s %9s %9s %9s %9s %9s %s\n",
+		"origin", "spans", "total", "queue", "pess", "compute", "transp", "linger", "replay", "")
+	for _, b := range table {
+		mark := ""
+		if b.Replayed {
+			mark = "replayed"
+		}
+		fmt.Printf("  %-10s %-6d %-12v %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %s\n",
+			b.Origin, b.Spans, b.Total.Round(time.Microsecond),
+			100*b.Share(tart.PhaseQueueing), 100*b.Share(tart.PhasePessimism),
+			100*b.Share(tart.PhaseCompute), 100*b.Share(tart.PhaseTransport),
+			100*b.Share(tart.PhaseLinger), 100*b.Share(tart.PhaseReplay), mark)
+	}
+}
+
+// printTimeline renders one origin's span tree and phase breakdown.
+func printTimeline(spans []tart.Span, o tart.OriginID) error {
+	var mine []tart.Span
+	for _, s := range spans {
+		if s.Origin == o {
+			mine = append(mine, s)
+		}
+	}
+	if len(mine) == 0 {
+		return fmt.Errorf("timeline: no spans with origin %s (of %d spans read)", o, len(spans))
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if !mine[i].Start.Equal(mine[j].Start) {
+			return mine[i].Start.Before(mine[j].Start)
+		}
+		return mine[i].ID < mine[j].ID
+	})
+	b := tart.CriticalPath(spans, o)
+	fmt.Printf("timeline of %s (%d spans, end-to-end %v):\n", o, len(mine), b.Total.Round(time.Microsecond))
+	epoch := mine[0].Start
+	for _, s := range mine {
+		indent := int(s.Hops)
+		if indent > 8 {
+			indent = 8
+		}
+		for i := 0; i < indent; i++ {
+			fmt.Print("  ")
+		}
+		fmt.Printf("  +%-10v %s\n", s.Start.Sub(epoch).Round(time.Microsecond), s.String())
+	}
+	fmt.Println("critical path:")
+	var sum time.Duration
+	for _, p := range span.Phases() {
+		d := b.ByPhase[p]
+		if d == 0 {
+			continue
+		}
+		sum += d
+		fmt.Printf("  %-10s %12v  %5.1f%%\n", p, d.Round(time.Microsecond), 100*b.Share(p))
+	}
+	fmt.Printf("  %-10s %12v  (sums to end-to-end exactly)\n", "total", sum.Round(time.Microsecond))
+	return nil
+}
+
+// loadSpans reads spans from a file or a live /spans endpoint; exactly one
+// of file/addr must be set.
+func loadSpans(file, addr string) ([]tart.Span, error) {
+	switch {
+	case file != "" && addr != "":
+		return nil, fmt.Errorf("timeline: -file and -addr are mutually exclusive")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, fmt.Errorf("timeline: %w", err)
+		}
+		defer f.Close()
+		spans, err := span.ReadSpans(f)
+		if err != nil {
+			return nil, fmt.Errorf("timeline: read %s: %w", file, err)
+		}
+		return spans, nil
+	case addr != "":
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(fmt.Sprintf("http://%s/spans", addr))
+		if err != nil {
+			return nil, fmt.Errorf("timeline: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("timeline: /spans returned %s", resp.Status)
+		}
+		spans, err := span.ReadSpans(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("timeline: read /spans: %w", err)
+		}
+		return spans, nil
+	default:
+		return nil, fmt.Errorf("timeline: one of -file or -addr is required")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	tart "repro"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 )
 
 func main() {
@@ -39,17 +40,18 @@ func main() {
 		rate     = flag.Float64("rate", 100, "requests/second per sender")
 		buckets  = flag.Int("buckets", 10, "latency buckets printed per run")
 		portBase = flag.Int("port", 39500, "first TCP port to use")
-		debug    = flag.Bool("debug", false, "serve /metrics, /healthz, /trace, /topology per engine")
+		debug    = flag.Bool("debug", false, "serve /metrics, /healthz, /trace, /spans, /topology per engine")
 		hold     = flag.Duration("hold", 0, "keep each TART cluster alive this long after the run (for curl / tartctl status)")
+		spansN   = flag.Int("spans", 0, "enable span tracing at 1/N head-sampling (1 = every origin) and print the critical-path summary")
 	)
 	flag.Parse()
-	if err := run(*mode, *requests, *rate, *buckets, *portBase, *debug, *hold); err != nil {
+	if err := run(*mode, *requests, *rate, *buckets, *portBase, *debug, *hold, *spansN); err != nil {
 		fmt.Fprintln(os.Stderr, "tartdist:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode string, requests int, rate float64, buckets, portBase int, debug bool, hold time.Duration) error {
+func run(mode string, requests int, rate float64, buckets, portBase int, debug bool, hold time.Duration, spansN int) error {
 	fmt.Println("== Figure 5: real two-engine distributed run over TCP ==")
 	fmt.Printf("   %d web requests, %.0f req/s/sender, senders on engine A, merger on engine B\n\n",
 		requests, rate)
@@ -66,9 +68,9 @@ func run(mode string, requests int, rate float64, buckets, portBase int, debug b
 		case "nondet":
 			rec, err = runBaseline(requests, rate, port)
 		case "lazy":
-			rec, err = runTART(tart.Lazy, requests, rate, port, debug, hold)
+			rec, err = runTART(tart.Lazy, requests, rate, port, debug, hold, spansN)
 		case "curiosity":
-			rec, err = runTART(tart.Curiosity, requests, rate, port, debug, hold)
+			rec, err = runTART(tart.Curiosity, requests, rate, port, debug, hold, spansN)
 		default:
 			return fmt.Errorf("unknown mode %q", m)
 		}
@@ -219,6 +221,38 @@ func printWireTable(cluster *tart.Cluster, engines []string) {
 	fmt.Println()
 }
 
+// printSpanSummary merges both engines' span collectors and prints the
+// aggregate critical-path shares plus a sample of traced origins to feed
+// into `tartctl timeline`.
+func printSpanSummary(cluster *tart.Cluster) {
+	spansA, _ := cluster.Spans("A")
+	spansB, _ := cluster.Spans("B")
+	all := append(spansA, spansB...)
+	if len(all) == 0 {
+		fmt.Println("   -- no spans recorded --")
+		return
+	}
+	table := tart.CriticalPathTable(all)
+	agg := span.Aggregate(table)
+	fmt.Printf("   -- critical path over %d traced origins (%d spans) --\n", len(table), len(all))
+	for _, p := range span.Phases() {
+		d := agg.ByPhase[p]
+		if d == 0 {
+			continue
+		}
+		fmt.Printf("   %-10s %12v  %5.1f%%\n", p, d.Round(time.Microsecond), 100*agg.Share(p))
+	}
+	n := len(table)
+	if n > 3 {
+		n = 3
+	}
+	for _, b := range table[:n] {
+		fmt.Printf("   e.g. tartctl timeline -addr <B debug addr> -origin %s   (%v end-to-end)\n",
+			b.Origin, b.Total.Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
 // forward is a constant-time passthrough component.
 type forward struct{ Seen int }
 
@@ -229,7 +263,7 @@ func (f *forward) OnMessage(ctx *tart.Context, port string, payload any) (any, e
 
 // runTART measures per-request latency through a two-engine TART cluster
 // over TCP with the given silence strategy.
-func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int, debug bool, hold time.Duration) (*tart.LatencyRecorder, error) {
+func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int, debug bool, hold time.Duration, spansN int) (*tart.LatencyRecorder, error) {
 	app := tart.NewApp()
 	// Ad-hoc constant estimators, constant-time services (§III.C).
 	for _, name := range []string{"sender1", "sender2"} {
@@ -273,6 +307,9 @@ func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int
 				"B": fmt.Sprintf("127.0.0.1:%d", port+3),
 			}),
 			tart.WithFlightRecorder(""))
+	}
+	if spansN > 0 {
+		opts = append(opts, tart.WithSpanTracing(spansN))
 	}
 	cluster, err := tart.Launch(app, opts...)
 	if err != nil {
@@ -341,6 +378,9 @@ func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int
 		return nil, fmt.Errorf("timed out: %d of %d outputs", received, requests)
 	}
 	printWireTable(cluster, []string{"A", "B"})
+	if spansN > 0 {
+		printSpanSummary(cluster)
+	}
 	if hold > 0 {
 		fmt.Printf("   holding cluster for %v (curl the debug endpoints now)...\n", hold)
 		time.Sleep(hold)

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	tart "repro"
+	"repro/internal/trace/span"
+)
+
+// critpath sweeps the silence strategy on a real two-engine TCP run of the
+// Figure-1 application with full span tracing (sample 1/1) and prints
+// where each strategy's end-to-end latency goes: the per-phase shares from
+// the critical-path analyzer, pessimism separated from queueing, compute,
+// transport flight, and coalescing linger. This is the paper's §III
+// pessimism-delay claim made measurable per phase: the deterministic-merge
+// tax should show up as the pessimism share, largest under lazy silence
+// (the merger can only learn silence from the next data message) and
+// small under curiosity/aggressive propagation.
+func critpath(requests int, rate float64, portBase int) error {
+	fmt.Println("== Critical-path attribution: pessimism share vs silence strategy ==")
+	fmt.Println("   two engines over TCP (senders on A, merger on B), span tracing 1/1;")
+	fmt.Println("   every request's latency attributed to exactly one phase (§III)")
+	fmt.Printf("\n   %-11s %9s %8s %8s %8s %8s %8s %8s\n",
+		"strategy", "e2e mean", "queue", "pess", "compute", "transp", "linger", "spans")
+	port := portBase
+	for _, cfg := range []struct {
+		name     string
+		strategy tart.SilenceStrategy
+	}{
+		{"lazy", tart.Lazy},
+		{"curiosity", tart.Curiosity},
+		{"aggressive", tart.Aggressive},
+	} {
+		agg, mean, err := critpathRun(cfg.strategy, requests, rate, port)
+		if err != nil {
+			return fmt.Errorf("critpath %s: %w", cfg.name, err)
+		}
+		port += 2
+		share := func(p tart.SpanPhase) float64 { return 100 * agg.Share(p) }
+		fmt.Printf("   %-11s %9.2fms %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8d\n",
+			cfg.name, float64(mean.Nanoseconds())/1e6,
+			share(tart.PhaseQueueing), share(tart.PhasePessimism), share(tart.PhaseCompute),
+			share(tart.PhaseTransport), share(tart.PhaseLinger), agg.Spans)
+	}
+	fmt.Println()
+	return nil
+}
+
+// critpathRun drives one strategy's cluster and returns the aggregate
+// cross-origin breakdown plus the sink-measured mean latency.
+func critpathRun(strategy tart.SilenceStrategy, requests int, rate float64, port int) (tart.CriticalPathBreakdown, time.Duration, error) {
+	app := tart.NewApp()
+	for _, name := range []string{"sender1", "sender2"} {
+		app.Register(name, &critForward{},
+			tart.WithConstantCost(50*time.Microsecond),
+			tart.WithSilence(strategy),
+			tart.WithProbeRetry(time.Millisecond))
+	}
+	app.Register("merger", &critForward{},
+		tart.WithConstantCost(100*time.Microsecond),
+		tart.WithSilence(strategy),
+		tart.WithProbeRetry(time.Millisecond))
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.Place("sender1", "A")
+	app.Place("sender2", "A")
+	app.Place("merger", "B")
+
+	silenceEvery := 500 * time.Microsecond
+	if strategy == tart.Lazy {
+		silenceEvery = 50 * time.Millisecond
+	}
+	cluster, err := tart.Launch(app,
+		tart.WithTCP(map[string]string{
+			"A": fmt.Sprintf("127.0.0.1:%d", port),
+			"B": fmt.Sprintf("127.0.0.1:%d", port+1),
+		}),
+		tart.WithSourceSilenceEvery(silenceEvery),
+		tart.WithSpanTracing(1))
+	if err != nil {
+		return tart.CriticalPathBreakdown{}, 0, err
+	}
+	defer cluster.Stop()
+
+	var (
+		mu       sync.Mutex
+		rec      tart.LatencyRecorder
+		emitted  = make(map[uint64]time.Time)
+		done     = make(chan struct{})
+		received int
+	)
+	err = cluster.Sink("out", func(o tart.Output) {
+		id, _ := o.Payload.(uint64)
+		mu.Lock()
+		if t0, ok := emitted[id]; ok {
+			rec.Record(time.Since(t0))
+			delete(emitted, id)
+		}
+		received++
+		if received == requests {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return tart.CriticalPathBreakdown{}, 0, err
+	}
+
+	in1, _ := cluster.Source("in1")
+	in2, _ := cluster.Source("in2")
+	gap := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	emitLoop := func(src *tart.Source, base uint64) {
+		defer wg.Done()
+		for i := 0; i < requests/2; i++ {
+			id := base + uint64(i)
+			mu.Lock()
+			emitted[id] = time.Now()
+			mu.Unlock()
+			if _, err := src.Emit(id); err != nil {
+				return
+			}
+			time.Sleep(gap)
+		}
+	}
+	wg.Add(2)
+	go emitLoop(in1, 0)
+	go emitLoop(in2, 1_000_000)
+	wg.Wait()
+	_ = in1.End()
+	_ = in2.End()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		return tart.CriticalPathBreakdown{}, 0, fmt.Errorf("timed out: %d of %d outputs", received, requests)
+	}
+
+	// One origin's journey crosses both engines; merge both collectors
+	// before attributing.
+	spansA, _ := cluster.Spans("A")
+	spansB, _ := cluster.Spans("B")
+	all := append(spansA, spansB...)
+	agg := span.Aggregate(tart.CriticalPathTable(all))
+	return agg, rec.Summary().Mean, nil
+}
+
+// critForward is a constant-time passthrough component.
+type critForward struct{ Seen int }
+
+func (f *critForward) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	f.Seen++
+	return nil, ctx.Send("out", payload)
+}

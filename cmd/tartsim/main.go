@@ -10,6 +10,7 @@
 //	tartsim -exp wires       Per-wire registry table for one deterministic run
 //	tartsim -exp blame       Pessimism blame attribution across sender configs
 //	tartsim -exp fanin       Merge fan-in sweep: heap fast path vs linear scan
+//	tartsim -exp critpath    Critical-path phase shares vs silence strategy (TCP + spans)
 //	tartsim -exp all         Everything above
 package main
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -58,6 +59,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		blame(duration, seed)
 	case "fanin":
 		return fanin(seed)
+	case "critpath":
+		return critpath(600, 300, 39700)
 	case "all":
 		fig2(fig2n, fig2reps, seed)
 		fig3(duration, seed, 0)
@@ -68,6 +71,9 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		wires(duration, seed)
 		blame(duration, seed)
 		if err := fanin(seed); err != nil {
+			return err
+		}
+		if err := critpath(600, 300, 39700); err != nil {
 			return err
 		}
 	default:

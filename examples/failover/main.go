@@ -65,7 +65,8 @@ func run() error {
 	}
 	cluster, err := tart.Launch(app,
 		tart.WithManualClock(func() tart.VirtualTime { return 0 }),
-		tart.WithFlightRecorder(flightDir))
+		tart.WithFlightRecorder(flightDir),
+		tart.WithSpanTracing(1)) // trace every origin: the timeline below needs them all
 	if err != nil {
 		return err
 	}
@@ -195,7 +196,42 @@ func run() error {
 	fmt.Println("recovery was transparent: same state, same outputs, no lost or reordered work")
 
 	printRecoveryStory(cluster)
+	printSpanTimeline(cluster)
 	return nil
+}
+
+// printSpanTimeline shows the span layer's view of one replayed input: the
+// pre-crash journey and the post-recovery re-delivery live in the same
+// per-origin timeline, with the replayed spans tagged. The per-phase
+// durations sum to each origin's end-to-end extent exactly — the same
+// breakdown `tartctl timeline` renders from a /spans endpoint or dump.
+func printSpanTimeline(cluster *tart.Cluster) {
+	spans, err := cluster.Spans("node")
+	if err != nil || len(spans) == 0 {
+		return
+	}
+	table := tart.CriticalPathTable(spans)
+	fmt.Println("\nspan timeline — per-origin critical path (replayed origins carry recovery cost):")
+	fmt.Printf("  %-8s %-6s %-12s %-10s %-10s %-10s %s\n",
+		"origin", "spans", "total", "queueing", "compute", "replay", "")
+	for _, b := range table {
+		mark := ""
+		if b.Replayed {
+			mark = "replayed"
+		}
+		fmt.Printf("  %-8s %-6d %-12v %-10v %-10v %-10v %s\n",
+			b.Origin, b.Spans, b.Total.Round(time.Microsecond),
+			b.ByPhase[tart.PhaseQueueing].Round(time.Microsecond),
+			b.ByPhase[tart.PhaseCompute].Round(time.Microsecond),
+			b.ByPhase[tart.PhaseReplay].Round(time.Microsecond), mark)
+	}
+	for _, b := range table {
+		if b.Replayed {
+			fmt.Printf("origin %s was re-delivered during recovery; inspect it with:\n", b.Origin)
+			fmt.Printf("  tartctl timeline -file <spans.json> -origin %s\n", b.Origin)
+			break
+		}
+	}
 }
 
 // printRecoveryStory renders the flight recorder's view of the failover:

@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/msg"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	spanpkg "repro/internal/trace/span"
 )
 
 // debugServer is the engine's optional ops surface: a plain HTTP listener
@@ -40,7 +43,17 @@ func (e *Engine) startDebug() error {
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/healthz", d.handleHealthz)
 	mux.HandleFunc("/trace", d.handleTrace)
+	mux.HandleFunc("/spans", d.handleSpans)
 	mux.HandleFunc("/topology", d.handleTopology)
+	if e.cfg.DebugPprof {
+		// Off by default: pprof endpoints can stop the world (heap dumps,
+		// full goroutine stacks), so operators opt in per engine.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	e.debug = d
 	e.done.Add(1)
@@ -123,6 +136,43 @@ func (d *debugServer) handleTrace(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(events)
+}
+
+// handleSpans serves the span collector's retained spans. ?origin=w0#3
+// filters to one origin; ?format=chrome renders Chrome trace_event JSON
+// (Perfetto-loadable) instead of the raw span array. 404 when span
+// tracing is disabled.
+func (d *debugServer) handleSpans(w http.ResponseWriter, r *http.Request) {
+	col := d.e.metrics.Spans()
+	if col == nil {
+		http.Error(w, "span tracing disabled (enable with WithSpanTracing)", http.StatusNotFound)
+		return
+	}
+	spans := col.Spans()
+	if v := r.URL.Query().Get("origin"); v != "" {
+		o, err := msg.ParseOrigin(v)
+		if err != nil {
+			http.Error(w, "bad origin parameter", http.StatusBadRequest)
+			return
+		}
+		filtered := spans[:0]
+		for _, s := range spans {
+			if s.Origin == o {
+				filtered = append(filtered, s)
+			}
+		}
+		spans = filtered
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = spanpkg.WriteChromeTrace(w, spans)
+		return
+	}
+	if spans == nil {
+		spans = []spanpkg.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = spanpkg.WriteJSON(w, spans)
 }
 
 // handleTopology renders the application topology with placements, so an

@@ -22,6 +22,7 @@ import (
 	"repro/internal/silence"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 	"repro/internal/transport"
 	"repro/internal/vt"
 	"repro/internal/wal"
@@ -107,10 +108,19 @@ type Config struct {
 	// Recorder, pass the same log to successive generations so a recovered
 	// engine's replay is checked against the pre-crash record.
 	Audit *trace.AuditLog
+	// Spans is the span collector sampled deliveries emit into; optional
+	// (nil disables span tracing). Like the Recorder, pass the same
+	// collector to successive generations so a post-failover timeline
+	// shows the pre-crash journey next to the replayed re-deliveries.
+	Spans *span.Collector
 	// DebugAddr, when non-empty, binds a debug HTTP listener serving
-	// /metrics, /healthz, /trace, and /topology. Off by default. Use
-	// "127.0.0.1:0" for an ephemeral port (see Engine.DebugAddr).
+	// /metrics, /healthz, /trace, /spans, and /topology. Off by default.
+	// Use "127.0.0.1:0" for an ephemeral port (see Engine.DebugAddr).
 	DebugAddr string
+	// DebugPprof mounts net/http/pprof under /debug/pprof/ on the debug
+	// listener. Off by default: profiling endpoints can stall the process
+	// (full-stack dumps stop the world) and should be opted into.
+	DebugPprof bool
 	// FlightDump, when non-empty, is a file path the flight recorder is
 	// dumped to (JSONL) after a post-failover replay and on shutdown.
 	FlightDump string
@@ -181,6 +191,23 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Audit != nil {
 		cfg.Metrics.SetAudit(cfg.Audit)
+	}
+	if cfg.Spans != nil {
+		cfg.Metrics.SetSpans(cfg.Spans)
+		// Feed every recorded span into the critical-path histogram family
+		// so the aggregate phase shares are scrapeable without a dump.
+		reg := cfg.Metrics.Registry()
+		hists := make(map[string]*trace.Histogram, len(span.Phases()))
+		for _, p := range span.Phases() {
+			hists[p.String()] = reg.Histogram(trace.MetricCriticalPath,
+				"Span-attributed share of traced end-to-end latency by phase.",
+				trace.SecondsBuckets, trace.L("phase", p.String()))
+		}
+		cfg.Spans.SetObserver(func(phase string, seconds float64) {
+			if h, ok := hists[phase]; ok {
+				h.Observe(seconds)
+			}
+		})
 	}
 	if cfg.GapRepairEvery <= 0 {
 		cfg.GapRepairEvery = 50 * time.Millisecond

@@ -31,6 +31,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 	"repro/internal/vt"
 )
 
@@ -146,6 +147,7 @@ type Scheduler struct {
 	// no-ops when the Metrics carries no registry/recorder.
 	rec         *trace.Recorder
 	reg         *trace.Registry
+	spans       *span.Collector
 	handlerHist *trace.Histogram
 	estErrHist  *trace.Histogram
 	detFaults   *trace.Counter
@@ -207,6 +209,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s.reg = reg
 	s.rec = cfg.Metrics.Recorder()
 	s.audit = cfg.Metrics.Audit()
+	s.spans = cfg.Metrics.Spans()
 	s.handlerHist = reg.HandlerSeconds(cfg.Comp.Name)
 	s.estErrHist = reg.EstimatorError(cfg.Comp.Name)
 	s.detFaults = reg.DeterminismFaults(cfg.Comp.Name, "replay-divergence")
@@ -318,6 +321,12 @@ func (s *Scheduler) Deliver(env msg.Envelope) {
 }
 
 func (s *Scheduler) deliverMessage(env msg.Envelope) {
+	// Stamp the enqueue time for span-sampled origins before taking the
+	// lock; a zero stamp marks the delivery as untraced.
+	var enq int64
+	if s.spans.Sampled(env.Origin) {
+		enq = time.Now().UnixNano()
+	}
 	s.mu.Lock()
 	in, ok := s.inputs[env.Wire]
 	if !ok {
@@ -325,7 +334,7 @@ func (s *Scheduler) deliverMessage(env msg.Envelope) {
 		return // not one of our input wires; drop
 	}
 	s.arrival++
-	verdict := in.accept(env, s.arrival, s.holdbackLimit)
+	verdict := in.accept(env, s.arrival, enq, s.holdbackLimit)
 	if verdict == acceptQueued {
 		in.noteDepth()
 		s.front.update(in)

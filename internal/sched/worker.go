@@ -8,6 +8,7 @@ import (
 	"repro/internal/silence"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 	"repro/internal/vt"
 )
 
@@ -136,8 +137,16 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 			break
 		}
 
-		// Deliverable: commit the dequeue.
+		// Deliverable: commit the dequeue. A non-zero q.enq marks a
+		// span-sampled delivery: capture the pop time (and, below, the
+		// pessimism episode bounds) so queueing/pessimism/compute spans can
+		// be emitted once the lock is released.
 		q := in.pop()
+		var spanPop, spanPessStart time.Time
+		var spanBlame string
+		if q.enq != 0 {
+			spanPop = time.Now()
+		}
 		s.front.update(in)
 		in.noteDepth()
 		if !s.pessStart.IsZero() {
@@ -149,6 +158,12 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 				ev.SetBlame(s.pessBlame)
 				blamed.m.Blame.Inc()
 				blamed.m.BlameSeconds.Observe(wait.Seconds())
+			}
+			if !spanPop.IsZero() {
+				spanPessStart = s.pessStart
+				if _, ok := s.inputs[s.pessBlame]; ok {
+					spanBlame = "blame=" + s.pessBlame.String()
+				}
 			}
 			s.rec.Record(ev)
 			s.pessStart = time.Time{}
@@ -168,6 +183,7 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		cost := s.cfg.Est.Cost(q.env.Payload, d)
 		s.inFlight = d
 		port := in.w.ToPort
+		replayed := false
 		if s.audit != nil {
 			// Fold the delivery into the rolling audit chain and verify it
 			// against the recorded chain (first run records; replay and the
@@ -178,6 +194,12 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 			s.auditChain = trace.ChainNext(s.auditChain, candWire, q.env.Seq, q.env.VT, digest)
 			idx := s.auditCount
 			s.auditCount++
+			if !spanPop.IsZero() {
+				// A delivery index already inside the recorded audit window
+				// is a post-failover re-delivery: its spans are recovery
+				// work, not first-run latency.
+				replayed = s.audit.Witnessed(s.comp.Name, idx)
+			}
 			if ok, want := s.audit.Check(s.comp.Name, idx, q.env.VT, s.auditChain); !ok {
 				s.auditChain = want
 				s.cfg.Metrics.AddDeterminismFault()
@@ -187,6 +209,27 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		}
 		s.mu.Unlock()
 		s.rec.Record(trace.Event{Kind: trace.EvDeliver, VT: d, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops})
+		if !spanPop.IsZero() {
+			// Queueing runs from enqueue to the pessimism episode's start
+			// (or straight to the pop when nothing blocked delivery); the
+			// pessimism span covers the blocked wait. An episode that began
+			// before this message even arrived is clamped to the enqueue so
+			// the two spans tile the interval exactly once.
+			enq := time.Unix(0, q.enq)
+			qEnd := spanPop
+			if !spanPessStart.IsZero() {
+				if spanPessStart.Before(enq) {
+					spanPessStart = enq
+				}
+				qEnd = spanPessStart
+			}
+			if qEnd.After(enq) {
+				s.spans.Record(span.Span{Origin: q.env.Origin, Phase: span.PhaseQueueing, Component: s.comp.Name, Wire: candWire, Seq: q.env.Seq, Hops: q.env.Hops, Start: enq, End: qEnd, StartVT: q.env.VT, EndVT: d, Replayed: replayed})
+			}
+			if !spanPessStart.IsZero() {
+				s.spans.Record(span.Span{Origin: q.env.Origin, Phase: span.PhasePessimism, Component: s.comp.Name, Wire: candWire, Seq: q.env.Seq, Hops: q.env.Hops, Start: spanPessStart, End: spanPop, StartVT: q.env.VT, EndVT: d, Replayed: replayed, Note: spanBlame})
+			}
+		}
 
 		// Run the handler without holding the lock: it may Send (which locks
 		// briefly) and Call (which blocks awaiting a reply).
@@ -197,6 +240,12 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		_ = err // handler errors are the application's concern; state advances regardless
 		s.handlerHist.Observe(elapsed.Seconds())
 		s.estErrHist.Observe((time.Duration(cost) - elapsed).Seconds())
+		if !spanPop.IsZero() {
+			// The VT extent is the estimator's charged cost (plus any Call
+			// continuations), so EndVT−StartVT vs End−Start reads the
+			// estimator error straight off the timeline.
+			s.spans.Record(span.Span{Origin: q.env.Origin, Phase: span.PhaseCompute, Component: s.comp.Name, Wire: candWire, Seq: q.env.Seq, Hops: q.env.Hops, Start: start, End: start.Add(elapsed), StartVT: d, EndVT: ctx.handlerVT, Replayed: replayed})
+		}
 
 		if q.env.Kind == msg.KindCallRequest {
 			s.sendReply(ctx, q.env, reply)

@@ -122,6 +122,24 @@ func (a *AuditLog) Check(comp string, idx uint64, t vt.Time, chain uint64) (ok b
 	}
 }
 
+// Witnessed reports whether delivery index idx for component comp falls
+// inside (or before) the already-recorded window — i.e. the original
+// generation already delivered it and the current sighting is a replay or
+// replica re-derivation. Call before Check for the same index: Check
+// extends the window, so afterwards every index reads as witnessed.
+func (a *AuditLog) Witnessed(comp string, idx uint64) bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tr := a.trails[comp]
+	if tr == nil {
+		return false
+	}
+	return idx < tr.base+uint64(len(tr.entries))
+}
+
 // At returns the recorded chain entry for component comp at delivery index
 // idx, if it is inside the recorded window.
 func (a *AuditLog) At(comp string, idx uint64) (AuditEntry, bool) {

@@ -465,6 +465,7 @@ const (
 	MetricHoldbackDepth   = "tart_holdback_depth"
 	MetricHoldbackDrops   = "tart_holdback_dropped_total"
 	MetricSilenceCoalesce = "tart_silences_coalesced_total"
+	MetricCriticalPath    = "tart_critical_path_seconds"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler

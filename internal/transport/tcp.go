@@ -6,12 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/trace/span"
 )
 
 // DefaultFlushDelay is the bounded linger applied to outgoing envelopes
@@ -30,6 +30,11 @@ type TCP struct {
 	// window — a burst shares one syscall. Zero means DefaultFlushDelay;
 	// negative disables coalescing (one flush per Send).
 	FlushDelay time.Duration
+
+	// Spans, when set, records a coalescing-linger span for every
+	// span-sampled envelope that waits in the write buffer: Start at
+	// encode, End at the flush that put it on the socket.
+	Spans *span.Collector
 }
 
 var _ Transport = TCP{}
@@ -50,7 +55,7 @@ func (t TCP) Listen(addr string) (Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{nl: nl, flushDelay: t.flushDelay()}, nil
+	return &tcpListener{nl: nl, flushDelay: t.flushDelay(), spans: t.Spans}, nil
 }
 
 // Dial implements Transport.
@@ -59,12 +64,13 @@ func (t TCP) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(nc, t.flushDelay()), nil
+	return newTCPConn(nc, t.flushDelay(), t.Spans), nil
 }
 
 type tcpListener struct {
 	nl         net.Listener
 	flushDelay time.Duration
+	spans      *span.Collector
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -75,7 +81,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 		}
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return newTCPConn(nc, l.flushDelay), nil
+	return newTCPConn(nc, l.flushDelay, l.spans), nil
 }
 
 func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
@@ -98,6 +104,7 @@ type CoalesceStats struct {
 type tcpConn struct {
 	nc         net.Conn
 	flushDelay time.Duration
+	spans      *span.Collector
 
 	sendMu     sync.Mutex
 	bw         *bufio.Writer
@@ -107,6 +114,7 @@ type tcpConn struct {
 	flushArmed bool
 	lastFlush  time.Time
 	sendErr    error // sticky flush error, surfaced on later Sends
+	lingering  []span.Span
 
 	envelopes atomic.Uint64
 	flushes   atomic.Uint64
@@ -117,11 +125,12 @@ type tcpConn struct {
 	closeErr  error
 }
 
-func newTCPConn(nc net.Conn, flushDelay time.Duration) *tcpConn {
+func newTCPConn(nc net.Conn, flushDelay time.Duration, spans *span.Collector) *tcpConn {
 	bw := bufio.NewWriter(nc)
 	c := &tcpConn{
 		nc:         nc,
 		flushDelay: flushDelay,
+		spans:      spans,
 		bw:         bw,
 		enc:        msg.NewEncoder(bw),
 		dec:        msg.NewDecoder(bufio.NewReader(nc)),
@@ -153,6 +162,15 @@ func (c *tcpConn) Send(env msg.Envelope) error {
 		// latency to sparse traffic, only batch bursts.
 		return c.flushLocked()
 	}
+	if c.spans.Sampled(env.Origin) {
+		// The envelope will linger in the buffer until the window closes;
+		// flushLocked stamps the span's End.
+		c.lingering = append(c.lingering, span.Span{
+			Origin: env.Origin, Phase: span.PhaseLinger, Wire: env.Wire,
+			Seq: env.Seq, Hops: env.Hops, Start: time.Now(),
+			StartVT: env.VT, EndVT: env.VT,
+		})
+	}
 	if !c.flushArmed {
 		c.flushArmed = true
 		select {
@@ -163,11 +181,20 @@ func (c *tcpConn) Send(env msg.Envelope) error {
 	return nil
 }
 
-// flushLoop drains the send buffer once per linger window. The window
-// remainder is waited out by yielding the processor rather than a runtime
-// timer: timers carry millisecond-scale slop under load, which would tax
-// every coalesced envelope with ~25x the configured linger.
+// flushLoop drains the send buffer once per linger window. The goroutine
+// is fully parked between windows: it blocks on the kick channel while the
+// connection is idle and on a runtime timer for the window remainder, so
+// an idle or sparsely-used connection burns no CPU. (An earlier version
+// yielded in a Gosched loop to dodge timer slop, which charged up to a
+// full linger window of CPU per armed window — continuous burn under
+// sustained traffic. Timer slop only delays envelopes that chose to
+// linger, and the first envelope after a quiet window still flushes
+// inline, so sparse traffic keeps its zero-latency path.)
 func (c *tcpConn) flushLoop() {
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		select {
 		case <-c.flushDone:
@@ -177,13 +204,19 @@ func (c *tcpConn) flushLoop() {
 		c.sendMu.Lock()
 		deadline := c.lastFlush.Add(c.flushDelay)
 		c.sendMu.Unlock()
-		for time.Now().Before(deadline) {
+		if wait := time.Until(deadline); wait > 0 {
+			timer.Reset(wait)
 			select {
 			case <-c.flushDone:
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
 				return
-			default:
+			case <-timer.C:
 			}
-			runtime.Gosched()
 		}
 		c.sendMu.Lock()
 		c.flushArmed = false
@@ -199,6 +232,13 @@ func (c *tcpConn) flushLoop() {
 func (c *tcpConn) flushLocked() error {
 	c.flushes.Add(1)
 	c.lastFlush = time.Now()
+	if len(c.lingering) > 0 {
+		for _, s := range c.lingering {
+			s.End = c.lastFlush
+			c.spans.Record(s)
+		}
+		c.lingering = c.lingering[:0]
+	}
 	if err := c.bw.Flush(); err != nil {
 		return c.mapErr(err)
 	}

@@ -34,11 +34,14 @@
 package tart
 
 import (
+	"io"
+
 	"repro/internal/estimator"
 	"repro/internal/msg"
 	"repro/internal/sched"
 	"repro/internal/silence"
 	"repro/internal/trace"
+	"repro/internal/trace/span"
 	"repro/internal/vt"
 )
 
@@ -137,6 +140,47 @@ func ParseOrigin(s string) (OriginID, error) { return msg.ParseOrigin(s) }
 // of that input's journey through the pipeline.
 func CausalChain(events []TraceEvent, origin OriginID) []TraceEvent {
 	return trace.CausalChain(events, origin)
+}
+
+// Span is one timed segment of a traced message's journey (queueing,
+// pessimism wait, handler compute, transport linger), with wall-clock and
+// virtual-time bounds. Obtain spans with Cluster.Spans (after
+// WithSpanTracing) or an engine's /spans debug endpoint.
+type Span = span.Span
+
+// SpanPhase classifies what a traced message was doing during a span.
+type SpanPhase = span.Phase
+
+// Span phases (Span.Phase / CriticalPathBreakdown keys).
+const (
+	PhaseQueueing  = span.PhaseQueueing
+	PhasePessimism = span.PhasePessimism
+	PhaseCompute   = span.PhaseCompute
+	PhaseTransport = span.PhaseTransport
+	PhaseLinger    = span.PhaseLinger
+	PhaseReplay    = span.PhaseReplay
+)
+
+// CriticalPathBreakdown attributes one traced origin's end-to-end latency
+// across phases; the per-phase durations sum to Total exactly.
+type CriticalPathBreakdown = span.Breakdown
+
+// CriticalPath computes the critical-path attribution of one origin from
+// its spans (typically the concatenation of every engine's Cluster.Spans).
+func CriticalPath(spans []Span, origin OriginID) CriticalPathBreakdown {
+	return span.CriticalPath(spans, origin)
+}
+
+// CriticalPathTable computes per-origin breakdowns for every origin in the
+// span set, ordered by origin.
+func CriticalPathTable(spans []Span) []CriticalPathBreakdown {
+	return span.Breakdowns(spans)
+}
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return span.WriteChromeTrace(w, spans)
 }
 
 // TraceEventKind discriminates flight-recorder events.
