@@ -3,7 +3,9 @@ package tart
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +37,7 @@ type clusterConfig struct {
 	checkpointEvery    time.Duration
 	sourceSilenceEvery time.Duration
 	flushDelay         time.Duration
+	dialTimeout        time.Duration
 	logDir             string
 	manualClock        func() VirtualTime
 	debugAddrs         map[string]string
@@ -43,6 +46,9 @@ type clusterConfig struct {
 	spansOn            bool
 	spanSample         int
 	pprofOn            bool
+	netem              *transport.Netem
+	walInject          *wal.Injector
+	supervisor         *SupervisorConfig
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -147,6 +153,52 @@ func WithDebugPprof() ClusterOption {
 	return clusterOptionFunc(func(c *clusterConfig) { c.pprofOn = true })
 }
 
+// WithDialTimeout bounds how long TCP inter-engine dials wait for a
+// connection before failing (black-holed peers otherwise stall the redial
+// loop for the kernel's SYN patience). Zero keeps the default
+// (transport.DefaultDialTimeout); negative disables the bound. No effect
+// on non-TCP transports.
+func WithDialTimeout(d time.Duration) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.dialTimeout = d })
+}
+
+// WithNetworkChaos threads a link-fault emulator into every inter-engine
+// connection: per-link fault plans (drop, duplicate, reorder, delay) and
+// partitions with timed heals, all seeded and deterministic per
+// connection. The same NetworkChaos handle is used afterwards to cut and
+// heal links while the cluster runs. Control-plane hellos (handshakes,
+// heartbeats) are exempt from probabilistic faults — partitions are
+// modeled by cutting the link, which severs them too.
+func WithNetworkChaos(nc *NetworkChaos) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.netem = nc })
+}
+
+// WithWALFaults wires a disk-fault injector in front of every engine's
+// stable log. Armed faults make appends fail with wal.ErrInjected before
+// anything is written, modeling a full disk or a dying device; sources
+// surface the error to the emitter without advancing their sequence, so a
+// retry after the fault clears is exactly-once.
+func WithWALFaults(inj *WALFaultInjector) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.walInject = inj })
+}
+
+// WithSupervisor runs an automatic failover supervisor alongside the
+// cluster: a failure detector polls every engine's peers for heartbeat
+// silence (PeerHealth.LastHeard staleness), and once every live peer has
+// been silent past the suspicion window — or, for engines with no peers,
+// once local liveness is lost — the supervisor drives Fail→Recover
+// itself. Each recovery increments the engine's generation; handshakes
+// fence stale generations so a zombie of the old incarnation cannot
+// re-join. A false suspicion is safe: recovery is deterministic, so a
+// needless failover costs latency, never correctness (paper §II.A).
+//
+// Enabling the supervisor also takes an initial checkpoint of every
+// engine at launch, so a crash before the first periodic checkpoint is
+// still recoverable without operator help.
+func WithSupervisor(cfg SupervisorConfig) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.supervisor = &cfg })
+}
+
 // Cluster is a running deployment: one engine per placement name, each
 // paired with a passive replica (a checkpoint store) and a stable input
 // log. Cluster survives engine failures: Fail simulates a crash and
@@ -159,19 +211,23 @@ type Cluster struct {
 	cfg     clusterConfig
 	engines map[string]*engineSlot
 	sources map[string]*Source
+	peers   map[string][]string // engine -> engines it shares remote wires with
+	sup     *supervisor
 	closed  bool
 }
 
 type engineSlot struct {
-	name   string
-	eng    *engine.Engine
-	store  *checkpoint.ReplicaStore
-	log    wal.Log
-	sinks  map[string]func(Output) // sink name -> user callback
-	rec    *trace.Recorder         // shared across engine generations
-	audit  *trace.AuditLog         // shared across engine generations
-	spans  *span.Collector         // shared across engine generations
-	failed bool
+	name      string
+	eng       *engine.Engine
+	store     *checkpoint.ReplicaStore
+	log       wal.Log
+	sinks     map[string]func(Output) // sink name -> user callback
+	rec       *trace.Recorder         // shared across engine generations
+	audit     *trace.AuditLog         // shared across engine generations
+	spans     *span.Collector         // shared across engine generations
+	gen       uint64                  // incarnation fencing token, bumped on Recover
+	startedAt time.Time               // when the current incarnation started
+	failed    bool
 }
 
 // Launch builds and starts a cluster from the application.
@@ -187,9 +243,14 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 	if cfg.sourceSilenceEvery == 0 {
 		cfg.sourceSilenceEvery = time.Millisecond
 	}
-	if cfg.flushDelay != 0 {
+	if cfg.flushDelay != 0 || cfg.dialTimeout != 0 {
 		if t, ok := cfg.transport.(transport.TCP); ok {
-			t.FlushDelay = cfg.flushDelay
+			if cfg.flushDelay != 0 {
+				t.FlushDelay = cfg.flushDelay
+			}
+			if cfg.dialTimeout != 0 {
+				t.DialTimeout = cfg.dialTimeout
+			}
 			cfg.transport = t
 		}
 	}
@@ -200,6 +261,11 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			cfg.addrs[e] = "inproc:" + e
 		}
 	}
+	if cfg.netem != nil {
+		// The emulator resolves transport addresses back to engine names so
+		// fault plans and cuts are expressed on engine pairs, not addresses.
+		cfg.netem.SetAddrs(cfg.addrs)
+	}
 
 	c := &Cluster{
 		tp:      tp,
@@ -207,12 +273,20 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		cfg:     cfg,
 		engines: make(map[string]*engineSlot),
 		sources: make(map[string]*Source),
+		peers:   peersOf(tp),
+	}
+	if cfg.supervisor != nil {
+		// Created before the engines so their debug surfaces (/supervisor,
+		// appended /metrics families) can reference it; started after.
+		c.sup = newSupervisor(c, *cfg.supervisor)
 	}
 	for _, name := range tp.Engines() {
 		slot := &engineSlot{
-			name:  name,
-			store: checkpoint.NewReplicaStore(),
-			sinks: make(map[string]func(Output)),
+			name:      name,
+			store:     checkpoint.NewReplicaStore(),
+			sinks:     make(map[string]func(Output)),
+			gen:       1,
+			startedAt: time.Now(),
 		}
 		if cfg.flightOn {
 			// The flight recorder and the determinism audit log share a
@@ -230,6 +304,9 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.walInject != nil {
+			slot.log = cfg.walInject.Wrap(name, slot.log)
+		}
 		slot.eng, err = engine.New(c.engineConfig(slot))
 		if err != nil {
 			return nil, err
@@ -242,7 +319,46 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if c.sup != nil {
+		// An engine that crashes before its first periodic checkpoint would
+		// otherwise be unrecoverable; with a supervisor in charge nobody is
+		// around to notice, so launch itself establishes the baseline.
+		for _, slot := range c.engines {
+			if _, err := slot.eng.Checkpoint(); err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("tart: initial checkpoint of %q: %w", slot.name, err)
+			}
+		}
+		c.sup.start()
+	}
 	return c, nil
+}
+
+// peersOf maps each engine to the engines it shares at least one remote
+// wire with — the voter set the failover supervisor polls when judging
+// heartbeat silence.
+func peersOf(tp *topo.Topology) map[string][]string {
+	set := make(map[string]map[string]bool)
+	for _, w := range tp.Wires() {
+		a, b := tp.EngineOf(w.From), tp.EngineOf(w.To)
+		if a == "" || b == "" || a == b {
+			continue
+		}
+		for _, pair := range [2][2]string{{a, b}, {b, a}} {
+			if set[pair[0]] == nil {
+				set[pair[0]] = make(map[string]bool)
+			}
+			set[pair[0]][pair[1]] = true
+		}
+	}
+	peers := make(map[string][]string, len(set))
+	for eng, ps := range set {
+		for p := range ps {
+			peers[eng] = append(peers[eng], p)
+		}
+		sort.Strings(peers[eng])
+	}
+	return peers
 }
 
 func (c *Cluster) newLog(engineName string) (wal.Log, error) {
@@ -273,7 +389,11 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		t.Spans = slot.spans
 		tr = t
 	}
-	return engine.Config{
+	if c.cfg.netem != nil {
+		// Wrap after any TCP copy so fault decisions see finished frames.
+		tr = c.cfg.netem.For(slot.name, tr)
+	}
+	cfg := engine.Config{
 		Name:               slot.name,
 		Topo:               c.tp,
 		Components:         comps,
@@ -291,7 +411,31 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		DebugAddr:          c.cfg.debugAddrs[slot.name],
 		DebugPprof:         c.cfg.pprofOn,
 		FlightDump:         dump,
+		Generation:         slot.gen,
+		PeerGens:           c.peerGens(slot.name),
 	}
+	if c.sup != nil {
+		sup := c.sup
+		cfg.SupervisorInfo = func() any { return sup.status() }
+		cfg.ExtraMetrics = func(w io.Writer) { _ = sup.reg.WritePrometheus(w) }
+	}
+	return cfg
+}
+
+// peerGens snapshots the highest generation the cluster has issued for
+// each of the named engine's peers, seeding a new incarnation's fencing
+// memory so a zombie of an older peer incarnation is rejected on first
+// contact even before it re-handshakes.
+func (c *Cluster) peerGens(engineName string) map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gens := make(map[string]uint64)
+	for _, p := range c.peers[engineName] {
+		if s, ok := c.engines[p]; ok {
+			gens[p] = s.gen
+		}
+	}
+	return gens
 }
 
 // Source returns a handle for the named external source. The handle stays
@@ -375,6 +519,27 @@ func (c *Cluster) Fail(engineName string) error {
 	return nil
 }
 
+// Crash fail-stops the named engine without telling the cluster's control
+// plane: the slot is not marked failed, so only the failure detector (or
+// an operator watching Health) will notice the silence and drive
+// Fail/Recover. Chaos harnesses use Crash to exercise detection end to
+// end; tests that want an immediately recoverable engine use Fail.
+func (c *Cluster) Crash(engineName string) error {
+	slot, err := c.slot(engineName)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	eng := slot.eng
+	failed := slot.failed
+	c.mu.Unlock()
+	if failed {
+		return nil // already down and known to be down
+	}
+	eng.Kill()
+	return nil
+}
+
 // Recover activates the named engine's passive replica: a replacement
 // engine restores every component from the latest checkpoint, replays the
 // stable input log's suffix, reconnects to its peers (which re-drives
@@ -389,6 +554,10 @@ func (c *Cluster) Recover(engineName string) error {
 		c.mu.Unlock()
 		return fmt.Errorf("tart: engine %q has not failed", engineName)
 	}
+	// Each incarnation gets a strictly larger generation; peers fence
+	// handshakes below their max-seen, so the dead engine's zombie (should
+	// its goroutines linger) cannot re-join as the live incarnation.
+	slot.gen++
 	c.mu.Unlock()
 
 	if slot.store.Seq() == 0 {
@@ -412,6 +581,7 @@ func (c *Cluster) Recover(engineName string) error {
 	c.mu.Lock()
 	slot.eng = eng
 	slot.failed = false
+	slot.startedAt = time.Now()
 	c.mu.Unlock()
 	return nil
 }
@@ -561,8 +731,22 @@ func (c *Cluster) Health(engineName string) (map[string]PeerHealth, error) {
 	return eng.PeerHealth(), nil
 }
 
+// SupervisorStatus reports the failover supervisor's activity (Enabled
+// false when the cluster runs without one).
+func (c *Cluster) SupervisorStatus() SupervisorStatus {
+	if c.sup == nil {
+		return SupervisorStatus{}
+	}
+	return c.sup.status()
+}
+
 // Stop shuts every engine down. Idempotent.
 func (c *Cluster) Stop() {
+	if c.sup != nil {
+		// Stop supervision first so engine shutdowns below are not mistaken
+		// for crashes and "recovered".
+		c.sup.stopLoop()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

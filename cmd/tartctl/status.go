@@ -64,6 +64,9 @@ func status(addr string, last int) error {
 	printStatusWireTable(samples)
 	printStatusBlameTable(samples)
 	printStatusTotals(samples)
+	if err := printSupervisor(client, base, samples); err != nil {
+		return err
+	}
 
 	if last > 0 {
 		events, err := fetchTrace(client, base, last)
@@ -370,6 +373,40 @@ func printStatusBlameTable(samples []promSample) {
 		fmt.Printf("    %-28s %9.0f %6.1f%% %11.1fms %12s\n",
 			w, r.episodes, 100*r.episodes/total, 1e3*r.waitSum, per)
 	}
+}
+
+// printSupervisor renders the cluster failover supervisor's view from the
+// /supervisor endpoint. Clusters running without one return 404, which is
+// not an error — the section is simply omitted.
+func printSupervisor(client *http.Client, base string, samples []promSample) error {
+	resp, err := client.Get(base + "/supervisor")
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	var st tart.SupervisorStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("status: decode /supervisor: %w", err)
+	}
+	fenced := sumSamples(samples, trace.MetricFencedHellos)
+	fmt.Printf("  supervisor: suspect after %s, %d suspicions, %d failovers, %.0f fenced hellos\n",
+		st.SuspectAfter, st.Suspicions, len(st.Failovers), fenced)
+	show := st.Failovers
+	if len(show) > 5 {
+		show = show[len(show)-5:]
+	}
+	for _, f := range show {
+		outcome := fmt.Sprintf("recovered as generation %d in %s", f.Generation, f.TimeToRecover.Round(10*time.Microsecond))
+		if f.Err != "" {
+			outcome = "FAILED: " + f.Err
+		}
+		fmt.Printf("    %s %-10s cause=%-12s %s\n",
+			f.SuspectedAt.Format("15:04:05.000"), f.Engine, f.Cause, outcome)
+	}
+	return nil
 }
 
 // printStatusTotals summarizes the engine-wide recovery counters.

@@ -11,6 +11,7 @@
 //	tartsim -exp blame       Pessimism blame attribution across sender configs
 //	tartsim -exp fanin       Merge fan-in sweep: heap fast path vs linear scan
 //	tartsim -exp critpath    Critical-path phase shares vs silence strategy (TCP + spans)
+//	tartsim -exp chaos       Chaos seed sweep: exact-replay oracle under supervised failover
 //	tartsim -exp all         Everything above
 package main
 
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|chaos|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -61,6 +62,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		return fanin(seed)
 	case "critpath":
 		return critpath(600, 300, 39700)
+	case "chaos":
+		return chaosExp(3, 12)
 	case "all":
 		fig2(fig2n, fig2reps, seed)
 		fig3(duration, seed, 0)
@@ -74,6 +77,9 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 			return err
 		}
 		if err := critpath(600, 300, 39700); err != nil {
+			return err
+		}
+		if err := chaosExp(3, 12); err != nil {
 			return err
 		}
 	default:

@@ -45,6 +45,7 @@ func (e *Engine) startDebug() error {
 	mux.HandleFunc("/trace", d.handleTrace)
 	mux.HandleFunc("/spans", d.handleSpans)
 	mux.HandleFunc("/topology", d.handleTopology)
+	mux.HandleFunc("/supervisor", d.handleSupervisor)
 	if e.cfg.DebugPprof {
 		// Off by default: pprof endpoints can stop the world (heap dumps,
 		// full goroutine stacks), so operators opt in per engine.
@@ -81,6 +82,24 @@ func (e *Engine) DebugAddr() string {
 func (d *debugServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = d.e.metrics.Registry().WritePrometheus(w)
+	if d.e.cfg.ExtraMetrics != nil {
+		// Cluster-level series (failover supervisor): distinct family names,
+		// so appending keeps the exposition well-formed.
+		d.e.cfg.ExtraMetrics(w)
+	}
+}
+
+// handleSupervisor serves the cluster failover supervisor's status (404
+// when the hosting cluster runs without one).
+func (d *debugServer) handleSupervisor(w http.ResponseWriter, r *http.Request) {
+	if d.e.cfg.SupervisorInfo == nil {
+		http.Error(w, "no failover supervisor (enable with WithSupervisor)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(d.e.cfg.SupervisorInfo())
 }
 
 // healthz reports engine liveness and peer connectivity; any disconnected

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -127,6 +128,26 @@ type Config struct {
 	// Clock supplies virtual time for real-time sources. Defaults to
 	// nanoseconds since engine start.
 	Clock func() vt.Time
+	// Generation is this engine incarnation's fencing token, carried in
+	// peer handshakes. A cluster increments it on every Recover so peers
+	// reject handshakes from zombie engines of earlier generations (a
+	// crashed-but-not-quite-dead engine, or one failed over while merely
+	// partitioned, cannot re-join and double-drive its wires). Zero is a
+	// valid first generation.
+	Generation uint64
+	// PeerGens seeds the highest generation seen per peer, so an engine
+	// that is itself recovering still fences peers it had already
+	// witnessed at a newer generation. Optional.
+	PeerGens map[string]uint64
+	// SupervisorInfo, when set, is served as JSON at the debug listener's
+	// /supervisor endpoint — the cluster installs its failover
+	// supervisor's status here. Optional.
+	SupervisorInfo func() any
+	// ExtraMetrics, when set, is appended to the /metrics exposition after
+	// the engine's own registry — the cluster uses it to surface
+	// supervisor-owned series (failovers, time-to-recover) on every
+	// engine's scrape endpoint. Optional.
+	ExtraMetrics func(w io.Writer)
 }
 
 // Engine hosts the components placed on one engine name.
@@ -449,6 +470,18 @@ func (e *Engine) spawnTicker(every time.Duration, fn func()) {
 		}
 	}()
 }
+
+// Alive reports whether the engine has been started and not yet stopped or
+// killed — the local liveness signal a failure detector falls back to when
+// no peer can vouch for the engine.
+func (e *Engine) Alive() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.started && !e.stopped
+}
+
+// Generation returns the engine incarnation's fencing token.
+func (e *Engine) Generation() uint64 { return e.cfg.Generation }
 
 // Stop shuts the engine down gracefully (schedulers drained of their
 // current handler, connections closed). Idempotent.

@@ -24,6 +24,7 @@ type peerSet struct {
 	conns     map[string]transport.Conn
 	needed    map[string]bool
 	lastHeard map[string]time.Time
+	gens      map[string]uint64 // highest handshake generation seen per peer
 	listener  transport.Listener
 	stopped   bool
 	wg        sync.WaitGroup
@@ -41,15 +42,47 @@ type peerSet struct {
 }
 
 func newPeerSet(e *Engine) *peerSet {
+	gens := make(map[string]uint64, len(e.cfg.PeerGens))
+	for peer, g := range e.cfg.PeerGens {
+		gens[peer] = g
+	}
 	return &peerSet{
 		e:          e,
 		conns:      make(map[string]transport.Conn),
 		needed:     make(map[string]bool),
 		lastHeard:  make(map[string]time.Time),
+		gens:       gens,
 		silPending: make(map[string]map[msg.WireID]vt.Time),
 		silCoalesced: e.metrics.Registry().Counter(trace.MetricSilenceCoalesce,
 			"Peer-bound silence promises absorbed by a newer promise within a flush window."),
 	}
+}
+
+// hello builds this engine's handshake/heartbeat frame: the engine name
+// plus its generation fencing token (carried in Seq — hello frames never
+// touch wires, so the field is free).
+func (p *peerSet) hello() msg.Envelope {
+	return msg.Envelope{Kind: msg.KindHello, Payload: p.e.name, Seq: p.e.cfg.Generation}
+}
+
+// admit checks a handshake's generation against the highest this engine
+// has seen from the peer. A stale generation means the counterpart is a
+// zombie — an earlier incarnation that was failed over — and must not
+// re-join; an equal or newer one is recorded and admitted.
+func (p *peerSet) admit(peer string, gen uint64) bool {
+	p.mu.Lock()
+	if gen < p.gens[peer] {
+		p.mu.Unlock()
+		p.e.metrics.Registry().Counter(trace.MetricFencedHellos,
+			"Peer handshakes rejected because they carried a stale generation (zombie fencing).",
+			trace.L("peer", peer)).Inc()
+		p.e.rec.Record(trace.Event{Kind: trace.EvPeerDown, VT: vt.Never, Wire: -1,
+			Note: fmt.Sprintf("fenced stale generation %d from peer %s", gen, peer)})
+		return false
+	}
+	p.gens[peer] = gen
+	p.mu.Unlock()
+	return true
 }
 
 // start computes the peer set from the topology and brings up the listener
@@ -221,7 +254,7 @@ func (p *peerSet) heartbeat() {
 	}
 	p.mu.Unlock()
 	for _, x := range conns {
-		if err := x.c.Send(msg.Envelope{Kind: msg.KindHello, Payload: p.e.name}); err != nil {
+		if err := x.c.Send(p.hello()); err != nil {
 			p.dropConn(x.name, x.c)
 		}
 	}
@@ -243,7 +276,9 @@ func (p *peerSet) acceptLoop(l transport.Listener) {
 }
 
 // handleInbound performs the accept-side handshake: the dialer announces
-// itself with a hello frame, then the connection joins the peer set.
+// itself with a hello frame carrying its generation; a stale generation is
+// fenced (zombie dialer), an admitted one gets our hello back and the
+// connection joins the peer set.
 func (p *peerSet) handleInbound(conn transport.Conn) {
 	env, err := conn.Recv()
 	if err != nil || env.Kind != msg.KindHello {
@@ -255,7 +290,11 @@ func (p *peerSet) handleInbound(conn transport.Conn) {
 		conn.Close()
 		return
 	}
-	if err := conn.Send(msg.Envelope{Kind: msg.KindHello, Payload: p.e.name}); err != nil {
+	if !p.admit(peer, env.Seq) {
+		conn.Close()
+		return
+	}
+	if err := conn.Send(p.hello()); err != nil {
 		conn.Close()
 		return
 	}
@@ -293,12 +332,18 @@ func (p *peerSet) tryDial(peer string) transport.Conn {
 	if err != nil {
 		return nil
 	}
-	if err := conn.Send(msg.Envelope{Kind: msg.KindHello, Payload: p.e.name}); err != nil {
+	if err := conn.Send(p.hello()); err != nil {
 		conn.Close()
 		return nil
 	}
 	reply, err := conn.Recv()
 	if err != nil || reply.Kind != msg.KindHello {
+		conn.Close()
+		return nil
+	}
+	// Fence a stale acceptor: a zombie that answers the handshake with an
+	// old generation must not be treated as the live peer.
+	if !p.admit(peer, reply.Seq) {
 		conn.Close()
 		return nil
 	}

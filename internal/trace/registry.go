@@ -466,6 +466,12 @@ const (
 	MetricHoldbackDrops   = "tart_holdback_dropped_total"
 	MetricSilenceCoalesce = "tart_silences_coalesced_total"
 	MetricCriticalPath    = "tart_critical_path_seconds"
+	MetricFencedHellos    = "tart_fenced_hellos_total"
+	// Supervisor-owned families (cluster failover supervisor, not per-engine).
+	MetricSuspicions    = "tart_supervisor_suspicions_total"
+	MetricSupFailovers  = "tart_supervisor_failovers_total"
+	MetricTimeToRecover = "tart_time_to_recover_seconds"
+	MetricChaosEvents   = "tart_chaos_events_total"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler

@@ -104,5 +104,10 @@ func (f *Faulty) Flush() error {
 // Recv implements Conn.
 func (f *Faulty) Recv() (msg.Envelope, error) { return f.inner.Recv() }
 
-// Close implements Conn.
-func (f *Faulty) Close() error { return f.inner.Close() }
+// Close implements Conn, first draining any held-back reorder envelope —
+// a graceful close models the link going away, not the link eating a frame
+// the fault schedule only chose to delay.
+func (f *Faulty) Close() error {
+	_ = f.Flush()
+	return f.inner.Close()
+}

@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+)
+
+func TestFaultyCloseDrainsHeld(t *testing.T) {
+	inner := &collector{}
+	f := NewFaulty(inner, FaultPlan{ReorderProb: 1, Seed: 3})
+	// With reorder probability 1 the first send is held back.
+	if err := f.Send(msg.NewData(1, 1, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inner.seqs()); got != 0 {
+		t.Fatalf("held envelope delivered early: %d frames", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.seqs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Close did not drain held envelope: %v", got)
+	}
+}
+
+// netemPair builds an A-dials-B link through a Netem over Inproc and
+// returns the emulator plus both connection ends.
+func netemPair(t *testing.T, nm *Netem) (dialer, acceptor Conn) {
+	t.Helper()
+	inner := NewInproc()
+	nm.SetAddrs(map[string]string{"A": "inproc:A", "B": "inproc:B"})
+	viewB := nm.For("B", inner)
+	l, err := viewB.Listen("inproc:B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	acceptCh := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	viewA := nm.For("A", inner)
+	d, err := viewA.Dial("inproc:B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-acceptCh:
+		return d, a
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+		return nil, nil
+	}
+}
+
+func TestNetemCutSeversAndBlocksDial(t *testing.T) {
+	nm := NewNetem(1)
+	dialer, acceptor := netemPair(t, nm)
+	defer acceptor.Close()
+
+	if err := dialer.Send(msg.NewData(1, 1, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := acceptor.Recv(); err != nil || env.Seq != 1 {
+		t.Fatalf("pre-cut delivery: %v %v", env, err)
+	}
+
+	nm.Cut("A", "B")
+	if err := dialer.Send(msg.NewData(1, 2, 0, nil)); err == nil {
+		t.Error("send on severed connection succeeded")
+	}
+	inner := NewInproc() // fresh inner; the view resolves the cut first
+	if _, err := nm.For("A", inner).Dial("inproc:B"); err == nil {
+		t.Error("dial across a cut link succeeded")
+	}
+	st := nm.Stats()
+	if st.Severed != 1 || st.CutDials != 1 {
+		t.Errorf("stats = %+v, want 1 severed and 1 cut dial", st)
+	}
+
+	nm.Heal("A", "B")
+	d2, a2 := netemPair(t, nm)
+	defer d2.Close()
+	defer a2.Close()
+	if err := d2.Send(msg.NewData(1, 3, 0, nil)); err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+	if env, err := a2.Recv(); err != nil || env.Seq != 3 {
+		t.Fatalf("post-heal delivery: %v %v", env, err)
+	}
+}
+
+func TestNetemFaultsBothDirections(t *testing.T) {
+	nm := NewNetem(7)
+	nm.SetLinkPlan("A", "B", FaultPlan{DupProb: 1})
+	dialer, acceptor := netemPair(t, nm)
+	defer dialer.Close()
+	defer acceptor.Close()
+
+	// Dialer→acceptor: duplicated on the send path.
+	if err := dialer.Send(msg.NewData(1, 1, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if env, err := acceptor.Recv(); err != nil || env.Seq != 1 {
+			t.Fatalf("dup copy %d: %v %v", i, env, err)
+		}
+	}
+	// Acceptor→dialer: duplicated on the dialer's receive path.
+	if err := acceptor.Send(msg.NewData(2, 9, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if env, err := dialer.Recv(); err != nil || env.Seq != 9 {
+			t.Fatalf("recv dup copy %d: %v %v", i, env, err)
+		}
+	}
+	if st := nm.Stats(); st.Duplicated != 2 {
+		t.Errorf("Duplicated = %d, want 2", st.Duplicated)
+	}
+}
+
+func TestNetemHellosExemptFromFaults(t *testing.T) {
+	nm := NewNetem(3)
+	nm.SetLinkPlan("A", "B", FaultPlan{DropProb: 1})
+	dialer, acceptor := netemPair(t, nm)
+	defer dialer.Close()
+	defer acceptor.Close()
+
+	// Data frames vanish under a drop-all plan...
+	if err := dialer.Send(msg.NewData(1, 1, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// ...but control-plane hellos (handshakes, heartbeats) always get
+	// through, in both directions.
+	if err := dialer.Send(msg.Envelope{Kind: msg.KindHello, Payload: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := acceptor.Recv(); err != nil || env.Kind != msg.KindHello {
+		t.Fatalf("forward hello: %+v %v", env, err)
+	}
+	if err := acceptor.Send(msg.Envelope{Kind: msg.KindHello, Payload: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := dialer.Recv(); err != nil || env.Kind != msg.KindHello {
+		t.Fatalf("reverse hello: %+v %v", env, err)
+	}
+}
+
+func TestNetemUnknownAddrPassesThrough(t *testing.T) {
+	nm := NewNetem(5)
+	inner := NewInproc()
+	if _, err := inner.Listen("inproc:X"); err != nil {
+		t.Fatal(err)
+	}
+	// "inproc:X" was never registered with SetAddrs: the view must fall
+	// back to the raw transport rather than failing or faulting the link.
+	view := nm.For("A", inner)
+	if _, err := view.Dial("inproc:X"); err != nil {
+		t.Fatalf("unregistered addr dial: %v", err)
+	}
+	if _, err := view.Dial("inproc:missing"); err == nil {
+		t.Error("dial to absent listener succeeded")
+	}
+}

@@ -19,6 +19,12 @@ import (
 // for companions before the buffer is flushed to the socket.
 const DefaultFlushDelay = 50 * time.Microsecond
 
+// DefaultDialTimeout bounds connection establishment when TCP.DialTimeout
+// is zero. A bare dial against a black-holed address (packets dropped, no
+// RST) hangs until the kernel gives up — minutes — while the peer redial
+// loop expects to retry on a sub-second cadence.
+const DefaultDialTimeout = 2 * time.Second
+
 // TCP is a Transport over real sockets. Envelopes are carried as a gob
 // stream per direction; payload types must be registered with
 // msg.RegisterPayload before use.
@@ -35,6 +41,10 @@ type TCP struct {
 	// span-sampled envelope that waits in the write buffer: Start at
 	// encode, End at the flush that put it on the socket.
 	Spans *span.Collector
+
+	// DialTimeout bounds Dial's connection establishment. Zero means
+	// DefaultDialTimeout; negative disables the bound (bare net.Dial).
+	DialTimeout time.Duration
 }
 
 var _ Transport = TCP{}
@@ -49,6 +59,16 @@ func (t TCP) flushDelay() time.Duration {
 	return t.FlushDelay
 }
 
+func (t TCP) dialTimeout() time.Duration {
+	if t.DialTimeout == 0 {
+		return DefaultDialTimeout
+	}
+	if t.DialTimeout < 0 {
+		return 0
+	}
+	return t.DialTimeout
+}
+
 // Listen implements Transport.
 func (t TCP) Listen(addr string) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
@@ -58,9 +78,12 @@ func (t TCP) Listen(addr string) (Listener, error) {
 	return &tcpListener{nl: nl, flushDelay: t.flushDelay(), spans: t.Spans}, nil
 }
 
-// Dial implements Transport.
+// Dial implements Transport, bounding connection establishment by the
+// configured DialTimeout so a black-holed peer address fails fast enough
+// for the caller's redial cadence.
 func (t TCP) Dial(addr string) (Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	d := net.Dialer{Timeout: t.dialTimeout()}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}

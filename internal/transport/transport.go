@@ -152,6 +152,16 @@ func newInprocPair() (a, b *inprocConn) {
 }
 
 func (c *inprocConn) Send(env msg.Envelope) error {
+	// Check closure first: with buffer space available the select below
+	// has multiple ready cases and picks among them at random, which
+	// would let a send on an already-closed endpoint succeed.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
 	select {
 	case <-c.closed:
 		return ErrClosed

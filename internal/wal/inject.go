@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error surfaced by appends that an Injector chose to
+// fail. Callers treat it like any other transient disk error: the append
+// did not happen and may be retried.
+var ErrInjected = errors.New("wal: injected disk fault")
+
+// Injector is a chaos hook for stable-log disk faults: it wraps the Logs of
+// named engines and makes a configured number of upcoming appends fail.
+// Because sources log an input before advancing their sequence cursor, a
+// failed append is retry-safe — the driver sees the error and re-emits.
+type Injector struct {
+	mu       sync.Mutex
+	pending  map[string]int // engine -> remaining appends to fail
+	injected uint64
+}
+
+// NewInjector returns an Injector with no faults armed.
+func NewInjector() *Injector {
+	return &Injector{pending: make(map[string]int)}
+}
+
+// Wrap returns a Log view of inner whose appends consult the injector's
+// fault budget for the named engine. Reads and trims pass through.
+func (i *Injector) Wrap(engine string, inner Log) Log {
+	return &faultLog{inj: i, engine: engine, inner: inner}
+}
+
+// FailAppends arms n additional append failures for the named engine's
+// wrapped log(s).
+func (i *Injector) FailAppends(engine string, n int) {
+	if n <= 0 {
+		return
+	}
+	i.mu.Lock()
+	i.pending[engine] += n
+	i.mu.Unlock()
+}
+
+// Injected reports how many appends have been failed so far.
+func (i *Injector) Injected() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected
+}
+
+// take consumes one armed failure for the engine, reporting whether the
+// current append should fail.
+func (i *Injector) take(engine string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.pending[engine] <= 0 {
+		return false
+	}
+	i.pending[engine]--
+	i.injected++
+	return true
+}
+
+// faultLog is the per-engine Log wrapper handed out by Injector.Wrap.
+type faultLog struct {
+	inj    *Injector
+	engine string
+	inner  Log
+}
+
+var _ Log = (*faultLog)(nil)
+
+func (l *faultLog) AppendInput(rec InputRecord) error {
+	if l.inj.take(l.engine) {
+		return ErrInjected
+	}
+	return l.inner.AppendInput(rec)
+}
+
+func (l *faultLog) AppendFault(rec FaultRecord) error {
+	if l.inj.take(l.engine) {
+		return ErrInjected
+	}
+	return l.inner.AppendFault(rec)
+}
+
+func (l *faultLog) Inputs(source string, fromSeq uint64) ([]InputRecord, error) {
+	return l.inner.Inputs(source, fromSeq)
+}
+
+func (l *faultLog) Faults(component string) ([]FaultRecord, error) {
+	return l.inner.Faults(component)
+}
+
+func (l *faultLog) TrimInputs(source string, throughSeq uint64) error {
+	return l.inner.TrimInputs(source, throughSeq)
+}
+
+func (l *faultLog) Close() error { return l.inner.Close() }

@@ -18,6 +18,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -172,23 +173,29 @@ type fileEntry struct {
 }
 
 // FileLog is a file-backed Log: a sequence of length-prefixed,
-// self-contained gob frames, fsynced on every append (determinism faults
-// require synchronous logging; inputs get the same treatment for
-// simplicity). Self-contained frames — each with its own gob type
-// descriptors — survive process restarts and compaction, at a modest space
-// cost. On open, the file is scanned to rebuild the in-memory index, making
-// recovery a pure replay of the log.
+// CRC-guarded, self-contained gob frames, fsynced on every append
+// (determinism faults require synchronous logging; inputs get the same
+// treatment for simplicity). Self-contained frames — each with its own gob
+// type descriptors — survive process restarts and compaction, at a modest
+// space cost. On open, the file is scanned to rebuild the in-memory index,
+// making recovery a pure replay of the log; a torn or corrupt tail is
+// truncated to the last intact frame so later appends extend the good
+// prefix instead of being orphaned behind garbage.
 type FileLog struct {
-	mu   sync.Mutex
-	mem  *MemLog
-	f    *os.File
-	path string
+	mu        sync.Mutex
+	mem       *MemLog
+	f         *os.File
+	path      string
+	truncated int64
 }
 
 var _ Log = (*FileLog)(nil)
 
 // OpenFileLog opens (creating if needed) a file-backed log and replays its
-// contents into memory.
+// contents into memory. A torn final frame (crash mid-append) or a frame
+// whose CRC32 does not match its body (disk corruption) ends the usable
+// log: everything after the last intact frame is truncated away, so the
+// next append lands where the scan stopped.
 func OpenFileLog(path string) (*FileLog, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -196,13 +203,15 @@ func OpenFileLog(path string) (*FileLog, error) {
 	}
 	l := &FileLog{mem: NewMemLog(), f: f, path: path}
 	r := bufio.NewReader(f)
+	var good int64 // offset just past the last intact frame
 	for {
-		e, err := readFrame(r)
+		e, n, err := readFrame(r)
 		if err != nil {
-			// io.EOF is a clean end; anything else is a torn final record
-			// (crash mid-append), which also ends the usable log.
+			// io.EOF is a clean end; anything else is a torn or corrupt
+			// tail, truncated below.
 			break
 		}
+		good += n
 		switch e.Kind {
 		case entryInput:
 			if err := l.mem.AppendInput(e.Input); err != nil {
@@ -221,45 +230,77 @@ func OpenFileLog(path string) (*FileLog, error) {
 			}
 		}
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		l.truncated = fi.Size() - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
 	}
 	return l, nil
 }
 
-// readFrame reads one length-prefixed gob frame.
-func readFrame(r io.Reader) (fileEntry, error) {
-	var hdr [4]byte
+// TruncatedBytes reports how many bytes of torn or corrupt tail the last
+// Open discarded (0 for a clean log) — an observability hook for recovery
+// tooling and tests.
+func (l *FileLog) TruncatedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// castagnoli is the CRC32-C table used for frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-frame overhead: 4-byte big-endian body length
+// followed by a 4-byte CRC32-C of the body.
+const frameHeaderSize = 8
+
+// readFrame reads one frame, verifying its CRC before decoding, and
+// returns the bytes it consumed.
+func readFrame(r io.Reader) (fileEntry, int64, error) {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fileEntry{}, err
+		return fileEntry{}, 0, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
+	sum := binary.BigEndian.Uint32(hdr[4:])
 	if n > maxFrameSize {
-		return fileEntry{}, fmt.Errorf("wal: frame size %d exceeds limit", n)
+		return fileEntry{}, 0, fmt.Errorf("wal: frame size %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fileEntry{}, err
+		return fileEntry{}, 0, err
+	}
+	if crc32.Checksum(buf, castagnoli) != sum {
+		return fileEntry{}, 0, errCorruptFrame
 	}
 	var e fileEntry
 	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&e); err != nil {
-		return fileEntry{}, err
+		return fileEntry{}, 0, err
 	}
-	return e, nil
+	return e, int64(frameHeaderSize) + int64(n), nil
 }
+
+// errCorruptFrame reports a frame whose body does not match its CRC.
+var errCorruptFrame = errors.New("wal: frame CRC mismatch")
 
 // maxFrameSize bounds a single log record (64 MiB).
 const maxFrameSize = 64 << 20
 
-// writeFrame appends one length-prefixed gob frame.
+// writeFrame appends one length-prefixed, CRC-guarded gob frame.
 func writeFrame(w io.Writer, e fileEntry) error {
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(e); err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body.Bytes(), castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -159,7 +160,7 @@ func TestFileLogRecoveryAfterReopen(t *testing.T) {
 	}
 }
 
-func TestFileLogTornFinalRecordIgnored(t *testing.T) {
+func TestFileLogTornFinalRecordTruncated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "torn.wal")
 	l, err := OpenFileLog(path)
 	if err != nil {
@@ -181,24 +182,84 @@ func TestFileLogTornFinalRecordIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
+	tornSize, _ := os.Stat(path)
+
+	// Recovery truncates the torn tail, so the next append extends the good
+	// prefix instead of being orphaned behind garbage.
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := l2.Inputs("s", 0)
+	if len(recs) != 3 {
+		t.Errorf("torn log recovered %d records, want 3", len(recs))
+	}
+	if got := l2.TruncatedBytes(); got != 6 {
+		t.Errorf("TruncatedBytes = %d, want 6", got)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != tornSize.Size()-6 {
+		t.Errorf("file size %d after recovery, want %d", fi.Size(), tornSize.Size()-6)
+	}
+	if err := l2.AppendInput(InputRecord{Source: "s", Seq: 4}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	// Every record — including the post-recovery append — survives the next
+	// open with nothing lost and nothing left to truncate.
+	l3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	recs, _ = l3.Inputs("s", 0)
+	if len(recs) != 4 {
+		t.Errorf("after truncate+append: %d records, want 4", len(recs))
+	}
+	if got := l3.TruncatedBytes(); got != 0 {
+		t.Errorf("clean reopen truncated %d bytes", got)
+	}
+}
+
+func TestFileLogCorruptFrameDetectedByCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.AppendInput(InputRecord{Source: "s", Seq: i, Payload: "payload"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip one byte inside the last frame's body: the frame still has a
+	// plausible length prefix and may even decode, but its CRC no longer
+	// matches, so recovery must stop before it rather than replay it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := len(data) / 3
+	data[len(data)-frame/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	l2, err := OpenFileLog(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer l2.Close()
 	recs, _ := l2.Inputs("s", 0)
-	if len(recs) != 3 {
-		t.Errorf("torn log recovered %d records, want 3", len(recs))
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records past a corrupt frame, want 2", len(recs))
 	}
-	// The log must remain appendable after recovery... note the torn bytes
-	// remain in the file; a fresh append goes after them, and the NEXT
-	// recovery stops at the tear. This is acceptable for a prototype store:
-	// Compact heals the file.
-	if err := l2.Compact(); err != nil {
-		t.Fatal(err)
+	if got := l2.TruncatedBytes(); got != int64(frame) {
+		t.Errorf("TruncatedBytes = %d, want %d (one frame)", got, frame)
 	}
-	if err := l2.AppendInput(InputRecord{Source: "s", Seq: 4}); err != nil {
+	// The log heals by re-appending over the truncated corruption.
+	if err := l2.AppendInput(InputRecord{Source: "s", Seq: 3, Payload: "payload"}); err != nil {
 		t.Fatal(err)
 	}
 	l2.Close()
@@ -208,8 +269,34 @@ func TestFileLogTornFinalRecordIgnored(t *testing.T) {
 	}
 	defer l3.Close()
 	recs, _ = l3.Inputs("s", 0)
-	if len(recs) != 4 {
-		t.Errorf("after compact+append: %d records, want 4", len(recs))
+	if len(recs) != 3 || recs[2].Seq != 3 {
+		t.Errorf("after heal: %+v", recs)
+	}
+}
+
+func TestInjectorFailsArmedAppends(t *testing.T) {
+	inj := NewInjector()
+	log := inj.Wrap("node", NewMemLog())
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailAppends("node", 2)
+	inj.FailAppends("other", 1) // other engine's budget must not leak
+	for i := 0; i < 2; i++ {
+		if err := log.AppendInput(InputRecord{Source: "s", Seq: 2}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed append %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	// Budget exhausted: the retry lands with the same sequence number.
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 2}); err != nil {
+		t.Fatalf("append after budget drained: %v", err)
+	}
+	recs, _ := log.Inputs("s", 0)
+	if len(recs) != 2 {
+		t.Errorf("log holds %d records, want 2", len(recs))
+	}
+	if got := inj.Injected(); got != 2 {
+		t.Errorf("Injected = %d, want 2", got)
 	}
 }
 
