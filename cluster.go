@@ -3,7 +3,6 @@ package tart
 import (
 	"errors"
 	"fmt"
-	"io"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -14,9 +13,11 @@ import (
 	"repro/internal/engine"
 	"repro/internal/msg"
 	"repro/internal/silence"
+	"repro/internal/slo"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/trace/span"
+	"repro/internal/trace/span/otlp"
 	"repro/internal/transport"
 	"repro/internal/vt"
 	"repro/internal/wal"
@@ -49,6 +50,9 @@ type clusterConfig struct {
 	netem              *transport.Netem
 	walInject          *wal.Injector
 	supervisor         *SupervisorConfig
+	slo                *slo.Tracker
+	otlpURL            string
+	adaptive           *AdaptiveSampling
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -214,6 +218,15 @@ type Cluster struct {
 	peers   map[string][]string // engine -> engines it shares remote wires with
 	sup     *supervisor
 	closed  bool
+
+	// Cluster-level observability (see observability.go): the adaptive
+	// span-sampling schedule + controller registry, the OTLP exporter, and
+	// the background goroutines that drive them.
+	schedule *span.Schedule
+	obsReg   *trace.Registry
+	otlp     *otlp.Exporter
+	bg       sync.WaitGroup
+	bgStop   chan struct{}
 }
 
 type engineSlot struct {
@@ -274,6 +287,14 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		engines: make(map[string]*engineSlot),
 		sources: make(map[string]*Source),
 		peers:   peersOf(tp),
+		bgStop:  make(chan struct{}),
+	}
+	if cfg.adaptive != nil {
+		c.schedule = span.NewSchedule(cfg.spanSample, cfg.adaptive.Quantum)
+		c.obsReg = trace.NewRegistry()
+		c.obsReg.Gauge(trace.MetricSampleN,
+			"Current adaptive head-sampling modulus (1 traced origin in N).").
+			Set(int64(c.schedule.Current().N))
 	}
 	if cfg.supervisor != nil {
 		// Created before the engines so their debug surfaces (/supervisor,
@@ -299,6 +320,11 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		}
 		if cfg.spansOn {
 			slot.spans = span.NewCollector(name, 0, cfg.spanSample)
+			if c.schedule != nil {
+				// One shared epoch schedule: every engine's sources stamp
+				// sampling decisions from the same append-only rate history.
+				slot.spans.SetSchedule(c.schedule)
+			}
 		}
 		slot.log, err = c.newLog(name)
 		if err != nil {
@@ -331,6 +357,12 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		}
 		c.sup.start()
 	}
+	if cfg.otlpURL != "" {
+		// Created only after every engine started, so failed Launches never
+		// leak the exporter's background goroutine.
+		c.otlp = otlp.New(otlp.Config{URL: cfg.otlpURL})
+	}
+	c.startObservers()
 	return c, nil
 }
 
@@ -417,8 +449,11 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 	if c.sup != nil {
 		sup := c.sup
 		cfg.SupervisorInfo = func() any { return sup.status() }
-		cfg.ExtraMetrics = func(w io.Writer) { _ = sup.reg.WritePrometheus(w) }
 	}
+	if tracker := c.cfg.slo; tracker != nil {
+		cfg.SLOInfo = func() any { return tracker.Report() }
+	}
+	cfg.ExtraMetrics = c.extraMetrics()
 	return cfg
 }
 
@@ -758,6 +793,10 @@ func (c *Cluster) Stop() {
 		slots = append(slots, s)
 	}
 	c.mu.Unlock()
+	// Stop the observability goroutines before the engines so the OTLP
+	// loop's final drain sees every collector's last spans.
+	close(c.bgStop)
+	c.bg.Wait()
 	for _, s := range slots {
 		if !s.failed {
 			s.eng.Stop()

@@ -9,6 +9,7 @@
 //	tartctl trace -file f.json   causal chains from a flight-recorder dump
 //	tartctl trace -addr H:P -origin w0#3   one input's chain from a live engine
 //	tartctl timeline -addr H:P   per-origin critical-path table from /spans
+//	tartctl slo -addr H:P        live SLO verdict table from /slo (exit 1 on violation)
 //	tartctl timeline -file s.json -origin w0#3 -chrome t.json   span tree + Perfetto export
 package main
 
@@ -65,6 +66,12 @@ func main() {
 		chrome := fs.String("chrome", "", "also write Chrome trace_event JSON to this file (Perfetto-loadable)")
 		_ = fs.Parse(os.Args[2:])
 		err = timelineCmd(*file, *addr, *origin, *chrome)
+	case "slo":
+		fs := flag.NewFlagSet("slo", flag.ExitOnError)
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		asJSON := fs.Bool("json", false, "print the raw report JSON instead of the table")
+		_ = fs.Parse(os.Args[2:])
+		err = sloCmd(*addr, *asJSON)
 	default:
 		usage()
 		os.Exit(2)
@@ -76,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline|slo> [flags]")
 }
 
 func fig1Topology() (*topo.Topology, error) {

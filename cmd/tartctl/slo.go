@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/slo"
+)
+
+// sloCmd fetches the live SLO report from an engine's /slo debug endpoint
+// (any engine of the cluster serves the same cluster-wide tracker) and
+// renders the verdict table; with -json it passes the raw report through.
+func sloCmd(addr string, asJSON bool) error {
+	if addr == "" {
+		return fmt.Errorf("slo: -addr is required (engine debug HTTP address)")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/slo")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("slo: engine at %s has no SLO tracker (launch with WithSLO)", addr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("slo: GET /slo: %s", resp.Status)
+	}
+	var rep slo.Report
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("slo: decode /slo: %w", err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if len(rep.Rows) == 0 {
+		fmt.Println("no observations yet")
+		return nil
+	}
+	rep.WriteTable(os.Stdout)
+	if !rep.OK {
+		return fmt.Errorf("SLO violated")
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/slo"
+)
+
+// sloExp sweeps the load scenarios through the open-loop SLO harness: each
+// scenario drives the gate→shards→collect pipeline on a live in-process
+// cluster for a few seconds and reports its tail against a shared
+// objective set. The interesting comparison is constant (baseline) vs the
+// shaped schedules: the same average rate produces very different tails
+// once the arrival process has peaks the merge front must absorb.
+func sloExp(rate float64, perRun time.Duration, seed uint64) error {
+	fmt.Println("== SLO scenario sweep (open-loop load harness) ==")
+	fmt.Println("   same objectives across arrival shapes; the tail, not the mean,")
+	fmt.Println("   is what the shaped schedules move")
+
+	objectives, err := slo.ParseObjectives("p50<10ms,p99<100ms,p999<500ms")
+	if err != nil {
+		return err
+	}
+	scenarios := []string{"constant", "ramp", "diurnal", "burst", "hotkey", "slowconsumer"}
+	fmt.Printf("\n   %-14s %8s %8s %10s %10s %10s %10s  %s\n",
+		"scenario", "emitted", "rate", "p50", "p99", "p999", "max", "verdict")
+	for _, name := range scenarios {
+		sc, err := load.Lookup(name)
+		if err != nil {
+			return err
+		}
+		res, err := load.Run(load.Options{
+			Scenario:   sc,
+			Rate:       rate,
+			Duration:   perRun,
+			Users:      100_000,
+			Engines:    2,
+			Seed:       seed,
+			Objectives: objectives,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		var e2e *slo.Row
+		for i := range res.Report.Rows {
+			if res.Report.Rows[i].Series == "e2e" {
+				e2e = &res.Report.Rows[i]
+			}
+		}
+		if e2e == nil {
+			fmt.Printf("   %-14s no outputs\n", name)
+			continue
+		}
+		verdict := "PASS"
+		if !e2e.OK {
+			verdict = "FAIL"
+		}
+		fmt.Printf("   %-14s %8d %7.0f/s %10v %10v %10v %10v  %s\n",
+			name, res.Emitted, res.AchievedRate,
+			e2e.P50.Round(10*time.Microsecond), e2e.P99.Round(10*time.Microsecond),
+			e2e.P999.Round(10*time.Microsecond), e2e.Max.Round(10*time.Microsecond), verdict)
+	}
+	fmt.Println()
+	return nil
+}

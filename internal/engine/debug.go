@@ -46,6 +46,7 @@ func (e *Engine) startDebug() error {
 	mux.HandleFunc("/spans", d.handleSpans)
 	mux.HandleFunc("/topology", d.handleTopology)
 	mux.HandleFunc("/supervisor", d.handleSupervisor)
+	mux.HandleFunc("/slo", d.handleSLO)
 	if e.cfg.DebugPprof {
 		// Off by default: pprof endpoints can stop the world (heap dumps,
 		// full goroutine stacks), so operators opt in per engine.
@@ -100,6 +101,19 @@ func (d *debugServer) handleSupervisor(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(d.e.cfg.SupervisorInfo())
+}
+
+// handleSLO serves the cluster's live SLO evaluation (404 when no SLO
+// tracker is attached).
+func (d *debugServer) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if d.e.cfg.SLOInfo == nil {
+		http.Error(w, "no SLO tracker attached (enable with WithSLO)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(d.e.cfg.SLOInfo())
 }
 
 // healthz reports engine liveness and peer connectivity; any disconnected

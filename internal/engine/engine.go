@@ -143,6 +143,10 @@ type Config struct {
 	// /supervisor endpoint — the cluster installs its failover
 	// supervisor's status here. Optional.
 	SupervisorInfo func() any
+	// SLOInfo, when set, is served as JSON at the debug listener's /slo
+	// endpoint — the cluster installs the live SLO tracker's report here.
+	// Optional.
+	SLOInfo func() any
 	// ExtraMetrics, when set, is appended to the /metrics exposition after
 	// the engine's own registry — the cluster uses it to surface
 	// supervisor-owned series (failovers, time-to-recover) on every
@@ -482,6 +486,12 @@ func (e *Engine) Alive() bool {
 
 // Generation returns the engine incarnation's fencing token.
 func (e *Engine) Generation() uint64 { return e.cfg.Generation }
+
+// NowVT reads the engine's source clock: the virtual time a real-time
+// source would stamp on an input emitted now. The adaptive span-sampling
+// controller proposes epoch boundaries relative to the max of the live
+// engines' clocks.
+func (e *Engine) NowVT() vt.Time { return e.clock() }
 
 // Stop shuts the engine down gracefully (schedulers drained of their
 // current handler, connections closed). Idempotent.

@@ -181,6 +181,7 @@ func (e *Engine) repairGaps() {
 						for _, r := range recs {
 							env := msg.NewData(wid, r.Seq, r.VT, r.Payload)
 							env.Origin = msg.NewOrigin(wid, r.Seq)
+							env.Trace = e.metrics.Spans().DecideAt(env.Origin, r.VT)
 							src.target.sch.Deliver(env)
 						}
 					}

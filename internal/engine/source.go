@@ -90,6 +90,7 @@ func (s *Source) emitLocked(t vt.Time, payload any) error {
 	// injections (restoreCursor, repairGaps) recreate the identical origin.
 	env := msg.NewData(s.wire.ID, seq, t, payload)
 	env.Origin = msg.NewOrigin(s.wire.ID, seq)
+	env.Trace = s.e.metrics.Spans().DecideAt(env.Origin, t)
 	s.e.rec.Record(trace.Event{Kind: trace.EvSourceEmit, VT: t, Component: s.name, Wire: s.wire.ID, MsgSeq: seq, Origin: env.Origin})
 	s.target.sch.Deliver(env)
 	return nil
@@ -147,6 +148,10 @@ func (s *Source) restoreCursor(fromSeq uint64, lastVT vt.Time) error {
 		}
 		env := msg.NewData(s.wire.ID, r.Seq, r.VT, r.Payload)
 		env.Origin = msg.NewOrigin(s.wire.ID, r.Seq)
+		// Re-stamp the sampling decision from the logged (origin, VT) pair;
+		// the append-only schedule yields the same answer the original
+		// emission stamped, so replayed envelopes stay consistently traced.
+		env.Trace = s.e.metrics.Spans().DecideAt(env.Origin, r.VT)
 		s.target.sch.Deliver(env)
 	}
 	return nil

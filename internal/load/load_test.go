@@ -1,0 +1,181 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/slo"
+	"repro/internal/stats"
+)
+
+func TestScheduleShapes(t *testing.T) {
+	c := Constant{R: 100}
+	if c.Rate(0) != 100 || c.Rate(time.Hour) != 100 || c.Peak() != 100 {
+		t.Fatal("constant schedule must be flat")
+	}
+
+	r := Ramp{From: 10, To: 110, Over: 10 * time.Second}
+	if got := r.Rate(0); got != 10 {
+		t.Fatalf("ramp start = %v", got)
+	}
+	if got := r.Rate(5 * time.Second); got != 60 {
+		t.Fatalf("ramp midpoint = %v", got)
+	}
+	if got := r.Rate(time.Minute); got != 110 {
+		t.Fatalf("ramp hold = %v", got)
+	}
+	if r.Peak() != 110 {
+		t.Fatalf("ramp peak = %v", r.Peak())
+	}
+
+	d := Diurnal{Base: 100, Amp: 150, Period: 4 * time.Second}
+	if got := d.Rate(3 * time.Second); got != 0 {
+		t.Fatalf("diurnal trough must floor at 0, got %v", got)
+	}
+	if got := d.Rate(time.Second); got < 249 || got > 251 {
+		t.Fatalf("diurnal crest = %v, want ~250", got)
+	}
+	if d.Peak() != 250 {
+		t.Fatalf("diurnal peak = %v", d.Peak())
+	}
+
+	b := Burst{Base: 50, Spike: 200, Every: 5 * time.Second, BurstLen: 500 * time.Millisecond}
+	if got := b.Rate(5*time.Second + 100*time.Millisecond); got != 250 {
+		t.Fatalf("in-burst rate = %v", got)
+	}
+	if got := b.Rate(2 * time.Second); got != 50 {
+		t.Fatalf("off-burst rate = %v", got)
+	}
+}
+
+// TestThinningMatchesRate checks the non-homogeneous Poisson generator
+// produces roughly rate*duration arrivals for a constant schedule and
+// respects the shape for a ramp (more arrivals in the fast half).
+func TestThinningMatchesRate(t *testing.T) {
+	const dur = 20 * time.Second
+	arr := newArrivals(Constant{R: 1000}, stats.NewRNG(7))
+	n := 0
+	for arr.next() < dur {
+		n++
+	}
+	// 20k expected, sd ~141; 5 sigma ≈ 700.
+	if n < 19_300 || n > 20_700 {
+		t.Fatalf("constant thinning: %d arrivals, want ~20000", n)
+	}
+
+	arr = newArrivals(Ramp{From: 100, To: 1900, Over: dur}, stats.NewRNG(7))
+	var early, late int
+	for {
+		off := arr.next()
+		if off >= dur {
+			break
+		}
+		if off < dur/2 {
+			early++
+		} else {
+			late++
+		}
+	}
+	// First half averages 550/s, second 1450/s.
+	if late < 2*early {
+		t.Fatalf("ramp thinning: early=%d late=%d, want late >> early", early, late)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	p := newKeyPicker(stats.NewRNG(3), 1_000_000, 1.2)
+	counts := make(map[uint64]int)
+	top := 0
+	for i := 0; i < 50_000; i++ {
+		k := p.pick()
+		if k >= 1_000_000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+		if counts[k] > top {
+			top = counts[k]
+		}
+	}
+	// Zipf(1.2): rank-1 key draws >20% of traffic; uniform would give ~1/20.
+	if top < 5_000 {
+		t.Fatalf("hot key drew only %d/50000 picks, want heavy skew", top)
+	}
+
+	u := newKeyPicker(stats.NewRNG(3), 1000, 0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10_000; i++ {
+		seen[u.pick()] = true
+	}
+	if len(seen) < 900 {
+		t.Fatalf("uniform picker covered only %d/1000 keys", len(seen))
+	}
+}
+
+func TestScenarioLookup(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Schedule == nil || sc.Doc == "" {
+			t.Fatalf("scenario %q incomplete", name)
+		}
+		if s := sc.Schedule(100, 10*time.Second); s.Peak() <= 0 {
+			t.Fatalf("scenario %q has non-positive peak", name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+// TestRunSmoke drives a short constant-rate run end to end through a real
+// 2-engine cluster and checks the harness plumbing: emits happen, outputs
+// arrive, the tracker sees the e2e series, and the verdict table renders.
+func TestRunSmoke(t *testing.T) {
+	sc, err := Lookup("constant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := slo.ParseObjectives("p99<2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Scenario:   sc,
+		Rate:       200,
+		Duration:   1500 * time.Millisecond,
+		Users:      1000,
+		Engines:    2,
+		Seed:       42,
+		Objectives: obj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emitted == 0 {
+		t.Fatal("no emits")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no outputs delivered")
+	}
+	// Open loop at 200/s for 1.5s: expect on the order of 300 emits.
+	if res.Emitted < 150 || res.Emitted > 600 {
+		t.Fatalf("emitted %d, want ~300", res.Emitted)
+	}
+	var e2e *slo.Row
+	for i := range res.Report.Rows {
+		if res.Report.Rows[i].Series == "e2e" {
+			e2e = &res.Report.Rows[i]
+		}
+	}
+	if e2e == nil {
+		t.Fatalf("no e2e series in report (rows: %+v)", res.Report.Rows)
+	}
+	if e2e.Count == 0 || e2e.P99 <= 0 {
+		t.Fatalf("e2e row empty: %+v", e2e)
+	}
+	if !e2e.OK {
+		t.Fatalf("p99<2s should pass a 200/s smoke run: %+v", e2e)
+	}
+}

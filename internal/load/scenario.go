@@ -1,0 +1,134 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Scenario is a named load shape: an arrival schedule plus topology knobs
+// (shard fan-out, key skew, a deliberately slow shard). Rate scales the
+// schedule's nominal arrival rates; Duration stretches its time constants.
+type Scenario struct {
+	Name string
+	// Schedule builds the arrival schedule for a target base rate and run
+	// duration.
+	Schedule func(rate float64, duration time.Duration) Schedule
+	// ZipfS is the hot-key skew exponent (0 = uniform keys).
+	ZipfS float64
+	// Shards is the processing fan-out between gate and collector.
+	Shards int
+	// SlowShard, when >= 0, gives that shard SlowWork handler cost instead
+	// of the scenario's base Work — the slow-consumer shape.
+	SlowShard int
+	// Work / SlowWork are per-message handler busy-times.
+	Work, SlowWork time.Duration
+	// Doc is a one-line description for listings.
+	Doc string
+}
+
+var scenarios = map[string]Scenario{
+	"constant": {
+		Name:      "constant",
+		Schedule:  func(r float64, _ time.Duration) Schedule { return Constant{R: r} },
+		Shards:    2,
+		SlowShard: -1,
+		Work:      20 * time.Microsecond,
+		Doc:       "flat open-loop arrival rate (baseline)",
+	},
+	"ramp": {
+		Name: "ramp",
+		Schedule: func(r float64, d time.Duration) Schedule {
+			return Ramp{From: r / 10, To: r, Over: d * 3 / 4}
+		},
+		Shards:    2,
+		SlowShard: -1,
+		Work:      20 * time.Microsecond,
+		Doc:       "linear climb from rate/10 to rate over 3/4 of the run",
+	},
+	"diurnal": {
+		Name: "diurnal",
+		Schedule: func(r float64, d time.Duration) Schedule {
+			period := d / 3
+			if period < time.Second {
+				period = time.Second
+			}
+			return Diurnal{Base: r, Amp: r * 0.8, Period: period}
+		},
+		Shards:    2,
+		SlowShard: -1,
+		Work:      20 * time.Microsecond,
+		Doc:       "compressed day: sinusoidal rate, three cycles per run",
+	},
+	"burst": {
+		Name: "burst",
+		Schedule: func(r float64, _ time.Duration) Schedule {
+			return Burst{Base: r / 2, Spike: r * 2, Every: 5 * time.Second, BurstLen: 500 * time.Millisecond}
+		},
+		Shards:    2,
+		SlowShard: -1,
+		Work:      20 * time.Microsecond,
+		Doc:       "idle-then-spike: 4x overload for 500ms every 5s",
+	},
+	"hotkey": {
+		Name:      "hotkey",
+		Schedule:  func(r float64, _ time.Duration) Schedule { return Constant{R: r} },
+		ZipfS:     1.2,
+		Shards:    4,
+		SlowShard: -1,
+		Work:      20 * time.Microsecond,
+		Doc:       "constant rate with Zipf(1.2) keys: one shard runs hot",
+	},
+	"slowconsumer": {
+		Name:      "slowconsumer",
+		Schedule:  func(r float64, _ time.Duration) Schedule { return Constant{R: r} },
+		Shards:    3,
+		SlowShard: 1,
+		Work:      20 * time.Microsecond,
+		SlowWork:  400 * time.Microsecond,
+		Doc:       "one shard 20x slower: pessimism delay and silence probes dominate",
+	},
+	"faninstorm": {
+		Name: "faninstorm",
+		Schedule: func(r float64, _ time.Duration) Schedule {
+			return Burst{Base: r / 4, Spike: r * 3, Every: 3 * time.Second, BurstLen: 300 * time.Millisecond}
+		},
+		Shards:    8,
+		SlowShard: -1,
+		Work:      10 * time.Microsecond,
+		Doc:       "8-way fan-in under periodic 12x bursts: merge-front stress",
+	},
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, error) {
+	s, ok := scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("unknown scenario %q (have: %s)", name, scenarioNames())
+	}
+	return s, nil
+}
+
+// Names lists the registered scenarios in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line doc for a scenario name.
+func Describe(name string) string { return scenarios[name].Doc }
+
+func scenarioNames() string {
+	s := ""
+	for i, n := range Names() {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

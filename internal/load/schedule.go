@@ -1,0 +1,148 @@
+// Package load is the open-loop SLO harness: arrival-rate schedules
+// (constant, ramp, diurnal, burst), hot-key skew, and scenario presets
+// driving a multi-engine TART cluster while an slo.Tracker watches
+// end-to-end latency live.
+//
+// Arrivals are open-loop by construction — the generator samples the next
+// arrival instant from the schedule's rate function and emits regardless of
+// how the system is coping — because a closed-loop driver (wait for the
+// reply, then send) silently throttles itself exactly when the tail
+// explodes, hiding the very latencies an SLO exists to bound (the
+// coordinated-omission trap).
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Schedule is a time-varying arrival-rate function (arrivals per second at
+// a given elapsed offset into the run).
+type Schedule interface {
+	// Rate returns the instantaneous arrival rate at elapsed time t.
+	Rate(t time.Duration) float64
+	// Peak returns an upper bound on Rate over the run (the thinning
+	// envelope).
+	Peak() float64
+	String() string
+}
+
+// Constant is a flat arrival rate.
+type Constant struct{ R float64 }
+
+// Rate implements Schedule.
+func (c Constant) Rate(time.Duration) float64 { return c.R }
+
+// Peak implements Schedule.
+func (c Constant) Peak() float64 { return c.R }
+
+func (c Constant) String() string { return fmt.Sprintf("constant %.0f/s", c.R) }
+
+// Ramp grows linearly From→To over Over, then holds To.
+type Ramp struct {
+	From, To float64
+	Over     time.Duration
+}
+
+// Rate implements Schedule.
+func (r Ramp) Rate(t time.Duration) float64 {
+	if t >= r.Over || r.Over <= 0 {
+		return r.To
+	}
+	f := float64(t) / float64(r.Over)
+	return r.From + (r.To-r.From)*f
+}
+
+// Peak implements Schedule.
+func (r Ramp) Peak() float64 { return math.Max(r.From, r.To) }
+
+func (r Ramp) String() string {
+	return fmt.Sprintf("ramp %.0f->%.0f/s over %v", r.From, r.To, r.Over)
+}
+
+// Diurnal is a compressed day: rate oscillates sinusoidally around Base
+// with amplitude Amp (floored at zero) and period Period. A 30s run with a
+// 10s period sweeps three full peak/trough cycles past the SLO monitor.
+type Diurnal struct {
+	Base, Amp float64
+	Period    time.Duration
+}
+
+// Rate implements Schedule.
+func (d Diurnal) Rate(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	r := d.Base + d.Amp*math.Sin(2*math.Pi*float64(t)/float64(d.Period))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Peak implements Schedule.
+func (d Diurnal) Peak() float64 { return d.Base + math.Abs(d.Amp) }
+
+func (d Diurnal) String() string {
+	return fmt.Sprintf("diurnal %.0f±%.0f/s period %v", d.Base, d.Amp, d.Period)
+}
+
+// Burst idles at Base and spikes to Base+Spike for BurstLen at the start of
+// every Every interval — the fan-in-storm and GC-pause-style overload
+// shape.
+type Burst struct {
+	Base, Spike float64
+	Every       time.Duration
+	BurstLen    time.Duration
+}
+
+// Rate implements Schedule.
+func (b Burst) Rate(t time.Duration) float64 {
+	if b.Every <= 0 {
+		return b.Base
+	}
+	if t%b.Every < b.BurstLen {
+		return b.Base + b.Spike
+	}
+	return b.Base
+}
+
+// Peak implements Schedule.
+func (b Burst) Peak() float64 { return b.Base + b.Spike }
+
+func (b Burst) String() string {
+	return fmt.Sprintf("burst %.0f/s +%.0f/s for %v every %v", b.Base, b.Spike, b.BurstLen, b.Every)
+}
+
+// arrivals samples a non-homogeneous Poisson process matching the schedule
+// via thinning: candidate arrivals come from a homogeneous process at the
+// peak rate, and each candidate at offset t survives with probability
+// Rate(t)/Peak. next returns successive arrival offsets; done when the
+// offset passes duration.
+type arrivals struct {
+	sch  Schedule
+	rng  *stats.RNG
+	peak float64
+	t    time.Duration
+}
+
+func newArrivals(sch Schedule, rng *stats.RNG) *arrivals {
+	return &arrivals{sch: sch, rng: rng, peak: sch.Peak()}
+}
+
+// next returns the next arrival offset.
+func (a *arrivals) next() time.Duration {
+	if a.peak <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	for {
+		gap := a.rng.ExpFloat64() / a.peak // seconds
+		a.t += time.Duration(gap * float64(time.Second))
+		if a.rng.Float64()*a.peak <= a.sch.Rate(a.t) {
+			return a.t
+		}
+	}
+}

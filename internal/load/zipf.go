@@ -1,0 +1,45 @@
+package load
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// keyPicker selects a request key in [0, users). With skew it follows a
+// Zipf law (rank-1 key hottest) so shard routing sees a realistic hot-key
+// imbalance; without it keys are uniform.
+type keyPicker struct {
+	rng   *stats.RNG
+	users uint64
+	zipf  *rand.Zipf
+}
+
+// newKeyPicker builds a picker over users keys. s > 1 enables Zipf skew
+// with that exponent (1.1–1.4 covers most measured key-popularity curves);
+// s <= 1 means uniform.
+func newKeyPicker(rng *stats.RNG, users uint64, s float64) *keyPicker {
+	p := &keyPicker{rng: rng, users: users}
+	if p.users == 0 {
+		p.users = 1
+	}
+	if s > 1 {
+		src := rand.New(rngSource{rng})
+		p.zipf = rand.NewZipf(src, s, 1, p.users-1)
+	}
+	return p
+}
+
+func (p *keyPicker) pick() uint64 {
+	if p.zipf != nil {
+		return p.zipf.Uint64()
+	}
+	return p.rng.Uint64() % p.users
+}
+
+// rngSource adapts the repo's deterministic stats.RNG to math/rand.Source
+// so rand.NewZipf can draw from the harness's seeded stream.
+type rngSource struct{ rng *stats.RNG }
+
+func (s rngSource) Int63() int64 { return s.rng.Int63() }
+func (s rngSource) Seed(int64)   {}

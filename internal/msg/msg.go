@@ -174,7 +174,28 @@ type Envelope struct {
 	// so replayed and replicated envelopes carry identical provenance.
 	Origin OriginID
 	Hops   uint32
+
+	// Trace is the head-sampling decision for the envelope's origin,
+	// stamped at the source and inherited by every derived envelope:
+	// TraceSampled marks a traced origin, TraceUnsampled an untraced one,
+	// and zero means "undecided" — consumers fall back to the static
+	// hash(origin) rule. Carrying the decision in the envelope is what
+	// makes adaptive sampling safe: the rate in force at the origin's
+	// emission VT travels with its whole causal tree, so a mid-journey
+	// rate change can never half-trace an origin. Re-stamping sites
+	// (WAL re-injection, gap repair) recompute the decision from the
+	// logged (origin, VT) pair against the same append-only rate
+	// schedule, so replayed envelopes carry the identical decision.
+	Trace int8
 }
+
+// Trace decisions carried by Envelope.Trace.
+const (
+	// TraceSampled marks the envelope's origin as head-sampled.
+	TraceSampled int8 = 1
+	// TraceUnsampled marks the envelope's origin as not sampled.
+	TraceUnsampled int8 = -1
+)
 
 // NewData constructs a data envelope.
 func NewData(w WireID, seq uint64, t vt.Time, payload any) Envelope {

@@ -25,9 +25,12 @@ type Ctx struct {
 	// replies. Outputs are stamped relative to it.
 	handlerVT vt.Time
 	// origin and hops carry the provenance of the message being handled;
-	// every output envelope inherits origin with hops+1.
+	// every output envelope inherits origin with hops+1. trace carries the
+	// origin's head-sampling decision (msg.Envelope.Trace), inherited
+	// unchanged so a rate change between hops cannot half-trace an origin.
 	origin msg.OriginID
 	hops   uint32
+	trace  int8
 }
 
 // Now returns the virtual time at which the current message was dequeued —
@@ -65,7 +68,7 @@ func (c *Ctx) Send(port string, payload any) error {
 
 	ow.m.Sent.Inc()
 	env := msg.NewData(ow.w.ID, seq, stamped, payload)
-	env.Origin, env.Hops = c.origin, c.hops+1
+	env.Origin, env.Hops, env.Trace = c.origin, c.hops+1, c.trace
 	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq, Origin: env.Origin, Hops: env.Hops})
 	s.cfg.Router.Route(env)
 	return nil
@@ -101,7 +104,7 @@ func (c *Ctx) Call(port string, payload any) (any, error) {
 
 	ow.m.Sent.Inc()
 	env := msg.NewCallRequest(ow.w.ID, seq, stamped, callID, payload)
-	env.Origin, env.Hops = c.origin, c.hops+1
+	env.Origin, env.Hops, env.Trace = c.origin, c.hops+1, c.trace
 	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: ow.w.ID, MsgSeq: seq, Origin: env.Origin, Hops: env.Hops, Note: "call request"})
 	s.cfg.Router.Route(env)
 

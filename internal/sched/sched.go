@@ -324,7 +324,7 @@ func (s *Scheduler) deliverMessage(env msg.Envelope) {
 	// Stamp the enqueue time for span-sampled origins before taking the
 	// lock; a zero stamp marks the delivery as untraced.
 	var enq int64
-	if s.spans.Sampled(env.Origin) {
+	if s.spans.Decided(env.Trace, env.Origin) {
 		enq = time.Now().UnixNano()
 	}
 	s.mu.Lock()

@@ -233,7 +233,7 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 
 		// Run the handler without holding the lock: it may Send (which locks
 		// briefly) and Call (which blocks awaiting a reply).
-		ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost), origin: q.env.Origin, hops: q.env.Hops}
+		ctx := &Ctx{s: s, dequeue: d, handlerVT: d.Add(cost), origin: q.env.Origin, hops: q.env.Hops, trace: q.env.Trace}
 		start := time.Now()
 		reply, err := s.cfg.Handler.OnMessage(ctx, port, q.env.Payload)
 		elapsed := time.Since(start)
@@ -420,7 +420,7 @@ func (s *Scheduler) sendReply(ctx *Ctx, req msg.Envelope, reply any) {
 	s.mu.Unlock()
 	ow.m.Sent.Inc()
 	env := msg.NewCallReply(reqWire.Peer, seq, stamped, req.CallID, reply)
-	env.Origin, env.Hops = ctx.origin, ctx.hops+1
+	env.Origin, env.Hops, env.Trace = ctx.origin, ctx.hops+1, ctx.trace
 	s.rec.Record(trace.Event{Kind: trace.EvSend, VT: stamped, Component: s.comp.Name, Wire: reqWire.Peer, MsgSeq: seq, Origin: env.Origin, Hops: env.Hops, Note: "call reply"})
 	s.cfg.Router.Route(env)
 }

@@ -1,0 +1,111 @@
+package slo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 99} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d)=%d < previous %d", v, i, prev)
+		}
+		if i >= histSize {
+			t.Fatalf("bucketIndex(%d)=%d out of range %d", v, i, histSize)
+		}
+		if u := bucketUpper(i); u < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", i, u, v)
+		}
+		prev = i
+	}
+}
+
+func TestBucketUpperIsLargestInBucket(t *testing.T) {
+	for i := 0; i < histSize; i += 7 {
+		u := bucketUpper(i)
+		if bucketIndex(u) != i {
+			t.Fatalf("bucketUpper(%d)=%d maps back to %d", i, u, bucketIndex(u))
+		}
+		if u+1 < u { // overflow guard at the top bucket
+			continue
+		}
+		if bucketIndex(u+1) == i && u != 0 {
+			t.Fatalf("bucketUpper(%d)=%d is not the bucket's largest value", i, u)
+		}
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	h := NewHist()
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 2e6) // ~2ms mean
+		vals = append(vals, v)
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != 20000 {
+		t.Fatalf("count=%d", s.Count)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(p*float64(len(vals)))]
+		got := int64(s.Quantile(p))
+		if got < exact {
+			t.Fatalf("p%g: got %d below exact %d (upper bound must be conservative)", p*100, got, exact)
+		}
+		// Upper-bound error is at most one sub-bucket: 1/64 ≈ 1.6%, allow 4%
+		// slack for the rank falling at a bucket edge.
+		if exact > 1000 && float64(got-exact) > 0.04*float64(exact) {
+			t.Fatalf("p%g: got %d vs exact %d, error %.2f%%", p*100, got, exact,
+				100*float64(got-exact)/float64(exact))
+		}
+	}
+	if s.Min != time.Duration(vals[0]) || s.Max != time.Duration(vals[len(vals)-1]) {
+		t.Fatalf("min/max %v/%v want %d/%d", s.Min, s.Max, vals[0], vals[len(vals)-1])
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 200 {
+		t.Fatalf("merged count=%d", s.Count)
+	}
+	if s.Min != time.Microsecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("merged min/max %v/%v", s.Min, s.Max)
+	}
+	if q := s.Quantile(1); q != 100*time.Millisecond {
+		t.Fatalf("p100=%v", q)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Snapshot
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+	h := NewHist()
+	h.Observe(42 * time.Microsecond)
+	s := h.Snapshot()
+	for _, p := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		got := s.Quantile(p)
+		if got < 42*time.Microsecond || float64(got) > 42e3*1.02 {
+			t.Fatalf("single-value p%v = %v", p, got)
+		}
+	}
+	h.Observe(-5 * time.Second) // clamps to 0
+	if got := h.Snapshot().Min; got != 0 {
+		t.Fatalf("negative observation should clamp to 0, min=%v", got)
+	}
+}

@@ -61,6 +61,10 @@ const (
 	EvPeerUp
 	// EvPeerDown marks an inter-engine connection lost.
 	EvPeerDown
+	// EvSampleEpoch marks an adaptive span-sampling rate switch: VT is the
+	// epoch's quantized start boundary and Note carries the old and new
+	// 1/N moduli plus the observed traffic that motivated the change.
+	EvSampleEpoch
 )
 
 var eventKindNames = [...]string{
@@ -81,6 +85,7 @@ var eventKindNames = [...]string{
 	EvSourceEmit:         "source-emit",
 	EvPeerUp:             "peer-up",
 	EvPeerDown:           "peer-down",
+	EvSampleEpoch:        "sample-epoch",
 }
 
 // String renders the kind name.

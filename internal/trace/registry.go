@@ -79,6 +79,26 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a gauge holding a float64 (latency quantiles, burn rates —
+// values Prometheus conventions express in seconds or ratios, which the
+// integer Gauge cannot carry).
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket histogram. Observations are float64 in the
 // metric's natural unit (seconds for latency-style metrics, bytes for
 // sizes). Buckets are cumulative in the rendered output, per Prometheus
@@ -173,6 +193,7 @@ type series struct {
 	labels []Label // const labels + series labels, render order
 	c      *Counter
 	g      *Gauge
+	f      *FloatGauge
 	h      *Histogram
 }
 
@@ -210,7 +231,11 @@ func (r *Registry) ConstLabels() []Label {
 func (r *Registry) seriesFor(name, help, typ string, bounds []float64, labels []Label) *series {
 	fam, ok := r.fams[name]
 	if !ok {
-		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		famTyp := typ
+		if famTyp == "floatgauge" {
+			famTyp = "gauge" // exposition TYPE; the cell stays a float
+		}
+		fam = &family{name: name, help: help, typ: famTyp, series: make(map[string]*series)}
 		r.fams[name] = fam
 	}
 	key := labelKey(labels)
@@ -225,6 +250,8 @@ func (r *Registry) seriesFor(name, help, typ string, bounds []float64, labels []
 			s.c = &Counter{}
 		case "gauge":
 			s.g = &Gauge{}
+		case "floatgauge":
+			s.f = &FloatGauge{}
 		case "histogram":
 			s.h = newHistogram(bounds)
 		}
@@ -251,6 +278,17 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.seriesFor(name, help, "gauge", nil, labels).g
+}
+
+// FloatGauge resolves (creating on first use) a float-valued gauge handle
+// (rendered with TYPE gauge).
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesFor(name, help, "floatgauge", nil, labels).f
 }
 
 // Histogram resolves (creating on first use) a histogram handle; bounds are
@@ -318,6 +356,8 @@ func (r *Registry) Gather() []MetricFamily {
 				gs.Value = float64(s.c.Value())
 			case s.g != nil:
 				gs.Value = float64(s.g.Value())
+			case s.f != nil:
+				gs.Value = s.f.Value()
 			case s.h != nil:
 				snap := s.h.Snapshot()
 				gs.Hist = &snap
@@ -467,6 +507,16 @@ const (
 	MetricSilenceCoalesce = "tart_silences_coalesced_total"
 	MetricCriticalPath    = "tart_critical_path_seconds"
 	MetricFencedHellos    = "tart_fenced_hellos_total"
+	// Adaptive span-sampling families (cluster controller, per-engine scrape).
+	MetricSampleN      = "tart_span_sample_n"
+	MetricSampleEpochs = "tart_span_sample_epochs_total"
+	// SLO families (internal/slo tracker, appended to engine /metrics and
+	// served by harness endpoints).
+	MetricSLOLatency      = "tart_slo_latency_seconds"
+	MetricSLOObservations = "tart_slo_observations_total"
+	MetricSLOBreaches     = "tart_slo_breaches_total"
+	MetricSLOOk           = "tart_slo_ok"
+	MetricSLOBurn         = "tart_slo_error_budget_burn"
 	// Supervisor-owned families (cluster failover supervisor, not per-engine).
 	MetricSuspicions    = "tart_supervisor_suspicions_total"
 	MetricSupFailovers  = "tart_supervisor_failovers_total"

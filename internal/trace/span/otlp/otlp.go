@@ -1,0 +1,378 @@
+// Package otlp ships TART span trees to any OpenTelemetry collector over
+// OTLP/HTTP (the /v1/traces JSON binding), hand-encoded against the OTLP
+// 1.x wire schema so the repository stays dependency-free.
+//
+// The mapping keeps TART's determinism visible in foreign tooling: a span's
+// 128-bit trace ID is derived from its OriginID (high 8 bytes the sampler's
+// splitmix64 hash, low 8 bytes the raw wire<<40|seq packing), so the same
+// external input maps to the same trace across the original run, a replay,
+// and the recovered replica — failover stitches itself together in the
+// trace backend. Span phases, VT bounds, and the replayed flag travel as
+// `tart.*` attributes.
+//
+// Export is strictly off the hot path: Enqueue is a non-blocking send into
+// a bounded queue that drops (and counts) on overflow, and HTTP failures
+// are counted and discarded — a dead collector can never stall the
+// scheduler or the transport.
+package otlp
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/trace/span"
+)
+
+// Config tunes an Exporter. Zero values pick defaults.
+type Config struct {
+	// URL is the collector endpoint, e.g. "http://localhost:4318/v1/traces".
+	URL string
+	// Service is the resource service.name (default "tart").
+	Service string
+	// BatchSize is the max spans per POST (default 512).
+	BatchSize int
+	// FlushEvery bounds how long a partial batch lingers (default 2s).
+	FlushEvery time.Duration
+	// Timeout bounds each POST (default 5s).
+	Timeout time.Duration
+	// QueueCap bounds the pending-span queue; Enqueue drops beyond it
+	// (default 8192).
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Service == "" {
+		c.Service = "tart"
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 8192
+	}
+	return c
+}
+
+// Stats counts an exporter's activity.
+type Stats struct {
+	Enqueued uint64 `json:"enqueued"`
+	Dropped  uint64 `json:"dropped"` // queue overflow
+	Exported uint64 `json:"exported"`
+	Batches  uint64 `json:"batches"`
+	Errors   uint64 `json:"errors"` // failed POSTs (batch discarded)
+}
+
+// Exporter batches spans and POSTs them (gzipped OTLP/HTTP JSON) to a
+// collector from a single background goroutine.
+type Exporter struct {
+	cfg    Config
+	client *http.Client
+	queue  chan span.Span
+	stop   chan struct{}
+	done   sync.WaitGroup
+
+	enqueued atomic.Uint64
+	dropped  atomic.Uint64
+	exported atomic.Uint64
+	batches  atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// New creates and starts an exporter.
+func New(cfg Config) *Exporter {
+	cfg = cfg.withDefaults()
+	e := &Exporter{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.Timeout},
+		queue:  make(chan span.Span, cfg.QueueCap),
+		stop:   make(chan struct{}),
+	}
+	e.done.Add(1)
+	go e.loop()
+	return e
+}
+
+// Enqueue offers spans for export. It never blocks: spans beyond the queue
+// capacity are dropped and counted.
+func (e *Exporter) Enqueue(spans ...span.Span) {
+	if e == nil {
+		return
+	}
+	for _, s := range spans {
+		select {
+		case e.queue <- s:
+			e.enqueued.Add(1)
+		default:
+			e.dropped.Add(1)
+		}
+	}
+}
+
+// Stats returns the exporter's activity counters.
+func (e *Exporter) Stats() Stats {
+	if e == nil {
+		return Stats{}
+	}
+	return Stats{
+		Enqueued: e.enqueued.Load(),
+		Dropped:  e.dropped.Load(),
+		Exported: e.exported.Load(),
+		Batches:  e.batches.Load(),
+		Errors:   e.errors.Load(),
+	}
+}
+
+// Close flushes queued spans (best effort, bounded by the POST timeout) and
+// stops the background loop. Idempotent.
+func (e *Exporter) Close() {
+	if e == nil {
+		return
+	}
+	select {
+	case <-e.stop:
+		return
+	default:
+	}
+	close(e.stop)
+	e.done.Wait()
+}
+
+func (e *Exporter) loop() {
+	defer e.done.Done()
+	t := time.NewTicker(e.cfg.FlushEvery)
+	defer t.Stop()
+	batch := make([]span.Span, 0, e.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.post(batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case s := <-e.queue:
+			batch = append(batch, s)
+			if len(batch) >= e.cfg.BatchSize {
+				flush()
+			}
+		case <-t.C:
+			flush()
+		case <-e.stop:
+			// Drain whatever is already queued, then flush and exit.
+			for {
+				select {
+				case s := <-e.queue:
+					batch = append(batch, s)
+					if len(batch) >= e.cfg.BatchSize {
+						flush()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}
+
+func (e *Exporter) post(batch []span.Span) {
+	e.batches.Add(1)
+	body, err := Marshal(batch, e.cfg.Service)
+	if err != nil {
+		e.errors.Add(1)
+		return
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(body); err != nil {
+		e.errors.Add(1)
+		return
+	}
+	if err := zw.Close(); err != nil {
+		e.errors.Add(1)
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, e.cfg.URL, &buf)
+	if err != nil {
+		e.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := e.client.Do(req)
+	if err != nil {
+		e.errors.Add(1)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		e.errors.Add(1)
+		return
+	}
+	e.exported.Add(uint64(len(batch)))
+}
+
+// --- wire encoding -------------------------------------------------------
+
+// keyValue is an OTLP common.v1.KeyValue with the single-variant AnyValue
+// shapes this encoder emits.
+type keyValue struct {
+	Key   string   `json:"key"`
+	Value anyValue `json:"value"`
+}
+
+type anyValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"` // int64 as decimal string, per proto3 JSON
+	BoolValue   *bool   `json:"boolValue,omitempty"`
+}
+
+func strAttr(k, v string) keyValue       { return keyValue{k, anyValue{StringValue: &v}} }
+func boolAttr(k string, v bool) keyValue { return keyValue{k, anyValue{BoolValue: &v}} }
+func intAttr(k string, v int64) keyValue {
+	s := fmt.Sprintf("%d", v)
+	return keyValue{k, anyValue{IntValue: &s}}
+}
+
+type otlpSpan struct {
+	TraceID           string     `json:"traceId"`
+	SpanID            string     `json:"spanId"`
+	Name              string     `json:"name"`
+	Kind              int        `json:"kind"`
+	StartTimeUnixNano string     `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string     `json:"endTimeUnixNano"`
+	Attributes        []keyValue `json:"attributes,omitempty"`
+}
+
+type scopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type resourceSpans struct {
+	Resource struct {
+		Attributes []keyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []scopeSpans `json:"scopeSpans"`
+}
+
+type exportRequest struct {
+	ResourceSpans []resourceSpans `json:"resourceSpans"`
+}
+
+// TraceID derives the origin's 128-bit OTLP trace ID: the high 8 bytes are
+// the sampler's splitmix64 hash of the origin (so IDs spread uniformly for
+// backends that shard by prefix) and the low 8 bytes the raw OriginID
+// packing (so the origin is recoverable by eye from the hex).
+func TraceID(s span.Span) string {
+	var b [16]byte
+	h := span.OriginHash(s.Origin)
+	o := uint64(s.Origin)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(h >> (56 - 8*i))
+		b[8+i] = byte(o >> (56 - 8*i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanID derives a collector-unique 8-byte OTLP span ID from the span's
+// engine and collector-assigned sequence number.
+func SpanID(s span.Span) string {
+	f := fnv.New64a()
+	f.Write([]byte(s.Engine))
+	id := f.Sum64() ^ span.OriginHash(msg.OriginID(s.ID))
+	if id == 0 {
+		id = 1 // the all-zero span ID is invalid in OTLP
+	}
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(id >> (56 - 8*i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Marshal encodes spans as one OTLP/HTTP ExportTraceServiceRequest in JSON.
+// Output is deterministic for a given input: spans are grouped into one
+// resource per engine (sorted by engine name) and sorted by collector ID
+// within each group.
+func Marshal(spans []span.Span, service string) ([]byte, error) {
+	byEngine := make(map[string][]span.Span)
+	for _, s := range spans {
+		byEngine[s.Engine] = append(byEngine[s.Engine], s)
+	}
+	engines := make([]string, 0, len(byEngine))
+	for e := range byEngine {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+
+	req := exportRequest{}
+	for _, eng := range engines {
+		group := byEngine[eng]
+		sort.Slice(group, func(i, j int) bool { return group[i].ID < group[j].ID })
+		rs := resourceSpans{}
+		rs.Resource.Attributes = []keyValue{
+			strAttr("service.name", service),
+			strAttr("tart.engine", eng),
+		}
+		ss := scopeSpans{}
+		ss.Scope.Name = "tart/span"
+		for _, s := range group {
+			name := s.Phase.String()
+			if s.Component != "" {
+				name += " " + s.Component
+			}
+			attrs := []keyValue{
+				strAttr("tart.phase", s.Phase.String()),
+				strAttr("tart.origin", s.Origin.String()),
+				intAttr("tart.wire", int64(s.Wire)),
+				intAttr("tart.seq", int64(s.Seq)),
+				intAttr("tart.hops", int64(s.Hops)),
+				intAttr("tart.vt.start", int64(s.StartVT)),
+				intAttr("tart.vt.end", int64(s.EndVT)),
+			}
+			if s.Component != "" {
+				attrs = append(attrs, strAttr("tart.component", s.Component))
+			}
+			if s.Replayed {
+				attrs = append(attrs, boolAttr("tart.replayed", true))
+			}
+			if s.Note != "" {
+				attrs = append(attrs, strAttr("tart.note", s.Note))
+			}
+			ss.Spans = append(ss.Spans, otlpSpan{
+				TraceID:           TraceID(s),
+				SpanID:            SpanID(s),
+				Name:              name,
+				Kind:              1, // SPAN_KIND_INTERNAL
+				StartTimeUnixNano: fmt.Sprintf("%d", s.Start.UnixNano()),
+				EndTimeUnixNano:   fmt.Sprintf("%d", s.End.UnixNano()),
+				Attributes:        attrs,
+			})
+		}
+		rs.ScopeSpans = []scopeSpans{ss}
+		req.ResourceSpans = append(req.ResourceSpans, rs)
+	}
+	return json.MarshalIndent(req, "", "  ")
+}

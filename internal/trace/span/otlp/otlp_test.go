@@ -1,0 +1,183 @@
+package otlp
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/trace/span"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixture builds a deterministic span set: two engines, two origins (one
+// replayed), fixed wall-clock stamps.
+func fixture() []span.Span {
+	base := time.Unix(1700000000, 0).UTC()
+	o1 := msg.NewOrigin(0, 7)
+	o2 := msg.NewOrigin(2, 19)
+	return []span.Span{
+		{ID: 1, Origin: o1, Phase: span.PhaseQueueing, Engine: "left", Component: "gate", Wire: 0, Seq: 7, Start: base, End: base.Add(120 * time.Microsecond), StartVT: 100, EndVT: 100},
+		{ID: 2, Origin: o1, Phase: span.PhaseCompute, Engine: "left", Component: "gate", Wire: 0, Seq: 7, Start: base.Add(120 * time.Microsecond), End: base.Add(180 * time.Microsecond), StartVT: 100, EndVT: 150},
+		{ID: 1, Origin: o1, Phase: span.PhaseLinger, Engine: "right", Wire: 1, Seq: 7, Start: base.Add(200 * time.Microsecond), End: base.Add(260 * time.Microsecond), StartVT: 150, EndVT: 150, Note: "coalesced"},
+		{ID: 2, Origin: o2, Phase: span.PhaseCompute, Engine: "right", Component: "shard", Wire: 3, Seq: 19, Hops: 1, Start: base.Add(300 * time.Microsecond), End: base.Add(420 * time.Microsecond), StartVT: 200, EndVT: 260, Replayed: true},
+	}
+}
+
+// TestMarshalGolden pins the full encoded payload: trace-ID derivation,
+// phase/VT/replayed attributes, per-engine resource grouping, and batching
+// order are all load-bearing for foreign backends, so any change must be a
+// conscious golden update (-update).
+func TestMarshalGolden(t *testing.T) {
+	got, err := Marshal(fixture(), "tart-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "marshal_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("encoded payload diverged from golden file; run with -update if intentional.\ngot:\n%s", got)
+	}
+}
+
+func TestTraceIDDerivation(t *testing.T) {
+	spans := fixture()
+	// Same origin ⇒ same trace ID across engines; distinct origins differ.
+	if TraceID(spans[0]) != TraceID(spans[2]) {
+		t.Fatal("one origin must map to one trace ID across engines")
+	}
+	if TraceID(spans[0]) == TraceID(spans[3]) {
+		t.Fatal("distinct origins must map to distinct trace IDs")
+	}
+	id := TraceID(spans[0])
+	if len(id) != 32 {
+		t.Fatalf("trace ID %q is not 16 bytes hex", id)
+	}
+	// Low 8 bytes are the raw OriginID packing (wire 0, seq 7 ⇒ ...0007).
+	if id[16:] != "0000000000000007" {
+		t.Fatalf("trace ID low half %q should be the raw origin", id[16:])
+	}
+	if sid := SpanID(spans[0]); len(sid) != 16 || sid == "0000000000000000" {
+		t.Fatalf("bad span ID %q", sid)
+	}
+}
+
+// TestBatchingBoundaries proves the exporter splits at BatchSize and
+// flushes partials.
+func TestBatchingBoundaries(t *testing.T) {
+	var mu sync.Mutex
+	var batchSizes []int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			t.Errorf("not gzipped: %v", err)
+			return
+		}
+		body, _ := io.ReadAll(zr)
+		var req struct {
+			ResourceSpans []struct {
+				ScopeSpans []struct {
+					Spans []json.RawMessage `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Errorf("bad payload: %v", err)
+			return
+		}
+		n := 0
+		for _, rs := range req.ResourceSpans {
+			for _, ss := range rs.ScopeSpans {
+				n += len(ss.Spans)
+			}
+		}
+		mu.Lock()
+		batchSizes = append(batchSizes, n)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	e := New(Config{URL: srv.URL, BatchSize: 4, FlushEvery: time.Hour})
+	tpl := fixture()[0]
+	for i := 0; i < 10; i++ {
+		s := tpl
+		s.ID = uint64(i + 1)
+		e.Enqueue(s)
+	}
+	e.Close() // drains: 4 + 4 + flush(2)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batchSizes) != 3 || batchSizes[0] != 4 || batchSizes[1] != 4 || batchSizes[2] != 2 {
+		t.Fatalf("batch sizes %v, want [4 4 2]", batchSizes)
+	}
+	st := e.Stats()
+	if st.Exported != 10 || st.Dropped != 0 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFailingEndpointNeverBlocks proves export failure isolation: with a
+// dead collector, Enqueue stays non-blocking (bounded queue, drop on
+// overflow), errors are counted, and Close returns promptly.
+func TestFailingEndpointNeverBlocks(t *testing.T) {
+	e := New(Config{
+		URL:        "http://127.0.0.1:1/v1/traces", // reserved port: dials fail fast
+		BatchSize:  8,
+		FlushEvery: 10 * time.Millisecond,
+		Timeout:    200 * time.Millisecond,
+		QueueCap:   16,
+	})
+	tpl := fixture()[0]
+	start := time.Now()
+	for i := 0; i < 10_000; i++ {
+		s := tpl
+		s.ID = uint64(i + 1)
+		e.Enqueue(s)
+	}
+	enqueueTime := time.Since(start)
+	// 10k enqueues against a 16-cap queue with a dead backend must be pure
+	// channel ops — far under a second even on a loaded CI box.
+	if enqueueTime > time.Second {
+		t.Fatalf("Enqueue blocked: 10k offers took %v", enqueueTime)
+	}
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a failing endpoint")
+	}
+	st := e.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("expected overflow drops, stats %+v", st)
+	}
+	if st.Errors == 0 {
+		t.Fatalf("expected POST errors, stats %+v", st)
+	}
+	if st.Exported != 0 {
+		t.Fatalf("nothing should export, stats %+v", st)
+	}
+	// Safe after Close.
+	e.Enqueue(tpl)
+}

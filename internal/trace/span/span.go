@@ -177,6 +177,9 @@ const DefaultCollectorCapacity = 16384
 type Collector struct {
 	engine  string
 	sampleN uint64
+	// schedule, when set, replaces the static sampleN with VT-quantized
+	// rate epochs (see adaptive.go). Set before traffic flows.
+	schedule *Schedule
 
 	mu    sync.Mutex
 	buf   []Span

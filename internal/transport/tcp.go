@@ -185,7 +185,7 @@ func (c *tcpConn) Send(env msg.Envelope) error {
 		// latency to sparse traffic, only batch bursts.
 		return c.flushLocked()
 	}
-	if c.spans.Sampled(env.Origin) {
+	if c.spans.Decided(env.Trace, env.Origin) {
 		// The envelope will linger in the buffer until the window closes;
 		// flushLocked stamps the span's End.
 		c.lingering = append(c.lingering, span.Span{

@@ -1,0 +1,171 @@
+package tart_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	tart "repro"
+)
+
+// auditEcho forwards every input; a named struct so checkpoints can
+// gob-capture it (the supervisor checkpoints every engine at launch).
+type auditEcho struct{ N int }
+
+func (e *auditEcho) OnMessage(ctx *tart.Context, _ string, p any) (any, error) {
+	e.N++
+	return nil, ctx.Send("out", p)
+}
+
+// TestMetricsExpositionAudit drives a cluster with every metrics-producing
+// subsystem enabled (supervisor, SLO tracker, adaptive span sampling) and
+// audits the full /metrics exposition: the Prometheus text Content-Type,
+// and a # TYPE plus non-empty # HELP comment for every family emitted —
+// including the cluster-level families appended after the engine's own.
+func TestMetricsExpositionAudit(t *testing.T) {
+	app := tart.NewApp()
+	app.Register("echo", &auditEcho{}, tart.WithConstantCost(5*time.Microsecond))
+	app.SourceInto("in", "echo", "in")
+	app.SinkFrom("out", "echo", "out")
+	app.PlaceAll("main")
+
+	tracker := tart.NewSLOTracker(mustObjectives(t, "p99<1s"), nil)
+	cluster, err := tart.Launch(app,
+		tart.WithDebugHTTP(map[string]string{"main": "127.0.0.1:0"}),
+		tart.WithFlightRecorder(""),
+		tart.WithSupervisor(tart.SupervisorConfig{SuspectAfter: time.Hour}),
+		tart.WithSLO(tracker),
+		tart.WithAdaptiveSpanSampling(tart.AdaptiveSampling{SpansPerSec: 100}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	src, err := cluster.Source("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	count := 0
+	if err := cluster.Sink("out", func(tart.Output) {
+		count++
+		if count == 20 {
+			close(done)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := src.Emit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("outputs did not arrive")
+	}
+	tracker.Observe("e2e", 3*time.Millisecond)
+
+	addr, err := cluster.DebugAddr("main")
+	if err != nil || addr == "" {
+		t.Fatalf("debug addr: %q err=%v", addr, err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	audited, err := auditExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The families this PR added must actually be present in the engine's
+	// exposition, not just correct-if-present.
+	for _, want := range []string{
+		"tart_slo_latency_seconds", "tart_slo_observations_total", "tart_slo_ok",
+		"tart_span_sample_n",
+	} {
+		if !audited[want] {
+			t.Errorf("family %s missing from /metrics exposition", want)
+		}
+	}
+}
+
+// auditExposition parses Prometheus text and fails on any sample whose
+// family lacks a preceding # TYPE with a valid type, or whose # HELP is
+// missing or empty. Returns the set of families seen.
+func auditExposition(r io.Reader) (map[string]bool, error) {
+	validType := map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+	typed := make(map[string]string)
+	helped := make(map[string]string)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("malformed TYPE line: %q", line)
+			}
+			if !validType[parts[3]] {
+				return nil, fmt.Errorf("family %s has invalid type %q", parts[2], parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || strings.TrimSpace(parts[3]) == "" {
+				return nil, fmt.Errorf("empty HELP: %q", line)
+			}
+			helped[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f := strings.TrimSuffix(name, suffix); f != name && typed[f] == "histogram" {
+				fam = f
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return nil, fmt.Errorf("sample %s has no preceding # TYPE (family %s)", name, fam)
+		}
+		if _, ok := helped[fam]; !ok {
+			return nil, fmt.Errorf("family %s has no # HELP", fam)
+		}
+		seen[fam] = true
+	}
+	return seen, sc.Err()
+}
+
+func mustObjectives(t *testing.T, spec string) []tart.SLOObjective {
+	t.Helper()
+	obj, err := tart.ParseSLOObjectives(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}

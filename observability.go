@@ -1,0 +1,329 @@
+package tart
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"time"
+
+	"repro/internal/slo"
+	"repro/internal/trace"
+	"repro/internal/trace/span"
+	"repro/internal/trace/span/otlp"
+	"repro/internal/vt"
+)
+
+// SLOTracker aggregates latency observations per named series into
+// HDR-style log-bucketed histograms and evaluates declarative objectives
+// live; see NewSLOTracker and WithSLO.
+type SLOTracker = slo.Tracker
+
+// SLOObjective is one declarative latency objective ("p99 < 50ms").
+type SLOObjective = slo.Objective
+
+// SLOBudgetPolicy is a windowed error-budget policy evaluated alongside
+// the latency objectives.
+type SLOBudgetPolicy = slo.BudgetPolicy
+
+// SLOReport is a full tracker evaluation: per-series quantiles, verdicts,
+// and budget burn.
+type SLOReport = slo.Report
+
+// SLORow is the live evaluation of one series inside an SLOReport.
+type SLORow = slo.Row
+
+// LatencyHistogram is a point-in-time HDR histogram snapshot (per-series,
+// via SLOTracker.SnapshotOf).
+type LatencyHistogram = slo.Snapshot
+
+// ParseSLOObjectives parses a comma-separated objective list such as
+// "p99<50ms,p999<250ms".
+func ParseSLOObjectives(spec string) ([]SLOObjective, error) { return slo.ParseObjectives(spec) }
+
+// NewSLOTracker creates a tracker evaluating the given objectives against
+// every observed series; budget may be nil.
+func NewSLOTracker(objectives []SLOObjective, budget *SLOBudgetPolicy) *SLOTracker {
+	return slo.NewTracker(objectives, budget)
+}
+
+// WithSLO attaches a live SLO tracker to the cluster's debug surfaces:
+// every engine's /metrics exposition gains the tart_slo_* families and the
+// /slo endpoint serves the tracker's current report as JSON. The tracker
+// itself is fed by the harness (observe end-to-end latencies at the sink);
+// the cluster only publishes it.
+func WithSLO(t *SLOTracker) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.slo = t })
+}
+
+// OTLPStats counts an OTLP exporter's activity (see Cluster.OTLPStats).
+type OTLPStats = otlp.Stats
+
+// WithOTLPExport ships every engine's span trees to an OpenTelemetry
+// collector at url (OTLP/HTTP JSON, e.g. "http://localhost:4318/v1/traces"),
+// batched and gzipped. Implies span tracing. Origin IDs become 128-bit
+// trace IDs deterministically, so the same external input maps to the same
+// trace across the original run, a replay, and the recovered replica.
+// Export is fail-open: a slow or dead collector drops spans (counted in
+// OTLPStats) and can never block the scheduler or transport hot paths.
+func WithOTLPExport(url string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		c.otlpURL = url
+		c.spansOn = true
+	})
+}
+
+// AdaptiveSampling tunes WithAdaptiveSpanSampling. Zero values pick
+// defaults.
+type AdaptiveSampling struct {
+	// SpansPerSec is the target span budget; the controller scales the
+	// sampling modulus N so observed deliveries/sec / N stays under it.
+	// Default 1000.
+	SpansPerSec float64
+	// MinN / MaxN clamp the modulus (defaults 1 and 1<<20).
+	MinN, MaxN uint64
+	// Quantum is the VT grain epoch boundaries are aligned to (default
+	// span.DefaultQuantum, 250ms of virtual time).
+	Quantum Ticks
+	// PollEvery is the controller's observation cadence (default 1s).
+	PollEvery time.Duration
+}
+
+func (a AdaptiveSampling) withDefaults() AdaptiveSampling {
+	if a.SpansPerSec <= 0 {
+		a.SpansPerSec = 1000
+	}
+	if a.MinN == 0 {
+		a.MinN = 1
+	}
+	if a.MaxN == 0 {
+		a.MaxN = 1 << 20
+	}
+	if a.PollEvery <= 0 {
+		a.PollEvery = time.Second
+	}
+	return a
+}
+
+// WithAdaptiveSpanSampling replaces the static head-sampling modulus with a
+// controller that scales 1/N with observed traffic, keeping the span rate
+// near a fixed budget under any arrival schedule. Implies span tracing.
+//
+// Rate changes take effect at VT-quantized epoch boundaries scheduled
+// strictly in the future, and the decision for each origin additionally
+// travels inside its envelopes, so a mid-journey rate change can never
+// half-trace an origin — replay and the recovered replica re-derive the
+// identical decisions from the logged (origin, VT) pairs. Every epoch
+// switch is recorded as a sample-epoch flight event (with WithFlightRecorder)
+// and surfaced in the tart_span_sample_n / tart_span_sample_epochs_total
+// metric families.
+func WithAdaptiveSpanSampling(cfg AdaptiveSampling) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		a := cfg.withDefaults()
+		c.adaptive = &a
+		c.spansOn = true
+	})
+}
+
+// SampleRateEpoch is one adaptive-sampling rate interval: origins emitted
+// at or after Start are head-sampled 1-in-N (until the next epoch).
+type SampleRateEpoch = span.RateEpoch
+
+// SampleEpochs returns the adaptive-sampling epoch history (nil without
+// WithAdaptiveSpanSampling).
+func (c *Cluster) SampleEpochs() []SampleRateEpoch {
+	if c.schedule == nil {
+		return nil
+	}
+	return c.schedule.Epochs()
+}
+
+// OTLPStats reports the OTLP exporter's counters (zero without
+// WithOTLPExport).
+func (c *Cluster) OTLPStats() OTLPStats { return c.otlp.Stats() }
+
+// startObservers launches the cluster-level observability goroutines: the
+// adaptive-sampling controller and the OTLP drain. Called at the end of
+// Launch; stopped (and final-drained) by Stop.
+func (c *Cluster) startObservers() {
+	if c.cfg.adaptive != nil {
+		c.bg.Add(1)
+		go c.adaptiveLoop()
+	}
+	if c.otlp != nil {
+		c.bg.Add(1)
+		go c.otlpLoop()
+	}
+}
+
+// adaptiveLoop is the sampling-rate controller: it polls the cluster-wide
+// delivery rate and proposes a new 1/N whenever the budget-implied modulus
+// (rounded to a power of two for hysteresis) differs from the current one.
+func (c *Cluster) adaptiveLoop() {
+	defer c.bg.Done()
+	a := *c.cfg.adaptive
+	t := time.NewTicker(a.PollEvery)
+	defer t.Stop()
+	lastDelivered := c.totalDelivered()
+	lastAt := time.Now()
+	for {
+		select {
+		case <-c.bgStop:
+			return
+		case <-t.C:
+		}
+		delivered := c.totalDelivered()
+		now := time.Now()
+		dt := now.Sub(lastAt).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		rate := float64(delivered-lastDelivered) / dt
+		lastDelivered, lastAt = delivered, now
+
+		// A sampled delivery yields a handful of spans (queueing, pessimism,
+		// compute, linger); budget against that fan-out, then quantize the
+		// modulus to a power of two so small rate wobbles don't thrash.
+		const spansPerDelivery = 3
+		want := uint64(1)
+		if need := rate * spansPerDelivery / a.SpansPerSec; need > 1 {
+			want = nextPow2(uint64(need))
+		}
+		if want < a.MinN {
+			want = a.MinN
+		}
+		if want > a.MaxN {
+			want = a.MaxN
+		}
+		cur := c.schedule.Current().N
+		if want == cur {
+			continue
+		}
+		ep, ok := c.schedule.Propose(want, c.maxNowVT())
+		if !ok {
+			continue
+		}
+		note := fmt.Sprintf("1/%d -> 1/%d at %.0f deliveries/s", cur, ep.N, rate)
+		c.obsReg.Gauge(trace.MetricSampleN,
+			"Current adaptive head-sampling modulus (1 traced origin in N).").Set(int64(ep.N))
+		c.obsReg.Counter(trace.MetricSampleEpochs,
+			"Adaptive sampling-rate epoch switches proposed by the controller.").Inc()
+		c.mu.Lock()
+		slots := make([]*engineSlot, 0, len(c.engines))
+		for _, s := range c.engines {
+			slots = append(slots, s)
+		}
+		c.mu.Unlock()
+		for _, s := range slots {
+			if s.rec != nil {
+				s.rec.Record(trace.Event{Kind: trace.EvSampleEpoch, VT: ep.Start, Wire: -1, Note: note})
+			}
+		}
+	}
+}
+
+// totalDelivered sums delivered-message counts across all engines
+// (generations included — the counters live in slot-shared Metrics).
+func (c *Cluster) totalDelivered() int64 {
+	c.mu.Lock()
+	slots := make([]*engineSlot, 0, len(c.engines))
+	for _, s := range c.engines {
+		slots = append(slots, s)
+	}
+	c.mu.Unlock()
+	var total int64
+	for _, s := range slots {
+		total += s.eng.Metrics().Snapshot().Delivered
+	}
+	return total
+}
+
+// maxNowVT returns the most advanced live engine clock — the frontier new
+// epoch boundaries must be scheduled beyond.
+func (c *Cluster) maxNowVT() vt.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := vt.Zero
+	for _, s := range c.engines {
+		if s.failed {
+			continue
+		}
+		if t := s.eng.NowVT(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+func nextPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(v-1)
+}
+
+// otlpLoop incrementally drains every collector into the exporter: spans
+// carry monotonically increasing per-collector IDs, so a watermark per
+// engine exports each span exactly once (modulo ring overwrite under
+// extreme backlog, which loses oldest-first — matching the collector's own
+// retention).
+func (c *Cluster) otlpLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	marks := make(map[string]uint64)
+	for {
+		select {
+		case <-c.bgStop:
+			c.drainOTLP(marks)
+			c.otlp.Close()
+			return
+		case <-t.C:
+			c.drainOTLP(marks)
+		}
+	}
+}
+
+func (c *Cluster) drainOTLP(marks map[string]uint64) {
+	c.mu.Lock()
+	slots := make([]*engineSlot, 0, len(c.engines))
+	for _, s := range c.engines {
+		slots = append(slots, s)
+	}
+	c.mu.Unlock()
+	for _, s := range slots {
+		mark := marks[s.name]
+		for _, sp := range s.spans.Spans() {
+			if sp.ID <= mark {
+				continue
+			}
+			c.otlp.Enqueue(sp)
+			if sp.ID > marks[s.name] {
+				marks[s.name] = sp.ID
+			}
+		}
+	}
+}
+
+// extraMetrics composes the cluster-level series appended to every
+// engine's /metrics exposition: supervisor families, adaptive-sampling
+// families, and the live SLO families. Returns nil when none apply so the
+// debug handler skips the extra pass entirely.
+func (c *Cluster) extraMetrics() func(io.Writer) {
+	sup := c.sup
+	obs := c.obsReg
+	tracker := c.cfg.slo
+	if sup == nil && obs == nil && tracker == nil {
+		return nil
+	}
+	return func(w io.Writer) {
+		if sup != nil {
+			_ = sup.reg.WritePrometheus(w)
+		}
+		if obs != nil {
+			_ = obs.WritePrometheus(w)
+		}
+		if tracker != nil {
+			_ = tracker.WriteMetrics(w)
+		}
+	}
+}

@@ -207,6 +207,7 @@ const (
 	EvSourceEmit         = trace.EvSourceEmit
 	EvPeerUp             = trace.EvPeerUp
 	EvPeerDown           = trace.EvPeerDown
+	EvSampleEpoch        = trace.EvSampleEpoch
 )
 
 // MetricFamily is one gathered labeled metric with all of its series; see
