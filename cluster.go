@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/inspect"
 	"repro/internal/msg"
 	"repro/internal/silence"
 	"repro/internal/slo"
@@ -53,6 +54,7 @@ type clusterConfig struct {
 	slo                *slo.Tracker
 	otlpURL            string
 	adaptive           *AdaptiveSampling
+	timetravel         *TimeTravel
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -227,6 +229,11 @@ type Cluster struct {
 	otlp     *otlp.Exporter
 	bg       sync.WaitGroup
 	bgStop   chan struct{}
+
+	// Time travel (see timetravel.go): the rewind-point archive and the
+	// sandboxed replay inspector built over it.
+	arch *inspect.Archive
+	insp *inspect.Inspector
 }
 
 type engineSlot struct {
@@ -301,6 +308,27 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		// appended /metrics families) can reference it; started after.
 		c.sup = newSupervisor(c, *cfg.supervisor)
 	}
+	if cfg.timetravel != nil {
+		// Created before the engines: the archive wraps their logs and tees
+		// their backups, and the debug surface (/rewind) queries the
+		// inspector. Audit logs resolve lazily — slots exist by first use.
+		c.arch = inspect.NewArchive(tp, cfg.timetravel.History)
+		c.insp, err = inspect.New(inspect.Config{
+			Topo:    tp,
+			Specs:   specs,
+			Archive: c.arch,
+			Audits: func(engineName string) *trace.AuditLog {
+				if slot, ok := c.engines[engineName]; ok {
+					return slot.audit
+				}
+				return nil
+			},
+			Timeout: cfg.timetravel.Timeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, name := range tp.Engines() {
 		slot := &engineSlot{
 			name:      name,
@@ -330,6 +358,12 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		if c.arch != nil {
+			// Inside the fault injector: what the injector admits (or
+			// corrupts) is what both the base log and the archive persist,
+			// so replays read exactly what a recovery would.
+			slot.log = c.arch.WrapLog(name, slot.log)
+		}
 		if cfg.walInject != nil {
 			slot.log = cfg.walInject.Wrap(name, slot.log)
 		}
@@ -345,16 +379,20 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	if c.sup != nil {
+	if c.sup != nil || c.arch != nil {
 		// An engine that crashes before its first periodic checkpoint would
 		// otherwise be unrecoverable; with a supervisor in charge nobody is
-		// around to notice, so launch itself establishes the baseline.
+		// around to notice, so launch itself establishes the baseline. Time
+		// travel wants the same baseline: the launch checkpoint is the
+		// archive's first rewind point, making VT 0 onward reconstructible.
 		for _, slot := range c.engines {
 			if _, err := slot.eng.Checkpoint(); err != nil {
 				c.Stop()
 				return nil, fmt.Errorf("tart: initial checkpoint of %q: %w", slot.name, err)
 			}
 		}
+	}
+	if c.sup != nil {
 		c.sup.start()
 	}
 	if cfg.otlpURL != "" {
@@ -454,6 +492,14 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		cfg.SLOInfo = func() any { return tracker.Report() }
 	}
 	cfg.ExtraMetrics = c.extraMetrics()
+	if c.arch != nil {
+		// Checkpoints tee into the rewind-point archive, must be full
+		// captures (an archived point restores standalone), and the debug
+		// listener answers /rewind through the inspector.
+		cfg.Backup = c.arch.Tee(slot.name, slot.store)
+		cfg.ForceFullCheckpoints = true
+		cfg.RewindInfo = c.rewindInfo
+	}
 	return cfg
 }
 

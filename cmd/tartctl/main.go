@@ -11,6 +11,9 @@
 //	tartctl timeline -addr H:P   per-origin critical-path table from /spans
 //	tartctl slo -addr H:P        live SLO verdict table from /slo (exit 1 on violation)
 //	tartctl timeline -file s.json -origin w0#3 -chrome t.json   span tree + Perfetto export
+//	tartctl rewind -addr H:P -component c -vt T       reconstruct c's state at virtual time T
+//	tartctl rewind -addr H:P -component c -diff T1,T2 diff c's state between two virtual times
+//	tartctl bisect -addr H:P -component c   localize the first divergent replayed delivery (exit 1)
 package main
 
 import (
@@ -72,6 +75,20 @@ func main() {
 		asJSON := fs.Bool("json", false, "print the raw report JSON instead of the table")
 		_ = fs.Parse(os.Args[2:])
 		err = sloCmd(*addr, *asJSON)
+	case "rewind":
+		fs := flag.NewFlagSet("rewind", flag.ExitOnError)
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		component := fs.String("component", "", "component to reconstruct")
+		vtStr := fs.String("vt", "", "virtual time (ticks) to reconstruct the state at")
+		diffStr := fs.String("diff", "", "two comma-separated virtual times to diff (vt1,vt2)")
+		_ = fs.Parse(os.Args[2:])
+		err = rewindCmd(*addr, *component, *vtStr, *diffStr)
+	case "bisect":
+		fs := flag.NewFlagSet("bisect", flag.ExitOnError)
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		component := fs.String("component", "", "component to bisect against the live audit chain")
+		_ = fs.Parse(os.Args[2:])
+		err = bisectCmd(*addr, *component)
 	default:
 		usage()
 		os.Exit(2)
@@ -83,7 +100,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline|slo> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline|slo|rewind|bisect> [flags]")
 }
 
 func fig1Topology() (*topo.Topology, error) {

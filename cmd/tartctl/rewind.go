@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	tart "repro"
+)
+
+// rewindCmd reconstructs a component's past state from a running cluster's
+// /rewind debug endpoint (requires WithTimeTravel on the cluster). With -vt
+// it prints the state as of that virtual time; with -diff vt1,vt2 it
+// reconstructs both and reports whether they are identical (audit chain and
+// count agree). Without either it lists the retained rewind points.
+func rewindCmd(addr, component, vtStr, diffStr string) error {
+	if addr == "" {
+		return fmt.Errorf("rewind: -addr is required (engine debug HTTP address)")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	switch {
+	case diffStr != "":
+		a, b, err := parseDiffArg(diffStr)
+		if err != nil {
+			return err
+		}
+		return rewindDiff(client, addr, component, a, b)
+	case vtStr != "":
+		at, err := parseVTArg(vtStr, "-vt")
+		if err != nil {
+			return err
+		}
+		return rewindState(client, addr, component, at)
+	default:
+		return rewindPoints(client, addr)
+	}
+}
+
+func rewindState(client *http.Client, addr, component string, at int64) error {
+	if component == "" {
+		return fmt.Errorf("rewind: -component is required with -vt")
+	}
+	var st tart.RewindState
+	q := url.Values{"op": {"state"}, "component": {component}, "vt": {strconv.FormatInt(at, 10)}}
+	if err := fetchRewind(client, addr, q, &st); err != nil {
+		return err
+	}
+	fmt.Printf("%s at VT %d (clock %d, %d deliveries, audit chain %#x):\n",
+		st.Component, at, int64(st.VT), st.AuditCount, st.AuditChain)
+	fmt.Printf("  %s\n", st.Render)
+	if st.LastDelivery != nil {
+		d := st.LastDelivery
+		fmt.Printf("  last delivery: wire %d seq %d at VT %d (origin %d)\n",
+			d.Wire, d.Seq, int64(d.VT), uint64(d.Origin))
+	}
+	return nil
+}
+
+func rewindDiff(client *http.Client, addr, component string, a, b int64) error {
+	if component == "" {
+		return fmt.Errorf("rewind: -component is required with -diff")
+	}
+	var d tart.RewindDiff
+	q := url.Values{
+		"op":        {"diff"},
+		"component": {component},
+		"vt1":       {strconv.FormatInt(a, 10)},
+		"vt2":       {strconv.FormatInt(b, 10)},
+	}
+	if err := fetchRewind(client, addr, q, &d); err != nil {
+		return err
+	}
+	if d.Identical {
+		fmt.Printf("%s: identical at VT %d and VT %d (%d deliveries, audit chain %#x)\n",
+			d.Component, a, b, d.A.AuditCount, d.A.AuditChain)
+		return nil
+	}
+	fmt.Printf("%s: DIFFERS between VT %d and VT %d (%d vs %d deliveries)\n",
+		d.Component, a, b, d.A.AuditCount, d.B.AuditCount)
+	fmt.Printf("  at VT %-12d %s\n", a, d.A.Render)
+	fmt.Printf("  at VT %-12d %s\n", b, d.B.Render)
+	return nil
+}
+
+func rewindPoints(client *http.Client, addr string) error {
+	var points map[string][]tart.RewindPoint
+	if err := fetchRewind(client, addr, url.Values{"op": {"points"}}, &points); err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		fmt.Println("no rewind points retained (was the cluster launched with WithTimeTravel?)")
+		return nil
+	}
+	engines := make([]string, 0, len(points))
+	for e := range points {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	fmt.Printf("  %-10s %6s %14s %10s\n", "engine", "seq", "vt", "bytes")
+	for _, e := range engines {
+		for _, p := range points[e] {
+			fmt.Printf("  %-10s %6d %14d %10d\n", e, p.Seq, int64(p.VT), p.Bytes)
+		}
+	}
+	return nil
+}
+
+// bisectCmd replays a component from the oldest retained rewind point and
+// binary-searches the replayed deliveries against the live determinism
+// audit chain. Exits 1 when a divergence is found, so it scripts as a
+// determinism check.
+func bisectCmd(addr, component string) error {
+	if addr == "" {
+		return fmt.Errorf("bisect: -addr is required (engine debug HTTP address)")
+	}
+	if component == "" {
+		return fmt.Errorf("bisect: -component is required")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	var rep tart.BisectReport
+	q := url.Values{"op": {"bisect"}, "component": {component}}
+	if err := fetchRewind(client, addr, q, &rep); err != nil {
+		return err
+	}
+	if !rep.Divergence {
+		fmt.Printf("%s: no divergence — %d replayed deliveries match the live audit chain (from rewind point seq %d, %d probes)\n",
+			rep.Component, rep.Compared, rep.FromPoint.Seq, rep.Probes)
+		return nil
+	}
+	fmt.Printf("%s: DIVERGENCE at delivery %d\n", rep.Component, rep.Index)
+	fmt.Printf("  wire %d, seq %d, VT %d, origin %d\n", rep.Wire, rep.Seq, int64(rep.VT), uint64(rep.Origin))
+	fmt.Printf("  live audit chain %#x, replay chain %#x\n", rep.LiveChain, rep.ReplayChain)
+	fmt.Printf("  localized in %d probes over %d compared deliveries (replayed %d from point seq %d)\n",
+		rep.Probes, rep.Compared, rep.Replayed, rep.FromPoint.Seq)
+	return errDivergence
+}
+
+// errDivergence makes `tartctl bisect` exit nonzero after the full report
+// has already been printed, so it scripts as a determinism check.
+var errDivergence = errors.New("determinism divergence detected")
+
+func fetchRewind(client *http.Client, addr string, q url.Values, into any) error {
+	resp, err := client.Get("http://" + addr + "/rewind?" + q.Encode())
+	if err != nil {
+		return fmt.Errorf("rewind: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b := make([]byte, 512)
+		n, _ := resp.Body.Read(b)
+		return fmt.Errorf("rewind: %s: %s", resp.Status, strings.TrimSpace(string(b[:n])))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("rewind: decode /rewind: %w", err)
+	}
+	return nil
+}
+
+func parseVTArg(s, flagName string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rewind: bad %s %q (want virtual-time ticks)", flagName, s)
+	}
+	return n, nil
+}
+
+func parseDiffArg(s string) (int64, int64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("rewind: -diff wants two comma-separated virtual times, got %q", s)
+	}
+	a, err := parseVTArg(strings.TrimSpace(parts[0]), "-diff")
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseVTArg(strings.TrimSpace(parts[1]), "-diff")
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}

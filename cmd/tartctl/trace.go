@@ -70,9 +70,13 @@ func loadTraceEvents(file, addr string, last int) ([]tart.TraceEvent, error) {
 			return nil, fmt.Errorf("trace: %w", err)
 		}
 		defer f.Close()
-		events, err := trace.ReadEvents(f)
+		header, events, err := trace.ReadDump(f)
 		if err != nil {
 			return nil, fmt.Errorf("trace: read %s: %w", file, err)
+		}
+		if header != nil {
+			fmt.Printf("dump of engine %s: %d events retained of %d recorded, covering VT [%d, %d]\n",
+				header.Engine, header.Events, header.Total, int64(header.MinVT), int64(header.MaxVT))
 		}
 		return events, nil
 	case addr != "":

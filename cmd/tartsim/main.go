@@ -13,6 +13,7 @@
 //	tartsim -exp critpath    Critical-path phase shares vs silence strategy (TCP + spans)
 //	tartsim -exp chaos       Chaos seed sweep: exact-replay oracle under supervised failover
 //	tartsim -exp slo         SLO scenario sweep: open-loop arrival shapes vs the latency tail
+//	tartsim -exp rewind      Time-travel rewind latency vs VT checkpoint cadence
 //	tartsim -exp all         Everything above
 package main
 
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|chaos|slo|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|chaos|slo|rewind|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -67,6 +68,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		return chaosExp(3, 12)
 	case "slo":
 		return sloExp(400, 4*time.Second, seed)
+	case "rewind":
+		return rewindExp(seed)
 	case "all":
 		fig2(fig2n, fig2reps, seed)
 		fig3(duration, seed, 0)
@@ -86,6 +89,9 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 			return err
 		}
 		if err := sloExp(400, 4*time.Second, seed); err != nil {
+			return err
+		}
+		if err := rewindExp(seed); err != nil {
 			return err
 		}
 	default:

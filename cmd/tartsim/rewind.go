@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	tart "repro"
+)
+
+// rwCounter is the stateful stage whose past the experiment reconstructs.
+type rwCounter struct {
+	Seen map[int]int
+	Sum  int
+}
+
+func (c *rwCounter) OnMessage(ctx *tart.Context, _ string, p any) (any, error) {
+	if c.Seen == nil {
+		c.Seen = make(map[int]int)
+	}
+	c.Seen[p.(int)]++
+	c.Sum++
+	return nil, ctx.Send("out", p)
+}
+
+type rwRelay struct{ Count int }
+
+func (r *rwRelay) OnMessage(ctx *tart.Context, _ string, p any) (any, error) {
+	r.Count++
+	return nil, ctx.Send("out", p)
+}
+
+// rewindExp measures what the checkpoint cadence buys: the cost of a
+// time-travel reconstruction is one checkpoint restore plus the replay of
+// the inputs between the chosen rewind point and the target VT, so rewind
+// latency should fall roughly linearly with cadence while the archive's
+// retained-point count rises inversely. One fixed workload, re-run per
+// cadence with checkpoints taken at exact VT boundaries; the same
+// deterministic set of probe targets is reconstructed against each archive.
+func rewindExp(seed uint64) error {
+	const (
+		inputs  = 1200
+		spacing = 500 // VT ticks between inputs; total span 600k ticks
+		probes  = 12
+	)
+	fmt.Println("== Rewind latency vs. checkpoint cadence (time-travel inspector) ==")
+	fmt.Println("   reconstruction = restore newest checkpoint <= target + deterministic")
+	fmt.Println("   replay of the gap; the VT cadence bounds that gap by one interval")
+	fmt.Println()
+	fmt.Printf("   workload: %d inputs, %d VT ticks apart (%d ticks total), 2 components\n\n",
+		inputs, spacing, inputs*spacing)
+	fmt.Printf("   %-12s %8s %12s %12s %12s %12s\n",
+		"cadence(VT)", "points", "replayed", "rewind(avg)", "rewind(max)", "restore-only")
+
+	for _, cadence := range []int64{1_000, 10_000, 100_000} {
+		if err := rewindCadence(seed, cadence, inputs, spacing, probes); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	fmt.Println("   replayed = deliveries re-executed per reconstruction (both components);")
+	fmt.Println("   restore-only = rewind targeted exactly at a point (no replay), the floor")
+	return nil
+}
+
+func rewindCadence(seed uint64, cadence int64, inputs, spacing, probes int) error {
+	app := tart.NewApp()
+	// Costs stay well under the input spacing so the virtual clock tracks
+	// the arrival VTs and checkpoints land near the cadence boundaries.
+	app.Register("counter", &rwCounter{}, tart.WithConstantCost(100*time.Nanosecond))
+	app.Register("relay", &rwRelay{}, tart.WithConstantCost(50*time.Nanosecond))
+	app.Connect("counter", "out", "relay", "in")
+	app.SourceInto("in", "counter", "in")
+	app.SinkFrom("out", "relay", "out")
+	app.PlaceAll("main")
+
+	cluster, err := tart.Launch(app,
+		tart.WithManualClock(func() tart.VirtualTime { return 0 }),
+		tart.WithTimeTravel(tart.TimeTravel{History: 1 + inputs*spacing/int(cadence)}),
+	)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	var mu sync.Mutex
+	seen := 0
+	cond := sync.NewCond(&mu)
+	if err := cluster.Sink("out", func(tart.Output) {
+		mu.Lock()
+		seen++
+		cond.Broadcast()
+		mu.Unlock()
+	}); err != nil {
+		return err
+	}
+	await := func(n int) {
+		mu.Lock()
+		for seen < n {
+			cond.Wait()
+		}
+		mu.Unlock()
+	}
+
+	src, err := cluster.Source("in")
+	if err != nil {
+		return err
+	}
+	// Checkpoints land at exact cadence boundaries: quiesce (await) before
+	// each capture so every archive point covers a known prefix.
+	nextCkpt := cadence
+	for i := 1; i <= inputs; i++ {
+		at := tart.VirtualTime(i * spacing)
+		if err := src.EmitAt(at, i%7); err != nil {
+			return err
+		}
+		if int64(at) >= nextCkpt {
+			await(i)
+			if _, err := cluster.Checkpoint("main"); err != nil {
+				return err
+			}
+			nextCkpt += cadence
+		}
+	}
+	await(inputs)
+	points := cluster.RewindPoints()["main"]
+
+	// The same probe targets for every cadence (seeded), uniform over the
+	// covered span but past the first boundary so every probe has a point.
+	rng := rand.New(rand.NewSource(int64(seed) + 1))
+	span := int64(inputs * spacing)
+	var total, worst time.Duration
+	var replayed int
+	for p := 0; p < probes; p++ {
+		target := tart.VirtualTime(cadence + rng.Int63n(span-cadence))
+		start := time.Now()
+		res, err := cluster.RewindRun(tart.RewindOptions{Target: target})
+		if err != nil {
+			return fmt.Errorf("cadence %d target %d: %w", cadence, target, err)
+		}
+		d := time.Since(start)
+		total += d
+		if d > worst {
+			worst = d
+		}
+		replayed += res.Replayed
+	}
+
+	// The floor: reconstruct exactly at the newest point, replaying nothing.
+	last := points[len(points)-1]
+	start := time.Now()
+	if _, err := cluster.RewindRun(tart.RewindOptions{Target: last.VT}); err != nil {
+		return err
+	}
+	floor := time.Since(start)
+
+	fmt.Printf("   %-12d %8d %12.1f %12v %12v %12v\n",
+		cadence, len(points), float64(replayed)/float64(probes),
+		(total / time.Duration(probes)).Round(10*time.Microsecond),
+		worst.Round(10*time.Microsecond), floor.Round(10*time.Microsecond))
+	return nil
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +15,11 @@ import (
 	"time"
 
 	tart "repro"
+)
+
+var (
+	debugAddr = flag.String("debug", "", "serve the debug HTTP surface (and /rewind time travel) on this host:port")
+	linger    = flag.Duration("linger", 0, "keep the cluster alive this long after the demo, so tartctl can inspect it")
 )
 
 // Count is a stateful counter component.
@@ -41,6 +47,7 @@ func (Relay) OnMessage(ctx *tart.Context, port string, payload any) (any, error)
 }
 
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -59,14 +66,30 @@ func run() error {
 
 	// The flight recorder rides along and dumps the ring to
 	// <dir>/node-flight.jsonl automatically after the failover replay.
-	flightDir, err := os.MkdirTemp("", "tart-failover-flight-")
-	if err != nil {
-		return err
+	// TART_ARTIFACT_DIR redirects the dump somewhere a CI job can upload
+	// from when the run fails.
+	flightDir := os.Getenv("TART_ARTIFACT_DIR")
+	if flightDir == "" {
+		var err error
+		flightDir, err = os.MkdirTemp("", "tart-failover-flight-")
+		if err != nil {
+			return err
+		}
 	}
-	cluster, err := tart.Launch(app,
+	opts := []tart.ClusterOption{
 		tart.WithManualClock(func() tart.VirtualTime { return 0 }),
 		tart.WithFlightRecorder(flightDir),
-		tart.WithSpanTracing(1)) // trace every origin: the timeline below needs them all
+		tart.WithSpanTracing(1), // trace every origin: the timeline below needs them all
+	}
+	if *debugAddr != "" {
+		// The debug surface carries /rewind, so a lingering run can be
+		// time-traveled from outside with `tartctl rewind` / `tartctl bisect`.
+		opts = append(opts,
+			tart.WithDebugHTTP(map[string]string{"node": *debugAddr}),
+			tart.WithTimeTravel(tart.TimeTravel{History: 16}),
+		)
+	}
+	cluster, err := tart.Launch(app, opts...)
 	if err != nil {
 		return err
 	}
@@ -197,6 +220,16 @@ func run() error {
 
 	printRecoveryStory(cluster)
 	printSpanTimeline(cluster)
+
+	if *linger > 0 {
+		if addr, err := cluster.DebugAddr("node"); err == nil && addr != "" {
+			fmt.Printf("\nlingering %s with debug surface at %s — try:\n", *linger, addr)
+			fmt.Printf("  tartctl rewind -addr %s -component counter -vt 3500000\n", addr)
+			fmt.Printf("  tartctl rewind -addr %s -component counter -diff 3500000,11000000\n", addr)
+			fmt.Printf("  tartctl bisect -addr %s -component counter\n", addr)
+		}
+		time.Sleep(*linger)
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/msg"
 	"repro/internal/sched"
+	"repro/internal/vt"
 )
 
 // HandlerKind discriminates full vs incremental handler-state captures.
@@ -36,8 +37,12 @@ type ComponentState struct {
 // states (they only grow, so a later buffer capture can only contain more
 // than the component states reference — extras deduplicate on replay).
 type Checkpoint struct {
-	Engine     string
-	Seq        uint64
+	Engine string
+	Seq    uint64
+	// VT is the newest component clock captured in this checkpoint — the
+	// virtual time the checkpoint "is at". A rewind to any target VT >= VT
+	// can start here and replay at most the inputs logged after it.
+	VT         vt.Time
 	Components map[string]ComponentState
 	Buffers    map[msg.WireID][]msg.Envelope
 }

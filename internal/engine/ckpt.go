@@ -43,7 +43,7 @@ func (e *Engine) Checkpoint() (uint64, error) {
 			if st.Clock > maxClock {
 				maxClock = st.Clock
 			}
-			wantFull := !h.shippedFull || h.deltasSince >= fullCheckpointEvery
+			wantFull := e.cfg.ForceFullCheckpoints || !h.shippedFull || h.deltasSince >= fullCheckpointEvery
 			if wantFull {
 				data, err := checkpoint.Capture(h.spec.State)
 				if err != nil {
@@ -83,6 +83,7 @@ func (e *Engine) Checkpoint() (uint64, error) {
 	ck := &checkpoint.Checkpoint{
 		Engine:     e.name,
 		Seq:        e.ckptSeq + 1,
+		VT:         maxClock,
 		Components: comps,
 		Buffers:    e.buffers.snapshot(),
 	}
@@ -91,6 +92,7 @@ func (e *Engine) Checkpoint() (uint64, error) {
 		return 0, fmt.Errorf("engine: apply checkpoint: %w", err)
 	}
 	e.ckptSeq = ck.Seq
+	e.lastCkptVT = maxClock
 	for _, h := range e.comps {
 		cs := comps[h.name]
 		if cs.Kind == checkpoint.HandlerFull {
@@ -112,6 +114,43 @@ func (e *Engine) Checkpoint() (uint64, error) {
 		Note: fmt.Sprintf("%d bytes in %v", bytesTotal, elapsed.Round(time.Microsecond))})
 	e.afterCheckpoint(ck)
 	return ck.Seq, nil
+}
+
+// LastCheckpointVT returns the virtual time of the newest checkpoint this
+// engine has taken (or restored from), vt.Zero before the first.
+func (e *Engine) LastCheckpointVT() vt.Time {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return e.lastCkptVT
+}
+
+// MaxComponentClock returns the newest component clock on this engine —
+// the live VT frontier a rewind would have to replay up to.
+func (e *Engine) MaxComponentClock() vt.Time {
+	m := vt.Zero
+	for _, h := range e.comps {
+		if c := h.sch.Clock(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// refreshCheckpointGauges publishes the rewind-distance bound: the VT of
+// the newest checkpoint, and how far the live clock has run past it (the
+// most replay any time-travel reconstruction has to do). Called at scrape
+// time so the age tracks the live clock, not the last checkpoint tick.
+func (e *Engine) refreshCheckpointGauges() {
+	last := e.LastCheckpointVT()
+	reg := e.metrics.Registry()
+	reg.Gauge(trace.MetricCheckpointLastVT,
+		"Virtual time of the engine's newest checkpoint (0 before the first).").Set(int64(last))
+	age := int64(e.MaxComponentClock()) - int64(last)
+	if age < 0 {
+		age = 0
+	}
+	reg.Gauge(trace.MetricCheckpointAgeVT,
+		"Virtual-time distance from the live clock frontier to the newest checkpoint — the bound on any rewind's replay distance.").Set(age)
 }
 
 // forceFullNext marks every component so the next checkpoint ships full
@@ -247,6 +286,9 @@ func NewFromBackup(cfg Config, store *checkpoint.ReplicaStore) (*Engine, error) 
 			}
 		}
 		h.shippedFull = false // first post-recovery checkpoint ships full state
+		if schedState.Clock > e.lastCkptVT {
+			e.lastCkptVT = schedState.Clock // restored from a checkpoint at this VT
+		}
 	}
 	e.buffers.restore(e.tp, store.Buffers())
 	e.ckptSeq = store.Seq()

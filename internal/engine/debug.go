@@ -47,6 +47,7 @@ func (e *Engine) startDebug() error {
 	mux.HandleFunc("/topology", d.handleTopology)
 	mux.HandleFunc("/supervisor", d.handleSupervisor)
 	mux.HandleFunc("/slo", d.handleSLO)
+	mux.HandleFunc("/rewind", d.handleRewind)
 	if e.cfg.DebugPprof {
 		// Off by default: pprof endpoints can stop the world (heap dumps,
 		// full goroutine stacks), so operators opt in per engine.
@@ -82,6 +83,9 @@ func (e *Engine) DebugAddr() string {
 
 func (d *debugServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Refresh the rewind-distance gauges at scrape time so the checkpoint
+	// age tracks the live clock between checkpoints.
+	d.e.refreshCheckpointGauges()
 	_ = d.e.metrics.Registry().WritePrometheus(w)
 	if d.e.cfg.ExtraMetrics != nil {
 		// Cluster-level series (failover supervisor): distinct family names,
@@ -101,6 +105,27 @@ func (d *debugServer) handleSupervisor(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(d.e.cfg.SupervisorInfo())
+}
+
+// handleRewind serves time-travel queries (state reconstruction, diffs,
+// divergence bisection, archived-point listing) against the cluster's
+// inspector; 404 when time travel is disabled, 400 with the inspector's
+// error text when a query cannot be answered (e.g. the target VT predates
+// the oldest retained rewind point).
+func (d *debugServer) handleRewind(w http.ResponseWriter, r *http.Request) {
+	if d.e.cfg.RewindInfo == nil {
+		http.Error(w, "time travel disabled (enable with WithTimeTravel)", http.StatusNotFound)
+		return
+	}
+	res, err := d.e.cfg.RewindInfo(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
 }
 
 // handleSLO serves the cluster's live SLO evaluation (404 when no SLO

@@ -152,6 +152,26 @@ type Config struct {
 	// supervisor-owned series (failovers, time-to-recover) on every
 	// engine's scrape endpoint. Optional.
 	ExtraMetrics func(w io.Writer)
+	// RewindInfo, when set, serves /rewind queries on the debug listener —
+	// the cluster installs its time-travel inspector here. The handler
+	// receives the raw query values and returns a JSON-encodable result or
+	// an error (surfaced as HTTP 400). Optional.
+	RewindInfo func(q map[string][]string) (any, error)
+	// ForceFullCheckpoints makes every checkpoint carry full handler state
+	// for every component, never deltas. Time travel requires it: an
+	// archived checkpoint must be restorable on its own, without the delta
+	// chain the passive replica accumulated before it.
+	ForceFullCheckpoints bool
+	// DisableCalibration keeps calibrated estimators from proposing *new*
+	// recalibration faults; faults already in the stable log are still
+	// re-applied on restore. Replay sandboxes set this: a fresh proposal
+	// would shift virtual-time stamps away from the run being inspected.
+	DisableCalibration bool
+	// OnDelivered, when set, is invoked synchronously after every message a
+	// hosted component handles, outside the scheduler lock and before that
+	// component's next delivery starts. The time-travel inspector uses it
+	// to observe replayed state transitions. See sched.Config.OnDelivered.
+	OnDelivered func(d sched.Delivery)
 }
 
 // Engine hosts the components placed on one engine name.
@@ -160,22 +180,24 @@ type Engine struct {
 	name string
 	tp   *topo.Topology
 
-	comps    map[string]*hosted
-	byID     map[topo.ComponentID]*hosted
-	sources  map[string]*Source
-	sinksMu  sync.Mutex
-	sinks    map[msg.WireID]func(env msg.Envelope)
-	buffers  *bufferSet
-	peers    *peerSet
-	log      wal.Log
-	metrics  *trace.Metrics
-	rec      *trace.Recorder
-	debug    *debugServer
-	ckptSeq  uint64
-	ckptMu   sync.Mutex
-	epoch    time.Time
-	clock    func() vt.Time
-	restored bool
+	comps   map[string]*hosted
+	byID    map[topo.ComponentID]*hosted
+	sources map[string]*Source
+	sinksMu sync.Mutex
+	sinks   map[msg.WireID]func(env msg.Envelope)
+	buffers *bufferSet
+	peers   *peerSet
+	log     wal.Log
+	metrics *trace.Metrics
+	rec     *trace.Recorder
+	debug   *debugServer
+	ckptSeq uint64
+	ckptMu  sync.Mutex
+	// lastCkptVT is the VT of the newest checkpoint (guarded by ckptMu).
+	lastCkptVT vt.Time
+	epoch      time.Time
+	clock      func() vt.Time
+	restored   bool
 
 	mu      sync.Mutex
 	started bool
@@ -309,21 +331,12 @@ func (e *Engine) host(comp *topo.Component, spec ComponentSpec) error {
 		OnDuplicateCall: func(req msg.Envelope) {
 			e.resendBufferedReply(req)
 		},
+		OnDelivered: e.cfg.OnDelivered,
 	}
 	if cal, ok := spec.Est.(*estimator.Calibrated); ok {
-		h.cal = cal
-		cfg.Calibration = &sched.Calibration{
-			Extract: spec.Extract,
-			Observe: cal.Observe,
-			Commit: func(fault estimator.Fault) error {
-				// Determinism faults must hit stable storage before they
-				// take effect (paper §II.G.4).
-				rec := wal.FaultRecord{Component: comp.Name, Fault: fault}
-				if err := e.log.AppendFault(rec); err != nil {
-					return err
-				}
-				return cal.Apply(fault)
-			},
+		h.cal = cal // restore still installs checkpointed epochs + logged faults
+		if !e.cfg.DisableCalibration {
+			cfg.Calibration = calibrationFor(e, comp.Name, cal, spec)
 		}
 	}
 	sc, err := sched.New(cfg)
@@ -344,6 +357,22 @@ func (e *Engine) host(comp *topo.Component, spec ComponentSpec) error {
 		}
 	}
 	return nil
+}
+
+func calibrationFor(e *Engine, name string, cal *estimator.Calibrated, spec ComponentSpec) *sched.Calibration {
+	return &sched.Calibration{
+		Extract: spec.Extract,
+		Observe: cal.Observe,
+		Commit: func(fault estimator.Fault) error {
+			// Determinism faults must hit stable storage before they
+			// take effect (paper §II.G.4).
+			rec := wal.FaultRecord{Component: name, Fault: fault}
+			if err := e.log.AppendFault(rec); err != nil {
+				return err
+			}
+			return cal.Apply(fault)
+		},
+	}
 }
 
 // Name returns the engine name.
@@ -538,7 +567,7 @@ func (e *Engine) dumpFlight() {
 	if err != nil {
 		return
 	}
-	_ = e.rec.WriteJSON(f)
+	_ = e.rec.WriteDump(f, e.name)
 	_ = f.Close()
 }
 

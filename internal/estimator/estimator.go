@@ -208,6 +208,24 @@ func NewCalibrated(initial *Linear, cfg Config) *Calibrated {
 	}
 }
 
+// Clone returns an independent copy of the estimator: same extractor,
+// bound, tuning, and a deep copy of the applied epoch history, but none of
+// the pending sample window. A replay sandbox clones the live estimator so
+// replayed deliveries are costed with the same fault history without the
+// sandbox's Apply calls mutating the live epochs.
+func (c *Calibrated) Clone() *Calibrated {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := &Calibrated{extract: c.extract, min: c.min, cfg: c.cfg}
+	cp.epochs = make([]epoch, len(c.epochs))
+	for i, e := range c.epochs {
+		coeffs := make([]float64, len(e.Coeffs))
+		copy(coeffs, e.Coeffs)
+		cp.epochs[i] = epoch{From: e.From, Coeffs: coeffs}
+	}
+	return cp
+}
+
 // Cost implements Estimator. The coefficients in effect at virtual time
 // `at` are used, so a component replaying past a logged fault reproduces
 // the pre-fault estimates exactly.

@@ -95,6 +95,16 @@ type Config struct {
 	// received again (a recovering caller re-issuing a call); the engine
 	// uses it to re-send the buffered reply. Optional.
 	OnDuplicateCall func(req msg.Envelope)
+	// OnDelivered, when set, is invoked synchronously after every handled
+	// message, outside the scheduler lock and before this component's next
+	// delivery can start (the worker parks until it returns, so the handler
+	// state is stable while the callback runs). The delivery's audit chain
+	// and payload digest are computed even when no audit log is attached.
+	// Like Calibration, the hook forces one delivery per step; hot paths
+	// without it are unchanged. The callback must not call this scheduler's
+	// Deliver. The time-travel inspector uses it to observe replayed state
+	// transitions delivery by delivery.
+	OnDelivered func(d Delivery)
 	// ReferenceMerge selects the O(W) linear-scan merge instead of the
 	// indexed-heap fast path. The two are bit-for-bit equivalent (enforced
 	// by the differential property test); the scan is kept as the oracle
@@ -107,6 +117,25 @@ type Config struct {
 
 // ErrStopped is returned by blocking operations when the scheduler stops.
 var ErrStopped = errors.New("sched: scheduler stopped")
+
+// Delivery describes one handled message, as reported to
+// Config.OnDelivered. ClockAfter is the component clock immediately after
+// the handler (its deterministic post-state VT); Index and Chain are the
+// delivery's position and rolling FNV value in the determinism audit chain
+// (§II.G.4), computed whether or not an audit log is attached.
+type Delivery struct {
+	Component  string       `json:"component"`
+	Wire       msg.WireID   `json:"wire"`
+	Seq        uint64       `json:"seq"`
+	VT         vt.Time      `json:"vt"`
+	Dequeue    vt.Time      `json:"dequeueVT"`
+	ClockAfter vt.Time      `json:"clockAfterVT"`
+	Origin     msg.OriginID `json:"origin"`
+	Hops       uint32       `json:"hops,omitempty"`
+	Index      uint64       `json:"auditIndex"`
+	Chain      uint64       `json:"auditChain"`
+	Digest     uint64       `json:"payloadDigest"`
+}
 
 // Scheduler runs one component deterministically. Create with New, start
 // with Run, stop with Stop.

@@ -184,27 +184,39 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		s.inFlight = d
 		port := in.w.ToPort
 		replayed := false
-		if s.audit != nil {
+		hook := s.cfg.OnDelivered
+		var hookD Delivery
+		if s.audit != nil || hook != nil {
 			// Fold the delivery into the rolling audit chain and verify it
 			// against the recorded chain (first run records; replay and the
 			// recovered replica compare, §II.G.4). On divergence, resync to
 			// the recorded value so one corrupted message yields exactly one
-			// fault instead of cascading down the rest of the chain.
+			// fault instead of cascading down the rest of the chain. The
+			// chain is also folded — without recording or verification —
+			// when only the OnDelivered hook wants it (replay sandboxes run
+			// audit-free but bisect over the chain values).
 			digest := trace.PayloadDigest(q.env.Payload)
 			s.auditChain = trace.ChainNext(s.auditChain, candWire, q.env.Seq, q.env.VT, digest)
 			idx := s.auditCount
 			s.auditCount++
-			if !spanPop.IsZero() {
-				// A delivery index already inside the recorded audit window
-				// is a post-failover re-delivery: its spans are recovery
-				// work, not first-run latency.
-				replayed = s.audit.Witnessed(s.comp.Name, idx)
+			if s.audit != nil {
+				if !spanPop.IsZero() {
+					// A delivery index already inside the recorded audit window
+					// is a post-failover re-delivery: its spans are recovery
+					// work, not first-run latency.
+					replayed = s.audit.Witnessed(s.comp.Name, idx)
+				}
+				if ok, want := s.audit.Check(s.comp.Name, idx, q.env.VT, s.auditChain); !ok {
+					s.auditChain = want
+					s.cfg.Metrics.AddDeterminismFault()
+					s.detFaults.Inc()
+					s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops, Note: "replay divergence: delivered payload differs from recorded chain"})
+				}
 			}
-			if ok, want := s.audit.Check(s.comp.Name, idx, q.env.VT, s.auditChain); !ok {
-				s.auditChain = want
-				s.cfg.Metrics.AddDeterminismFault()
-				s.detFaults.Inc()
-				s.rec.Record(trace.Event{Kind: trace.EvDeterminismFault, VT: q.env.VT, Component: s.comp.Name, Wire: candWire, MsgSeq: q.env.Seq, Origin: q.env.Origin, Hops: q.env.Hops, Note: "replay divergence: delivered payload differs from recorded chain"})
+			if hook != nil {
+				hookD = Delivery{Component: s.comp.Name, Wire: candWire, Seq: q.env.Seq,
+					VT: q.env.VT, Dequeue: d, Origin: q.env.Origin, Hops: q.env.Hops,
+					Index: idx, Chain: s.auditChain, Digest: digest}
 			}
 		}
 		s.mu.Unlock()
@@ -266,11 +278,18 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		delivered = true
 		n++
 
-		if s.cfg.Calibration != nil {
+		if hook != nil || s.cfg.Calibration != nil {
 			// Calibration commits determinism faults through the WAL (disk
-			// IO) and must run unlocked; fall back to one delivery per step.
+			// IO), and OnDelivered reads handler state; both must run
+			// unlocked — fall back to one delivery per step.
+			hookD.ClockAfter = s.clock
 			s.mu.Unlock()
-			s.observe(q.env.Payload, vt.FromDuration(elapsed))
+			if hook != nil {
+				hook(hookD)
+			}
+			if s.cfg.Calibration != nil {
+				s.observe(q.env.Payload, vt.FromDuration(elapsed))
+			}
 			return delivered, control
 		}
 		if n >= maxDeliveryBatch || s.quietWaiters > 0 || s.stopped {

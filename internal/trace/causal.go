@@ -60,20 +60,28 @@ type OriginCount struct {
 	Events int
 }
 
-// ReadEvents parses flight-recorder events from r, accepting both formats
-// the runtime produces: the JSONL stream written by Recorder.WriteJSON
-// (one event per line) and the indented JSON array served by the debug
-// /trace endpoint.
+// ReadEvents parses flight-recorder events from r, accepting every format
+// the runtime produces: the headered JSONL dump written by
+// Recorder.WriteDump, the plain JSONL stream of Recorder.WriteJSON, and the
+// indented JSON array served by the debug /trace endpoint. A dump header is
+// skipped transparently; use ReadDump to get it.
 func ReadEvents(r io.Reader) ([]Event, error) {
+	_, events, err := ReadDump(r)
+	return events, err
+}
+
+// ReadDump parses a flight dump, returning its header when the stream has
+// one (nil for headerless JSONL and for /trace arrays) plus the events.
+func ReadDump(r io.Reader) (*DumpHeader, []Event, error) {
 	br := bufio.NewReader(r)
 	// Peek past leading whitespace to sniff the format.
 	for {
 		b, err := br.Peek(1)
 		if err != nil {
 			if err == io.EOF {
-				return nil, nil
+				return nil, nil, nil
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
 			br.ReadByte()
@@ -82,12 +90,13 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		if b[0] == '[' {
 			var events []Event
 			if err := json.NewDecoder(br).Decode(&events); err != nil {
-				return nil, fmt.Errorf("trace: parsing event array: %w", err)
+				return nil, nil, fmt.Errorf("trace: parsing event array: %w", err)
 			}
-			return events, nil
+			return nil, events, nil
 		}
 		break
 	}
+	var header *DumpHeader
 	var events []Event
 	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -98,14 +107,23 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		if len(text) == 0 {
 			continue
 		}
+		if line == 1 {
+			// The first line may be a dump header; events never carry the
+			// "dump" marker field, so this is unambiguous.
+			var h DumpHeader
+			if err := json.Unmarshal(text, &h); err == nil && h.Dump == DumpMarker {
+				header = &h
+				continue
+			}
+		}
 		var e Event
 		if err := json.Unmarshal(text, &e); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return events, nil
+	return header, events, nil
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/vt"
 )
 
 // DefaultRecorderCapacity is the ring size used when a non-positive
@@ -119,6 +121,60 @@ func (r *Recorder) Reset() {
 func (r *Recorder) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpMarker is the value of DumpHeader.Dump that identifies a header line
+// in a flight dump (events never carry a "dump" field).
+const DumpMarker = "tart-flight"
+
+// DumpHeader is the first line of a flight dump written by WriteDump: the
+// dump's provenance and, crucially, the covered virtual-time range. The
+// recorder is a ring, so a dump covers [MinVT, MaxVT] — tooling checks a VT
+// of interest against that range before trusting the dump's story, and the
+// time-travel CLI uses it to say whether a rewind target is still in the
+// ring. MinVT/MaxVT are vt.Never when no retained event carries a VT.
+type DumpHeader struct {
+	Dump   string  `json:"dump"`
+	Engine string  `json:"engine,omitempty"`
+	Events int     `json:"events"`
+	Total  uint64  `json:"total"`
+	MinVT  vt.Time `json:"minVT"`
+	MaxVT  vt.Time `json:"maxVT"`
+}
+
+// Covers reports whether t falls inside the dump's VT range.
+func (h *DumpHeader) Covers(t vt.Time) bool {
+	return h != nil && h.MinVT != vt.Never && t >= h.MinVT && t <= h.MaxVT
+}
+
+// WriteDump writes a header line carrying the covered VT range followed by
+// the retained events as JSONL. ReadEvents skips the header transparently;
+// ReadDump returns it.
+func (r *Recorder) WriteDump(w io.Writer, engine string) error {
+	events := r.Events()
+	h := DumpHeader{Dump: DumpMarker, Engine: engine, Events: len(events),
+		Total: r.Total(), MinVT: vt.Never, MaxVT: vt.Never}
+	for _, ev := range events {
+		if ev.VT < vt.Zero {
+			continue // control events stamped Never don't bound coverage
+		}
+		if h.MinVT == vt.Never || ev.VT < h.MinVT {
+			h.MinVT = ev.VT
+		}
+		if ev.VT > h.MaxVT {
+			h.MaxVT = ev.VT
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for _, ev := range events {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}

@@ -522,6 +522,10 @@ const (
 	MetricSupFailovers  = "tart_supervisor_failovers_total"
 	MetricTimeToRecover = "tart_time_to_recover_seconds"
 	MetricChaosEvents   = "tart_chaos_events_total"
+	// Rewind-distance bounds (time-travel inspector): the VT of the newest
+	// checkpoint and how far the live clock has run past it.
+	MetricCheckpointLastVT = "tart_checkpoint_last_vt"
+	MetricCheckpointAgeVT  = "tart_checkpoint_age_vt"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -15,14 +16,16 @@ var ErrInjected = errors.New("wal: injected disk fault")
 // Because sources log an input before advancing their sequence cursor, a
 // failed append is retry-safe — the driver sees the error and re-emits.
 type Injector struct {
-	mu       sync.Mutex
-	pending  map[string]int // engine -> remaining appends to fail
-	injected uint64
+	mu        sync.Mutex
+	pending   map[string]int // engine -> remaining appends to fail
+	corrupt   map[string]int // engine -> remaining input appends to corrupt
+	injected  uint64
+	corrupted uint64
 }
 
 // NewInjector returns an Injector with no faults armed.
 func NewInjector() *Injector {
-	return &Injector{pending: make(map[string]int)}
+	return &Injector{pending: make(map[string]int), corrupt: make(map[string]int)}
 }
 
 // Wrap returns a Log view of inner whose appends consult the injector's
@@ -42,11 +45,57 @@ func (i *Injector) FailAppends(engine string, n int) {
 	i.mu.Unlock()
 }
 
+// CorruptInputs arms n additional *silent payload corruptions* for the
+// named engine's wrapped log(s): the next n input appends succeed, but the
+// persisted record carries a mutated payload. The live delivery is built
+// from the caller's payload argument and stays intact — only what a replay
+// reads back differs. This is the seeded-divergence primitive the
+// time-travel bisection test uses: replay delivers the corrupted payload,
+// its audit chain forks from the live record at exactly that (wire, seq,
+// VT), and bisect must pin it.
+func (i *Injector) CorruptInputs(engine string, n int) {
+	if n <= 0 {
+		return
+	}
+	i.mu.Lock()
+	i.corrupt[engine] += n
+	i.mu.Unlock()
+}
+
 // Injected reports how many appends have been failed so far.
 func (i *Injector) Injected() uint64 {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.injected
+}
+
+// Corrupted reports how many input payloads have been silently corrupted.
+func (i *Injector) Corrupted() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.corrupted
+}
+
+// takeCorrupt consumes one armed corruption for the engine.
+func (i *Injector) takeCorrupt(engine string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.corrupt[engine] <= 0 {
+		return false
+	}
+	i.corrupt[engine]--
+	i.corrupted++
+	return true
+}
+
+// corruptPayload mutates a payload in a way that survives gob round-trips:
+// strings get a marker prefix, everything else is replaced by a marked
+// string rendering.
+func corruptPayload(p any) any {
+	if s, ok := p.(string); ok {
+		return "\x00corrupt:" + s
+	}
+	return fmt.Sprintf("\x00corrupt:%v", p)
 }
 
 // take consumes one armed failure for the engine, reporting whether the
@@ -74,6 +123,9 @@ var _ Log = (*faultLog)(nil)
 func (l *faultLog) AppendInput(rec InputRecord) error {
 	if l.inj.take(l.engine) {
 		return ErrInjected
+	}
+	if l.inj.takeCorrupt(l.engine) {
+		rec.Payload = corruptPayload(rec.Payload)
 	}
 	return l.inner.AppendInput(rec)
 }

@@ -95,6 +95,7 @@ func TestMetricsExpositionAudit(t *testing.T) {
 	for _, want := range []string{
 		"tart_slo_latency_seconds", "tart_slo_observations_total", "tart_slo_ok",
 		"tart_span_sample_n",
+		"tart_checkpoint_last_vt", "tart_checkpoint_age_vt",
 	} {
 		if !audited[want] {
 			t.Errorf("family %s missing from /metrics exposition", want)

@@ -153,6 +153,10 @@ func (c *Cluster) startObservers() {
 		c.bg.Add(1)
 		go c.otlpLoop()
 	}
+	if c.cfg.timetravel != nil && c.cfg.timetravel.CheckpointEveryVT > 0 {
+		c.bg.Add(1)
+		go c.vtCheckpointLoop()
+	}
 }
 
 // adaptiveLoop is the sampling-rate controller: it polls the cluster-wide
