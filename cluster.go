@@ -55,6 +55,7 @@ type clusterConfig struct {
 	otlpURL            string
 	adaptive           *AdaptiveSampling
 	timetravel         *TimeTravel
+	loopbackFast       bool
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -75,6 +76,20 @@ func WithTCP(addrs map[string]string) ClusterOption {
 // flushing every envelope immediately.
 func WithFlushDelay(d time.Duration) ClusterOption {
 	return clusterOptionFunc(func(c *clusterConfig) { c.flushDelay = d })
+}
+
+// WithLoopbackFastPath opts a TCP cluster into the in-process transport
+// fast path: a dial that targets another engine's listener in the same
+// process hands envelopes across by pointer (no serialization, no socket)
+// under a copy-on-write payload discipline — payloads must not be mutated
+// after Send, the same rule the in-process transport already imposes.
+// Replay and the determinism audit are unaffected: payload digests are
+// computed from the registered codec, never from the transport
+// representation, so socket and loopback hops produce identical
+// (wire, seq, VT, digest) tuples. Dials to listeners in other processes
+// fall back to real sockets automatically. No effect without WithTCP.
+func WithLoopbackFastPath() ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.loopbackFast = true })
 }
 
 // WithCheckpointEvery sets the soft-checkpoint cadence (the paper's
@@ -452,11 +467,21 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 	if c.cfg.flightDir != "" {
 		dump = filepath.Join(c.cfg.flightDir, slot.name+"-flight.jsonl")
 	}
+	// The cluster pre-creates each engine's metric registry so the
+	// transport meter (wire-level byte/batch/fallback families) lands in
+	// the same registry the engine's own series use — the families render
+	// on /metrics even before (or without) any TCP traffic.
+	metrics := &trace.Metrics{}
+	metrics.SetRegistry(trace.NewRegistry(trace.L("engine", slot.name)))
+	meter := transport.NewMeter(metrics.Registry())
 	tr := c.cfg.transport
-	if t, ok := tr.(transport.TCP); ok && slot.spans != nil {
+	if t, ok := tr.(transport.TCP); ok {
 		// Per-engine transport copy so outgoing connections record their
-		// coalescing-linger spans into this engine's collector.
+		// coalescing-linger spans into this engine's collector and their
+		// wire-level metrics into this engine's registry.
 		t.Spans = slot.spans
+		t.Meter = meter
+		t.Loopback = c.cfg.loopbackFast
 		tr = t
 	}
 	if c.cfg.netem != nil {
@@ -467,6 +492,7 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		Name:               slot.name,
 		Topo:               c.tp,
 		Components:         comps,
+		Metrics:            metrics,
 		Transport:          tr,
 		Addrs:              c.cfg.addrs,
 		Log:                slot.log,

@@ -1,8 +1,10 @@
 package load
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,10 +23,36 @@ type Req struct {
 	Sent int64 // UnixNano at emit
 }
 
+// reqPayloadID is Req's stable binary payload type ID; recorded in logs
+// and wire frames, never renumber.
+const reqPayloadID = tart.FirstUserPayloadID
+
 var registerOnce sync.Once
 
 func registerReq() {
-	registerOnce.Do(func() { _ = tart.RegisterPayload(Req{}) })
+	registerOnce.Do(func() {
+		_ = tart.RegisterPayload(Req{}) // gob fallback for checkpoints
+		_ = tart.RegisterBinaryPayload(tart.PayloadCodec{
+			ID:   reqPayloadID,
+			Type: reflect.TypeOf(Req{}),
+			Append: func(dst []byte, v any) ([]byte, error) {
+				r := v.(Req)
+				var b [16]byte
+				binary.LittleEndian.PutUint64(b[0:8], r.Key)
+				binary.LittleEndian.PutUint64(b[8:16], uint64(r.Sent))
+				return append(dst, b[:]...), nil
+			},
+			Decode: func(b []byte) (any, error) {
+				if len(b) != 16 {
+					return nil, fmt.Errorf("load: Req payload: %d bytes, want 16", len(b))
+				}
+				return Req{
+					Key:  binary.LittleEndian.Uint64(b[0:8]),
+					Sent: int64(binary.LittleEndian.Uint64(b[8:16])),
+				}, nil
+			},
+		})
+	})
 }
 
 // Gate routes each request by key to one of the shards. A named struct

@@ -1,0 +1,403 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vt"
+)
+
+// Binary wire format (version 1).
+//
+// The gob codec pays a reflective walk, a fresh allocation, and (for
+// self-contained frames) a type-name preamble per envelope. At merge-path
+// speeds (~1µs/msg) that makes the codec the off-box bottleneck, so
+// envelopes crossing engines are framed with a fixed-layout little-endian
+// binary format instead:
+//
+//	frame := u32 LE body length | body
+//	body  := version u8 | kind i8 | trace i8 | flags u8 |
+//	         wire u32 | seq u64 | vt u64 | promise u64 |
+//	         callID u64 | origin u64 | hops u32 | payload-type u32 |
+//	         payload bytes
+//
+// Every envelope scalar lives at a fixed offset, so encoding is a handful
+// of stores into a pooled buffer and decoding is a handful of loads — zero
+// heap allocations per envelope in steady state. Payloads are encoded by a
+// registry of per-type codecs keyed by stable numeric IDs: built-in codecs
+// cover nil and the common scalar payloads, applications register codecs
+// for their own types with RegisterBinaryPayload, and any type without one
+// falls back to a self-describing gob blob (payload type gobFallbackID) so
+// existing applications keep working — they just keep paying gob prices,
+// visible in the tart_codec_fallbacks_total counter.
+//
+// The layout is pinned by a golden-file test (testdata/frames_v1.golden);
+// any change to it must bump BinaryVersion and keep decode support for
+// prior versions.
+
+// BinaryVersion is the frame-format version stamped on every encoded body.
+const BinaryVersion = 1
+
+const (
+	// frameLenSize is the length prefix preceding every body.
+	frameLenSize = 4
+	// headerSize is the fixed body prefix before payload bytes.
+	headerSize = 56
+
+	offVersion = 0
+	offKind    = 1
+	offTrace   = 2
+	offFlags   = 3
+	offWire    = 4
+	offSeq     = 8
+	offVT      = 16
+	offPromise = 24
+	offCallID  = 32
+	offOrigin  = 40
+	offHops    = 48
+	offPayType = 52
+)
+
+// flagGobFallback marks a body whose payload is a self-describing gob blob
+// rather than a registered binary encoding. Redundant with the payload-type
+// field (gobFallbackID); kept as a flag so wire sniffers can spot fallback
+// traffic without the payload-type table.
+const flagGobFallback = 0x01
+
+// MaxFrameSize bounds a single envelope frame (header + payload). The read
+// path rejects any frame whose declared length exceeds it before buffering
+// a single payload byte, so a hostile or corrupt length prefix cannot
+// drive unbounded allocation.
+const MaxFrameSize = 16 << 20
+
+// Built-in payload type IDs. IDs below FirstUserPayloadID are reserved;
+// applications register their own codecs at FirstUserPayloadID and above.
+const (
+	nilPayloadID    uint32 = 0
+	gobFallbackID   uint32 = 1
+	stringPayloadID uint32 = 2
+	bytesPayloadID  uint32 = 3
+	intPayloadID    uint32 = 4
+	int64PayloadID  uint32 = 5
+	uint64PayloadID uint32 = 6
+	floatPayloadID  uint32 = 7
+	boolPayloadID   uint32 = 8
+
+	// FirstUserPayloadID is the smallest payload type ID available to
+	// RegisterBinaryPayload.
+	FirstUserPayloadID uint32 = 64
+)
+
+// ErrShortFrame reports that the input does not yet hold one complete
+// frame: the caller should read more bytes and retry. It is the only
+// decode error that is not fatal to the stream.
+var ErrShortFrame = errors.New("msg: short frame")
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds
+// MaxFrameSize — a corrupt or hostile stream.
+var ErrFrameTooLarge = errors.New("msg: frame exceeds size limit")
+
+// PayloadCodec describes the binary encoding of one concrete payload type.
+//
+// Append and Decode must be deterministic (identical values encode to
+// identical bytes — the determinism audit chain digests these bytes) and
+// Decode must not retain the input slice: it is a view into a transport
+// read buffer that is reused after the call returns. Decode may return
+// pooled values; ownership passes to the caller.
+type PayloadCodec struct {
+	// ID is the stable numeric type ID carried on the wire. It must be
+	// >= FirstUserPayloadID and must never be renumbered once recorded in
+	// logs or checkpoints.
+	ID uint32
+	// Type is the concrete Go type this codec handles.
+	Type reflect.Type
+	// Append appends v's encoding to dst and returns the extended slice.
+	Append func(dst []byte, v any) ([]byte, error)
+	// Decode decodes one payload from data (exactly the bytes Append
+	// produced) without retaining data.
+	Decode func(data []byte) (any, error)
+}
+
+// binRegistry is the immutable payload-codec table; registration copies
+// and swaps it so the encode/decode hot paths read it lock-free.
+type binRegistry struct {
+	byType map[reflect.Type]*PayloadCodec
+	byID   map[uint32]*PayloadCodec
+}
+
+var binReg atomic.Pointer[binRegistry]
+
+func init() {
+	binReg.Store(&binRegistry{
+		byType: map[reflect.Type]*PayloadCodec{},
+		byID:   map[uint32]*PayloadCodec{},
+	})
+}
+
+// RegisterBinaryPayload registers a zero-alloc binary codec for one
+// payload type under a stable numeric ID. Registering the identical
+// (ID, Type) pair again is a no-op; conflicting registrations (same ID for
+// a different type, or same type under a different ID) are errors. Types
+// without a binary codec still work — they ride the self-describing gob
+// fallback (register them with RegisterPayload as before).
+func RegisterBinaryPayload(pc PayloadCodec) error {
+	if pc.ID < FirstUserPayloadID {
+		return fmt.Errorf("msg: payload ID %d is reserved (use >= %d)", pc.ID, FirstUserPayloadID)
+	}
+	if pc.Type == nil || pc.Append == nil || pc.Decode == nil {
+		return errors.New("msg: payload codec needs Type, Append, and Decode")
+	}
+	registerMu.Lock()
+	defer registerMu.Unlock()
+	old := binReg.Load()
+	if prev, ok := old.byID[pc.ID]; ok {
+		if prev.Type == pc.Type {
+			return nil // idempotent re-registration
+		}
+		return fmt.Errorf("msg: payload ID %d already registered for %v", pc.ID, prev.Type)
+	}
+	if prev, ok := old.byType[pc.Type]; ok {
+		return fmt.Errorf("msg: payload type %v already registered as ID %d", pc.Type, prev.ID)
+	}
+	nw := &binRegistry{
+		byType: make(map[reflect.Type]*PayloadCodec, len(old.byType)+1),
+		byID:   make(map[uint32]*PayloadCodec, len(old.byID)+1),
+	}
+	for k, v := range old.byType {
+		nw.byType[k] = v
+	}
+	for k, v := range old.byID {
+		nw.byID[k] = v
+	}
+	cp := pc
+	nw.byType[pc.Type] = &cp
+	nw.byID[pc.ID] = &cp
+	binReg.Store(nw)
+	return nil
+}
+
+// Buffer pool: encode scratch shared by the transport, the WAL, and the
+// digest path. Buffers start at 4 KiB and grow with use; oversized ones
+// (beyond 1 MiB) are dropped instead of pooled so one giant payload does
+// not pin memory forever.
+
+const (
+	pooledBufStart = 4 << 10
+	pooledBufMax   = 1 << 20
+)
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, pooledBufStart)
+		return &b
+	},
+}
+
+// GetBuffer borrows a zero-length encode buffer from the shared pool.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer returns a buffer to the pool.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > pooledBufMax {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// AppendPayloadCodec appends v's registered binary encoding (built-in or
+// RegisterBinaryPayload'd) to dst. ok is false when v has no binary codec
+// — the caller decides between the gob fallback (wire frames) and a
+// formatted digest (audit chains; gob bytes are not deterministic for
+// maps, so the digest path must not fall back to them).
+func AppendPayloadCodec(dst []byte, v any) (out []byte, id uint32, ok bool, err error) {
+	switch p := v.(type) {
+	case nil:
+		return dst, nilPayloadID, true, nil
+	case string:
+		return append(dst, p...), stringPayloadID, true, nil
+	case []byte:
+		return append(dst, p...), bytesPayloadID, true, nil
+	case int:
+		return binary.LittleEndian.AppendUint64(dst, uint64(int64(p))), intPayloadID, true, nil
+	case int64:
+		return binary.LittleEndian.AppendUint64(dst, uint64(p)), int64PayloadID, true, nil
+	case uint64:
+		return binary.LittleEndian.AppendUint64(dst, p), uint64PayloadID, true, nil
+	case float64:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(p)), floatPayloadID, true, nil
+	case bool:
+		if p {
+			return append(dst, 1), boolPayloadID, true, nil
+		}
+		return append(dst, 0), boolPayloadID, true, nil
+	}
+	if pc, found := binReg.Load().byType[reflect.TypeOf(v)]; found {
+		out, err = pc.Append(dst, v)
+		if err != nil {
+			return dst, 0, false, fmt.Errorf("msg: payload codec %d append: %w", pc.ID, err)
+		}
+		return out, pc.ID, true, nil
+	}
+	return dst, 0, false, nil
+}
+
+// AppendPayload appends v's payload encoding to dst, using the registered
+// binary codec when one exists and the self-describing gob fallback
+// otherwise. fallback reports which path was taken.
+func AppendPayload(dst []byte, v any) (out []byte, id uint32, fallback bool, err error) {
+	out, id, ok, err := AppendPayloadCodec(dst, v)
+	if err != nil {
+		return dst, 0, false, err
+	}
+	if ok {
+		return out, id, false, nil
+	}
+	out, err = appendGobPayload(dst, v)
+	if err != nil {
+		return dst, 0, false, err
+	}
+	return out, gobFallbackID, true, nil
+}
+
+// DecodePayload decodes one payload of the given wire type ID from data.
+// data must hold exactly the payload bytes; the returned value never
+// retains it. fallback reports a gob-fallback payload.
+func DecodePayload(id uint32, data []byte) (v any, fallback bool, err error) {
+	switch id {
+	case nilPayloadID:
+		if len(data) != 0 {
+			return nil, false, errors.New("msg: nil payload carries bytes")
+		}
+		return nil, false, nil
+	case gobFallbackID:
+		v, err = decodeGobPayload(data)
+		return v, true, err
+	case stringPayloadID:
+		return string(data), false, nil
+	case bytesPayloadID:
+		b := make([]byte, len(data))
+		copy(b, data)
+		return b, false, nil
+	case intPayloadID:
+		if len(data) != 8 {
+			return nil, false, errors.New("msg: bad int payload length")
+		}
+		return int(int64(binary.LittleEndian.Uint64(data))), false, nil
+	case int64PayloadID:
+		if len(data) != 8 {
+			return nil, false, errors.New("msg: bad int64 payload length")
+		}
+		return int64(binary.LittleEndian.Uint64(data)), false, nil
+	case uint64PayloadID:
+		if len(data) != 8 {
+			return nil, false, errors.New("msg: bad uint64 payload length")
+		}
+		return binary.LittleEndian.Uint64(data), false, nil
+	case floatPayloadID:
+		if len(data) != 8 {
+			return nil, false, errors.New("msg: bad float64 payload length")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(data)), false, nil
+	case boolPayloadID:
+		if len(data) != 1 || data[0] > 1 {
+			return nil, false, errors.New("msg: bad bool payload")
+		}
+		return data[0] == 1, false, nil
+	}
+	if pc, found := binReg.Load().byID[id]; found {
+		v, err = pc.Decode(data)
+		if err != nil {
+			return nil, false, fmt.Errorf("msg: payload codec %d decode: %w", id, err)
+		}
+		return v, false, nil
+	}
+	return nil, false, fmt.Errorf("msg: unknown payload type ID %d", id)
+}
+
+// AppendFrame appends env as one length-prefixed binary frame to dst and
+// returns the extended slice. fallback reports that the payload rode the
+// gob fallback. On error dst is returned unchanged (the frame boundary
+// stays intact, so a failed encode does not poison a shared stream).
+func AppendFrame(dst []byte, env Envelope) (out []byte, fallback bool, err error) {
+	base := len(dst)
+	out = append(dst, make([]byte, frameLenSize+headerSize)...)
+	body := out[base+frameLenSize:]
+	body[offVersion] = BinaryVersion
+	body[offKind] = byte(env.Kind)
+	body[offTrace] = byte(env.Trace)
+	binary.LittleEndian.PutUint32(body[offWire:], uint32(env.Wire))
+	binary.LittleEndian.PutUint64(body[offSeq:], env.Seq)
+	binary.LittleEndian.PutUint64(body[offVT:], uint64(env.VT))
+	binary.LittleEndian.PutUint64(body[offPromise:], uint64(env.Promise))
+	binary.LittleEndian.PutUint64(body[offCallID:], env.CallID)
+	binary.LittleEndian.PutUint64(body[offOrigin:], uint64(env.Origin))
+	binary.LittleEndian.PutUint32(body[offHops:], env.Hops)
+
+	out, id, fallback, err := AppendPayload(out, env.Payload)
+	if err != nil {
+		return dst, false, err
+	}
+	bodyLen := len(out) - base - frameLenSize
+	if bodyLen > MaxFrameSize {
+		return dst, false, ErrFrameTooLarge
+	}
+	// The appends above may have moved the backing array; re-slice.
+	body = out[base+frameLenSize:]
+	binary.LittleEndian.PutUint32(out[base:], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(body[offPayType:], id)
+	if fallback {
+		body[offFlags] |= flagGobFallback
+	}
+	return out, fallback, nil
+}
+
+// DecodeFrame decodes the first length-prefixed frame in data. n is the
+// number of bytes consumed. ErrShortFrame means data does not yet hold a
+// complete frame (read more and retry); every other error is fatal to the
+// stream. The returned envelope never retains data.
+func DecodeFrame(data []byte) (env Envelope, n int, fallback bool, err error) {
+	if len(data) < frameLenSize {
+		return Envelope{}, 0, false, ErrShortFrame
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(data))
+	if bodyLen > MaxFrameSize {
+		return Envelope{}, 0, false, ErrFrameTooLarge
+	}
+	if bodyLen < headerSize {
+		return Envelope{}, 0, false, fmt.Errorf("msg: frame body %d bytes, below header minimum", bodyLen)
+	}
+	if len(data) < frameLenSize+bodyLen {
+		return Envelope{}, 0, false, ErrShortFrame
+	}
+	body := data[frameLenSize : frameLenSize+bodyLen]
+	if body[offVersion] != BinaryVersion {
+		return Envelope{}, 0, false, fmt.Errorf("msg: unsupported frame version %d", body[offVersion])
+	}
+	kind := Kind(int8(body[offKind]))
+	if kind < KindData || kind > KindHello {
+		return Envelope{}, 0, false, fmt.Errorf("msg: invalid envelope kind %d", int8(body[offKind]))
+	}
+	env = Envelope{
+		Wire:    WireID(int32(binary.LittleEndian.Uint32(body[offWire:]))),
+		Kind:    kind,
+		Seq:     binary.LittleEndian.Uint64(body[offSeq:]),
+		VT:      vt.Time(int64(binary.LittleEndian.Uint64(body[offVT:]))),
+		Promise: vt.Time(int64(binary.LittleEndian.Uint64(body[offPromise:]))),
+		CallID:  binary.LittleEndian.Uint64(body[offCallID:]),
+		Origin:  OriginID(binary.LittleEndian.Uint64(body[offOrigin:])),
+		Hops:    binary.LittleEndian.Uint32(body[offHops:]),
+		Trace:   int8(body[offTrace]),
+	}
+	id := binary.LittleEndian.Uint32(body[offPayType:])
+	env.Payload, fallback, err = DecodePayload(id, body[headerSize:])
+	if err != nil {
+		return Envelope{}, 0, false, err
+	}
+	return env, frameLenSize + bodyLen, fallback, nil
+}

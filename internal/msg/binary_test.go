@@ -1,0 +1,327 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/vt"
+)
+
+// testBlob is a payload with a registered binary codec whose Decode hands
+// out pooled values, making the full encode→decode cycle allocation-free
+// (interface boxing of a pointer does not allocate).
+type testBlob struct{ B []byte }
+
+var testBlobPool = sync.Pool{New: func() any { return &testBlob{B: make([]byte, 0, 1024)} }}
+
+const testBlobID = FirstUserPayloadID + 900
+
+func registerTestBlob(t *testing.T) {
+	t.Helper()
+	err := RegisterBinaryPayload(PayloadCodec{
+		ID:   testBlobID,
+		Type: reflect.TypeOf(&testBlob{}),
+		Append: func(dst []byte, v any) ([]byte, error) {
+			return append(dst, v.(*testBlob).B...), nil
+		},
+		Decode: func(data []byte) (any, error) {
+			b := testBlobPool.Get().(*testBlob)
+			b.B = append(b.B[:0], data...)
+			return b, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryFrameRoundTripAllKinds(t *testing.T) {
+	payloads := []any{
+		nil, "hello", []byte{1, 2, 3}, int(-42), int64(1 << 40),
+		uint64(7), float64(3.25), true, false,
+	}
+	kinds := []Kind{KindData, KindSilence, KindProbe, KindCallRequest,
+		KindCallReply, KindReplayRequest, KindAck, KindHello}
+	for _, k := range kinds {
+		for i, p := range payloads {
+			in := Envelope{
+				Wire: WireID(i + 1), Kind: k, Seq: uint64(i * 7), VT: 1000 + vtT(i),
+				Promise: 2000 + vtT(i), CallID: uint64(i), Payload: p,
+				Origin: OriginID(uint64(i) << 32), Hops: uint32(i), Trace: TraceSampled,
+			}
+			frame, fellBack, err := AppendFrame(nil, in)
+			if err != nil {
+				t.Fatalf("kind %v payload %T: %v", k, p, err)
+			}
+			if fellBack {
+				t.Errorf("builtin payload %T rode the gob fallback", p)
+			}
+			out, n, _, err := DecodeFrame(frame)
+			if err != nil {
+				t.Fatalf("decode kind %v payload %T: %v", k, p, err)
+			}
+			if n != len(frame) {
+				t.Errorf("consumed %d of %d bytes", n, len(frame))
+			}
+			if !reflect.DeepEqual(out, in) {
+				t.Errorf("round trip mismatch:\n in %+v\nout %+v", in, out)
+			}
+		}
+	}
+}
+
+func vtT(i int) vt.Time { return vt.Time(i) * 13 }
+
+func TestBinaryFrameStreamSplitting(t *testing.T) {
+	// Many frames back to back decode out of one buffer, the way the bulk
+	// transport reader consumes them.
+	var stream []byte
+	const count = 50
+	for i := 0; i < count; i++ {
+		var err error
+		stream, _, err = AppendFrame(stream, NewData(WireID(i%5), uint64(i+1), vtT(i), fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	off, got := 0, 0
+	for off < len(stream) {
+		env, n, _, err := DecodeFrame(stream[off:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", got, err)
+		}
+		if env.Seq != uint64(got+1) {
+			t.Errorf("frame %d seq = %d", got, env.Seq)
+		}
+		off += n
+		got++
+	}
+	if got != count {
+		t.Errorf("decoded %d frames, want %d", got, count)
+	}
+	// A split inside the last frame reports short (read more), not corrupt.
+	half := stream[:len(stream)-1]
+	off = 0
+	for {
+		_, n, _, err := DecodeFrame(half[off:])
+		if err != nil {
+			if !errors.Is(err, ErrShortFrame) {
+				t.Fatalf("truncated tail: %v", err)
+			}
+			break
+		}
+		off += n
+	}
+}
+
+func TestBinaryFrameHostileInputs(t *testing.T) {
+	valid, _, err := AppendFrame(nil, NewData(1, 1, 1, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("oversized length", func(t *testing.T) {
+		hostile := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(hostile, MaxFrameSize+1)
+		if _, _, _, err := DecodeFrame(hostile); !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("err = %v, want ErrFrameTooLarge", err)
+		}
+		// Critically: the oversized check fires even when the declared body
+		// has not arrived — a 4-byte prefix must be enough to reject, so the
+		// reader never grows its buffer toward a hostile length.
+		if _, _, _, err := DecodeFrame(hostile[:4]); !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("prefix-only err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("undersized body", func(t *testing.T) {
+		hostile := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(hostile, headerSize-1)
+		if _, _, _, err := DecodeFrame(hostile); err == nil || errors.Is(err, ErrShortFrame) {
+			t.Errorf("err = %v, want fatal", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		hostile := append([]byte(nil), valid...)
+		hostile[frameLenSize+offVersion] = 99
+		if _, _, _, err := DecodeFrame(hostile); err == nil {
+			t.Error("bad version accepted")
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		hostile := append([]byte(nil), valid...)
+		hostile[frameLenSize+offKind] = 0xEE
+		if _, _, _, err := DecodeFrame(hostile); err == nil {
+			t.Error("bad kind accepted")
+		}
+	})
+	t.Run("unknown payload type", func(t *testing.T) {
+		hostile := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(hostile[frameLenSize+offPayType:], 999999)
+		if _, _, _, err := DecodeFrame(hostile); err == nil {
+			t.Error("unknown payload type accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(valid); cut++ {
+			if _, _, _, err := DecodeFrame(valid[:cut]); !errors.Is(err, ErrShortFrame) {
+				t.Errorf("cut %d: err = %v, want ErrShortFrame", cut, err)
+			}
+		}
+	})
+}
+
+func TestRegisterBinaryPayloadConflicts(t *testing.T) {
+	registerTestBlob(t)
+	// Identical re-registration is a no-op.
+	registerTestBlob(t)
+	nop := func(dst []byte, v any) ([]byte, error) { return dst, nil }
+	dec := func(data []byte) (any, error) { return nil, nil }
+	if err := RegisterBinaryPayload(PayloadCodec{ID: 1, Type: reflect.TypeOf(0), Append: nop, Decode: dec}); err == nil {
+		t.Error("reserved ID accepted")
+	}
+	if err := RegisterBinaryPayload(PayloadCodec{ID: testBlobID, Type: reflect.TypeOf("x"), Append: nop, Decode: dec}); err == nil {
+		t.Error("conflicting type for taken ID accepted")
+	}
+	if err := RegisterBinaryPayload(PayloadCodec{ID: testBlobID + 1, Type: reflect.TypeOf(&testBlob{}), Append: nop, Decode: dec}); err == nil {
+		t.Error("second ID for registered type accepted")
+	}
+}
+
+func TestRegisteredPayloadRoundTrip(t *testing.T) {
+	registerTestBlob(t)
+	in := NewData(2, 3, 400, &testBlob{B: []byte("payload bytes")})
+	frame, fellBack, err := AppendFrame(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fellBack {
+		t.Error("registered payload rode the gob fallback")
+	}
+	out, _, _, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.Payload.(*testBlob)
+	if !ok {
+		t.Fatalf("payload type = %T", out.Payload)
+	}
+	if !bytes.Equal(got.B, []byte("payload bytes")) {
+		t.Errorf("payload = %q", got.B)
+	}
+}
+
+// TestCodecZeroAlloc is the acceptance-criteria assertion: steady-state
+// encode and decode of an envelope through the binary codec performs zero
+// heap allocations (pooled frame buffer, registered pooled payload).
+func TestCodecZeroAlloc(t *testing.T) {
+	registerTestBlob(t)
+	payload := &testBlob{B: bytes.Repeat([]byte{0xAB}, 64)}
+	env := NewData(3, 1, 500, payload)
+	// Warm the pools.
+	for i := 0; i < 4; i++ {
+		buf := GetBuffer()
+		out, _, err := AppendFrame((*buf)[:0], env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, _, err := DecodeFrame(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testBlobPool.Put(dec.Payload.(*testBlob))
+		*buf = out[:0]
+		PutBuffer(buf)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf := GetBuffer()
+		out, _, err := AppendFrame((*buf)[:0], env)
+		if err != nil {
+			panic(err)
+		}
+		dec, _, _, err := DecodeFrame(out)
+		if err != nil {
+			panic(err)
+		}
+		testBlobPool.Put(dec.Payload.(*testBlob))
+		*buf = out[:0]
+		PutBuffer(buf)
+	})
+	if allocs != 0 && !raceEnabled {
+		t.Errorf("allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestBufferPoolDropsOversized(t *testing.T) {
+	big := make([]byte, 0, pooledBufMax+1)
+	PutBuffer(&big) // must not be pooled
+	small := GetBuffer()
+	if cap(*small) > pooledBufMax {
+		t.Error("oversized buffer returned to pool")
+	}
+	PutBuffer(small)
+}
+
+// TestFrameLayoutGolden pins wire format v1 with a golden file: any byte
+// change to the layout fails here and requires a BinaryVersion bump (plus
+// decode support for v1) rather than a silent incompatibility.
+func TestFrameLayoutGolden(t *testing.T) {
+	envs := []Envelope{
+		{Wire: 1, Kind: KindData, Seq: 1, VT: 100, Payload: "hello", Origin: 7, Hops: 2, Trace: TraceSampled},
+		{Wire: 2, Kind: KindSilence, Seq: 9, VT: 200, Promise: 450, Trace: TraceUnsampled},
+		{Wire: 3, Kind: KindProbe, Promise: 300},
+		{Wire: 4, Kind: KindCallRequest, Seq: 5, VT: 400, CallID: 99, Payload: int64(-12345)},
+		{Wire: 5, Kind: KindCallReply, Seq: 6, VT: 500, CallID: 99, Payload: []byte{0xDE, 0xAD}},
+		{Wire: 6, Kind: KindReplayRequest, Seq: 42},
+		{Wire: 7, Kind: KindAck, Seq: 10},
+		{Wire: 8, Kind: KindHello, Seq: 3, Payload: "engine-b"},
+		{Wire: 9, Kind: KindData, Seq: 2, VT: 600, Payload: uint64(1 << 63)},
+		{Wire: 10, Kind: KindData, Seq: 3, VT: 700, Payload: 2.5},
+		{Wire: 11, Kind: KindData, Seq: 4, VT: 800, Payload: true},
+		{Wire: 12, Kind: KindData, Seq: 5, VT: 900, Payload: nil},
+	}
+	var stream []byte
+	for _, e := range envs {
+		var err error
+		stream, _, err = AppendFrame(stream, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := hex.Dump(stream)
+	path := filepath.Join("testdata", "frames_v1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("frame layout drifted from %s — if intentional, bump BinaryVersion and keep v1 decode\ngot:\n%s", path, got)
+	}
+	// The golden stream must also still decode to the same envelopes.
+	off := 0
+	for i, e := range envs {
+		dec, n, _, err := DecodeFrame(stream[off:])
+		if err != nil {
+			t.Fatalf("golden frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(dec, e) {
+			t.Errorf("golden frame %d mismatch:\n in %+v\nout %+v", i, e, dec)
+		}
+		off += n
+	}
+}

@@ -6,12 +6,18 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
-// Payloads crossing engine boundaries (and entering checkpoints or logs)
-// are encoded with encoding/gob. Concrete payload types must be registered
-// once before use; RegisterPayload is safe to call multiple times with the
-// same type and from multiple goroutines.
+// Two codecs coexist. The binary codec (binary.go) is the hot path: fixed
+// little-endian header, registered payload types by numeric ID, pooled
+// buffers, zero steady-state allocations. encoding/gob remains as (a) the
+// self-describing fallback for payload types without a registered binary
+// codec, and (b) the legacy stream format the WAL still understands for
+// log files written before the binary frames landed. Concrete payload
+// types crossing either codec's fallback path must be registered once
+// with RegisterPayload; RegisterBinaryPayload additionally buys a type
+// out of the fallback entirely.
 
 var registerMu sync.Mutex
 
@@ -32,8 +38,61 @@ func RegisterPayload(v any) (err error) {
 	return nil
 }
 
-// Encoder writes length-delimited gob-encoded envelopes to a stream.
-// It is safe for use by one goroutine at a time.
+// gobBox wraps a payload for the self-describing fallback: gob can encode
+// an interface field (recording the concrete type's registered name) but
+// not a bare interface value.
+type gobBox struct{ V any }
+
+// fallbackEncodes and fallbackDecodes count envelopes whose payload rode
+// the gob fallback instead of a registered binary codec, process-wide.
+// Per-engine transport fallbacks are additionally metered on the
+// connection (tart_codec_fallbacks_total).
+var (
+	fallbackEncodes atomic.Uint64
+	fallbackDecodes atomic.Uint64
+)
+
+// FallbackCounts reports the process-wide gob-fallback encode and decode
+// totals — the envelopes still paying reflective codec prices. A nonzero
+// rate under steady load means a hot payload type is missing a
+// RegisterBinaryPayload registration.
+func FallbackCounts() (encodes, decodes uint64) {
+	return fallbackEncodes.Load(), fallbackDecodes.Load()
+}
+
+// appendWriter adapts append-style encoding to io.Writer for the gob
+// fallback.
+type appendWriter struct{ b []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// appendGobPayload appends a self-contained gob encoding of v to dst.
+func appendGobPayload(dst []byte, v any) ([]byte, error) {
+	fallbackEncodes.Add(1)
+	w := appendWriter{b: dst}
+	if err := gob.NewEncoder(&w).Encode(gobBox{V: v}); err != nil {
+		return dst, fmt.Errorf("msg: gob-fallback payload encode: %w", err)
+	}
+	return w.b, nil
+}
+
+// decodeGobPayload decodes a payload produced by appendGobPayload.
+func decodeGobPayload(data []byte) (any, error) {
+	fallbackDecodes.Add(1)
+	var box gobBox
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("msg: gob-fallback payload decode: %w", err)
+	}
+	return box.V, nil
+}
+
+// Encoder writes length-delimited gob-encoded envelopes to a stream. It is
+// the legacy stream codec (the binary frame format supersedes it on the
+// transport hot path); kept for tools and tests that want a
+// self-describing stream. Safe for use by one goroutine at a time.
 type Encoder struct {
 	enc *gob.Encoder
 }
@@ -73,18 +132,33 @@ func (d *Decoder) Decode() (Envelope, error) {
 	return env, nil
 }
 
-// Marshal encodes a single envelope to bytes. Each call uses a fresh gob
-// stream, so the result is self-contained (suitable for logs and replay
-// buffers, at the cost of repeating type descriptors).
+// Marshal encodes a single envelope to a self-contained byte slice
+// (suitable for logs and replay buffers). It encodes through the pooled
+// binary codec — registered payload types pay no reflective walk and no
+// per-call type preamble; unregistered ones ride the gob fallback inside
+// the frame.
 func Marshal(env Envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := NewEncoder(&buf).Encode(env); err != nil {
+	buf := GetBuffer()
+	out, _, err := AppendFrame((*buf)[:0], env)
+	if err != nil {
+		PutBuffer(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	res := make([]byte, len(out))
+	copy(res, out)
+	*buf = out[:0]
+	PutBuffer(buf)
+	return res, nil
 }
 
 // Unmarshal decodes a single envelope produced by Marshal.
 func Unmarshal(data []byte) (Envelope, error) {
-	return NewDecoder(bytes.NewReader(data)).Decode()
+	env, n, _, err := DecodeFrame(data)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if n != len(data) {
+		return Envelope{}, fmt.Errorf("msg: %d trailing bytes after envelope", len(data)-n)
+	}
+	return env, nil
 }

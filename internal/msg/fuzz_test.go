@@ -1,0 +1,85 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame drives hostile bytes through the read path. The
+// invariants: never panic, never consume more bytes than offered, never
+// allocate toward a hostile declared length (enforced structurally —
+// DecodeFrame rejects MaxFrameSize overruns from the 4-byte prefix alone),
+// and any successfully decoded envelope must re-encode and re-decode to
+// the same envelope (the codec is self-consistent on whatever it accepts).
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: valid frames of every payload family, plus classic
+	// corruptions. The seeds also run under plain `go test`, so CI exercises
+	// the corpus without a fuzz engine.
+	seedEnvs := []Envelope{
+		NewData(1, 1, 100, "seed string"),
+		NewData(2, 2, 200, []byte{1, 2, 3}),
+		NewData(3, 3, 300, int(-5)),
+		NewData(4, 4, 400, int64(1<<40)),
+		NewData(5, 5, 500, uint64(99)),
+		NewData(6, 6, 600, 1.5),
+		NewData(7, 7, 700, true),
+		NewData(8, 8, 800, nil),
+		NewSilence(9, 900),
+		{Kind: KindHello, Payload: "engine-a", Seq: 3},
+	}
+	for _, e := range seedEnvs {
+		frame, _, err := AppendFrame(nil, e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])           // torn tail
+		f.Add(frame[:frameLenSize])           // header only
+		f.Add(append([]byte{}, frame[4:]...)) // missing length prefix
+	}
+	oversized := make([]byte, 8)
+	binary.LittleEndian.PutUint32(oversized, MaxFrameSize+1)
+	f.Add(oversized)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x00}, frameLenSize+headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, n, _, err := DecodeFrame(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("consumed %d bytes alongside error %v", n, err)
+			}
+			if len(data) >= frameLenSize {
+				if declared := int(binary.LittleEndian.Uint32(data)); declared > MaxFrameSize && !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("declared %d accepted with %v, want ErrFrameTooLarge", declared, err)
+				}
+			}
+			return
+		}
+		if n < frameLenSize+headerSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Self-consistency: what the decoder accepts, the encoder must
+		// reproduce and the decoder accept again, identically.
+		frame, _, err := AppendFrame(nil, env)
+		if err != nil {
+			t.Fatalf("re-encode of accepted envelope: %v", err)
+		}
+		again, m, _, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if m != len(frame) {
+			t.Fatalf("re-decode consumed %d of %d", m, len(frame))
+		}
+		if again.Wire != env.Wire || again.Kind != env.Kind || again.Seq != env.Seq ||
+			again.VT != env.VT || again.Promise != env.Promise ||
+			again.CallID != env.CallID || again.Origin != env.Origin ||
+			again.Hops != env.Hops || again.Trace != env.Trace {
+			t.Fatalf("re-decode header drifted:\n 1st %+v\n 2nd %+v", env, again)
+		}
+	})
+}

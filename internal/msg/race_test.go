@@ -1,0 +1,8 @@
+//go:build race
+
+package msg
+
+// raceEnabled reports whether the race detector is compiled in; it defeats
+// sync.Pool reuse and charges bookkeeping allocations, so the zero-alloc
+// assertion is meaningless under -race.
+const raceEnabled = true

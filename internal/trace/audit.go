@@ -18,12 +18,35 @@ import (
 // of divergence — a determinism fault — rather than inferring trouble from
 // diverged outputs much later.
 
-// PayloadDigest hashes a payload into a 64-bit digest. It formats the value
-// with %v, which is deterministic for the gob-transportable payloads TART
-// carries (fmt sorts map keys), and hashes the bytes with FNV-1a. Collisions
-// are possible but irrelevant at audit scale: the chain needs to notice a
-// corrupted replay, not resist an adversary.
+// PayloadDigest hashes a payload into a 64-bit digest. Payloads with a
+// registered binary codec (including the built-in scalar payloads) are
+// digested over their codec bytes — a deterministic function of the value,
+// hashed with an inlined FNV-1a loop over a pooled buffer, so the hot path
+// allocates nothing. Everything else is formatted with %v (deterministic
+// for the gob-transportable payloads TART carries; fmt sorts map keys) and
+// hashed the same way. Gob bytes are never digested: gob's map encoding is
+// ordering-dependent, and the digest must be a pure function of the value
+// so that socket, loopback, and in-process hops — and replay — all agree.
+// Collisions are possible but irrelevant at audit scale: the chain needs
+// to notice a corrupted replay, not resist an adversary.
 func PayloadDigest(v any) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	buf := msg.GetBuffer()
+	b, _, ok, err := msg.AppendPayloadCodec((*buf)[:0], v)
+	if ok && err == nil {
+		h := uint64(offset64)
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+		*buf = b[:0]
+		msg.PutBuffer(buf)
+		return h
+	}
+	msg.PutBuffer(buf)
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%v", v)
 	return h.Sum64()

@@ -526,6 +526,14 @@ const (
 	// checkpoint and how far the live clock has run past it.
 	MetricCheckpointLastVT = "tart_checkpoint_last_vt"
 	MetricCheckpointAgeVT  = "tart_checkpoint_age_vt"
+	// Wire-level transport families (per-engine, observed on TCP
+	// connections): bytes on the socket by direction, the scatter-gather
+	// batch size distribution (frames coalesced into one writev), and
+	// envelopes whose payload rode the self-describing gob fallback instead
+	// of a registered binary codec.
+	MetricTransportBytes  = "tart_transport_bytes_total"
+	MetricFramesPerWritev = "tart_transport_frames_per_writev"
+	MetricCodecFallbacks  = "tart_codec_fallbacks_total"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler

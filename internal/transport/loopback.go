@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Loopback fast path: when both endpoints of a wire live in the same
+// process — which is exactly what a TCP cluster bound to 127.0.0.1
+// addresses looks like in tests, simulations, and co-located deployments —
+// serializing an envelope onto a kernel socket only to decode it back a
+// few microseconds later is pure overhead. A loopback-enabled TCP
+// transport therefore registers its listeners in a process-global table
+// keyed by bound address; a loopback-enabled Dial that hits the table
+// hands the listener an in-process channel endpoint (the same inprocConn
+// the Inproc transport uses) instead of opening a socket.
+//
+// Envelopes cross by pointer with a copy-on-write payload discipline:
+// Send transfers ownership of the payload, and neither side may mutate it
+// afterwards. This is the discipline the engine already obeys for the
+// Inproc transport, so the fast path is behavior-preserving above the
+// transport layer. Determinism is unaffected — the audit chain digests a
+// payload through its registered codec (trace.PayloadDigest), not through
+// whatever representation the transport happened to use, so a run that
+// mixes socket and loopback hops produces identical (wire, seq, VT,
+// digest) tuples.
+//
+// The fast path is strictly opt-in (TCP.Loopback) and self-disabling:
+// dials fall back to a real socket when the table misses, the listener is
+// closing, or its injection queue is full.
+
+var (
+	loopbackMu        sync.Mutex
+	loopbackListeners = make(map[string]*tcpListener)
+)
+
+// enableLoopback registers l for in-process dial interception and starts
+// the accept pump that lets Accept select across socket and injected
+// connections. requested is the pre-resolution listen address ("" or
+// ":0"-style addresses register only the resolved form).
+func (l *tcpListener) enableLoopback(requested string) {
+	l.injected = make(chan Conn, 16)
+	l.sockets = make(chan Conn)
+	l.stop = make(chan struct{})
+	l.pumpDone = make(chan struct{})
+
+	keys := []string{l.nl.Addr().String()}
+	if requested != "" && requested != keys[0] {
+		if _, port, err := net.SplitHostPort(requested); err == nil && port != "0" && port != "" {
+			keys = append(keys, requested)
+		}
+	}
+	loopbackMu.Lock()
+	for _, k := range keys {
+		if _, taken := loopbackListeners[k]; !taken {
+			loopbackListeners[k] = l
+			l.loopKeys = append(l.loopKeys, k)
+		}
+	}
+	loopbackMu.Unlock()
+
+	go l.acceptPump()
+}
+
+// acceptPump forwards real socket accepts to the select in Accept. It
+// exits on the first accept error, leaving the error sticky for every
+// later Accept call.
+func (l *tcpListener) acceptPump() {
+	for {
+		nc, err := l.nl.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				l.pumpErr = ErrClosed
+			} else {
+				l.pumpErr = err
+			}
+			close(l.pumpDone)
+			return
+		}
+		c := newTCPConn(nc, l.flushDelay, l.spans, l.meter)
+		select {
+		case l.sockets <- c:
+		case <-l.stop:
+			_ = c.Close()
+			return
+		}
+	}
+}
+
+func unregisterLoopback(l *tcpListener) {
+	loopbackMu.Lock()
+	for _, k := range l.loopKeys {
+		if loopbackListeners[k] == l {
+			delete(loopbackListeners, k)
+		}
+	}
+	loopbackMu.Unlock()
+}
+
+// dialLoopback attempts the in-process fast path for addr. ok is false
+// when no co-located loopback listener is registered there (or it is
+// closing / its injection queue is full) — the caller falls back to a
+// real socket dial.
+func dialLoopback(addr string) (Conn, bool) {
+	loopbackMu.Lock()
+	l := loopbackListeners[addr]
+	loopbackMu.Unlock()
+	if l == nil {
+		return nil, false
+	}
+	local, remote := newInprocPair()
+	select {
+	case l.injected <- remote:
+		return local, true
+	case <-l.stop:
+		return nil, false
+	default:
+		return nil, false
+	}
+}

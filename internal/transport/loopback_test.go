@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
+
+// acceptOne runs Accept in the background so a test can dial concurrently.
+func acceptOne(t testing.TB, l Listener) <-chan Conn {
+	t.Helper()
+	ch := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	return ch
+}
+
+func TestLoopbackFastPathHandsEnvelopesInProcess(t *testing.T) {
+	tr := TCP{Loopback: true}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+
+	dialed, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialed.Close()
+	if _, ok := dialed.(*inprocConn); !ok {
+		t.Fatalf("loopback dial returned %T, want *inprocConn", dialed)
+	}
+	server := <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	defer server.Close()
+	if _, ok := server.(*inprocConn); !ok {
+		t.Fatalf("loopback accept returned %T, want *inprocConn", server)
+	}
+
+	// Both directions carry envelopes, including a payload type with no
+	// binary codec — the fast path never serializes, so even unregistered
+	// payloads cross intact.
+	type unserializable struct{ F func() } // would fail any codec
+	in := msg.NewData(3, 1, 100, &unserializable{F: func() {}})
+	if err := dialed.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Wire != in.Wire || got.Seq != in.Seq || got.VT != in.VT {
+		t.Errorf("envelope header diverged: %+v vs %+v", got, in)
+	}
+	if got.Payload != in.Payload {
+		t.Error("fast path did not hand the payload across by pointer")
+	}
+	reply := msg.NewData(4, 1, 200, "pong")
+	if err := server.Send(reply); err != nil {
+		t.Fatal(err)
+	}
+	if back, err := dialed.Recv(); err != nil || back.Payload != "pong" {
+		t.Errorf("reverse direction: %+v, %v", back, err)
+	}
+}
+
+func TestLoopbackDigestsMatchSocketPath(t *testing.T) {
+	// The determinism requirement: a payload delivered over a real socket
+	// and the same payload delivered by pointer must produce the same audit
+	// digest, because PayloadDigest is a function of the value, not of the
+	// transport representation.
+	payloads := []any{"hello", []byte{1, 2, 3}, int64(42), nil}
+
+	socket := TCP{FlushDelay: -1}
+	ls, err := socket.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	acc := acceptOne(t, ls)
+	sc, err := socket.Dial(ls.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	srv := <-acc
+	defer srv.Close()
+
+	loop := TCP{Loopback: true}
+	ll, err := loop.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ll.Close()
+	lacc := acceptOne(t, ll)
+	lc, err := loop.Dial(ll.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	lsrv := <-lacc
+	defer lsrv.Close()
+
+	for i, p := range payloads {
+		env := msg.NewData(1, uint64(i+1), 100, p)
+		if err := sc.Send(env); err != nil {
+			t.Fatal(err)
+		}
+		viaSocket, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lc.Send(env); err != nil {
+			t.Fatal(err)
+		}
+		viaLoop, err := lsrv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, dl := trace.PayloadDigest(viaSocket.Payload), trace.PayloadDigest(viaLoop.Payload)
+		if ds != dl {
+			t.Errorf("payload %d (%T): socket digest %x != loopback digest %x", i, p, ds, dl)
+		}
+	}
+}
+
+func TestLoopbackDisabledUsesSocket(t *testing.T) {
+	// A loopback-enabled listener still serves socket dials from transports
+	// that did not opt in.
+	server := TCP{Loopback: true, FlushDelay: -1}
+	l, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := acceptOne(t, l)
+
+	plain := TCP{FlushDelay: -1}
+	c, err := plain.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*tcpConn); !ok {
+		t.Fatalf("non-loopback dial returned %T, want *tcpConn", c)
+	}
+	srv := <-accepted
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+	defer srv.Close()
+	if _, ok := srv.(*tcpConn); !ok {
+		t.Fatalf("socket accept returned %T, want *tcpConn", srv)
+	}
+	if err := c.Send(msg.NewData(1, 1, 10, "via socket")); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := srv.Recv(); err != nil || env.Payload != "via socket" {
+		t.Errorf("socket delivery: %+v, %v", env, err)
+	}
+}
+
+func TestLoopbackUnregistersOnClose(t *testing.T) {
+	tr := TCP{Loopback: true, DialTimeout: 200 * time.Millisecond}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dialLoopback(addr); ok {
+		t.Error("closed listener still intercepts dials")
+	}
+	// A second listener can re-register the port's address later.
+	l2, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, ok := dialLoopback(l2.Addr()); !ok {
+		t.Error("fresh listener not registered")
+	}
+}

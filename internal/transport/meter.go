@@ -1,0 +1,60 @@
+package transport
+
+import "repro/internal/trace"
+
+// writevBatchBuckets grades the scatter-gather batch size: how many frames
+// one writev carried. 1 = no coalescing happened (sparse traffic), higher
+// is a burst sharing one syscall.
+var writevBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Meter carries the wire-level transport metric handles shared by every
+// connection a TCP transport creates for one engine. All fields (and the
+// receiver itself) may be nil — the handles are nil-receiver-safe no-ops —
+// so an unmetered transport pays nothing.
+type Meter struct {
+	// BytesSent and BytesRecv count socket bytes by direction
+	// (tart_transport_bytes_total{dir="sent"|"recv"}).
+	BytesSent *trace.Counter
+	BytesRecv *trace.Counter
+	// FramesPerWritev observes the number of coalesced frames each writev
+	// batch carried.
+	FramesPerWritev *trace.Histogram
+	// Fallbacks counts envelopes (either direction) whose payload used the
+	// self-describing gob fallback instead of a registered binary codec.
+	Fallbacks *trace.Counter
+}
+
+// NewMeter resolves the transport metric handles from a registry. A nil
+// registry yields a meter of no-op handles, which is still valid.
+func NewMeter(reg *trace.Registry) *Meter {
+	return &Meter{
+		BytesSent:       reg.Counter(trace.MetricTransportBytes, "Socket bytes moved by the transport, by direction.", trace.L("dir", "sent")),
+		BytesRecv:       reg.Counter(trace.MetricTransportBytes, "Socket bytes moved by the transport, by direction.", trace.L("dir", "recv")),
+		FramesPerWritev: reg.Histogram(trace.MetricFramesPerWritev, "Envelope frames coalesced into one writev batch.", writevBatchBuckets),
+		Fallbacks:       reg.Counter(trace.MetricCodecFallbacks, "Envelopes whose payload used the gob fallback instead of a registered binary codec."),
+	}
+}
+
+func (m *Meter) sent(n int64) {
+	if m != nil {
+		m.BytesSent.Add(n)
+	}
+}
+
+func (m *Meter) recv(n int64) {
+	if m != nil {
+		m.BytesRecv.Add(n)
+	}
+}
+
+func (m *Meter) writevBatch(frames int) {
+	if m != nil {
+		m.FramesPerWritev.Observe(float64(frames))
+	}
+}
+
+func (m *Meter) fallback() {
+	if m != nil {
+		m.Fallbacks.Inc()
+	}
+}

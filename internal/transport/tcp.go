@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -25,16 +24,32 @@ const DefaultFlushDelay = 50 * time.Microsecond
 // loop expects to retry on a sub-second cadence.
 const DefaultDialTimeout = 2 * time.Second
 
-// TCP is a Transport over real sockets. Envelopes are carried as a gob
-// stream per direction; payload types must be registered with
-// msg.RegisterPayload before use.
+const (
+	// chunkTarget is the fill level at which the coalescer starts a new
+	// pooled chunk instead of growing the tail — each chunk becomes one
+	// iovec entry in the writev batch.
+	chunkTarget = 32 << 10
+	// maxPendingBytes bounds the coalescing buffer: a Send that would push
+	// the pending batch past this flushes inline rather than letting a
+	// burst pin unbounded memory behind the linger timer.
+	maxPendingBytes = 1 << 20
+	// readBufStart is the initial bulk read buffer; it doubles on demand up
+	// to one frame of msg.MaxFrameSize.
+	readBufStart = 64 << 10
+)
+
+// TCP is a Transport over real sockets. Envelopes are carried as
+// length-prefixed binary frames (msg.AppendFrame); payload types with a
+// registered binary codec (msg.RegisterBinaryPayload) encode zero-alloc,
+// all others ride a self-describing gob fallback and must be registered
+// with msg.RegisterPayload before use.
 type TCP struct {
 	// FlushDelay enables Nagle-style write coalescing: the first envelope
 	// after an idle window is flushed to the socket immediately (sparse
 	// traffic pays no latency tax), while envelopes sent within FlushDelay
-	// of the previous flush linger in the buffer until a timer closes the
-	// window — a burst shares one syscall. Zero means DefaultFlushDelay;
-	// negative disables coalescing (one flush per Send).
+	// of the previous flush linger in the batch until a timer closes the
+	// window — a burst shares one framing pass and one writev. Zero means
+	// DefaultFlushDelay; negative disables coalescing (one flush per Send).
 	FlushDelay time.Duration
 
 	// Spans, when set, records a coalescing-linger span for every
@@ -45,6 +60,19 @@ type TCP struct {
 	// DialTimeout bounds Dial's connection establishment. Zero means
 	// DefaultDialTimeout; negative disables the bound (bare net.Dial).
 	DialTimeout time.Duration
+
+	// Meter, when set, observes wire-level metrics on every connection this
+	// transport creates: socket bytes by direction, frames per writev
+	// batch, and gob-fallback envelopes.
+	Meter *Meter
+
+	// Loopback opts into the in-process fast path: a Dial that targets a
+	// loopback-enabled listener in the same process hands envelopes across
+	// by pointer (no serialization, no socket) under a copy-on-write
+	// payload discipline — neither side may mutate a payload after Send.
+	// Replay and audit chains are unaffected: payload digests are computed
+	// from the registered codec, not the transport representation.
+	Loopback bool
 }
 
 var _ Transport = TCP{}
@@ -75,41 +103,83 @@ func (t TCP) Listen(addr string) (Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{nl: nl, flushDelay: t.flushDelay(), spans: t.Spans}, nil
+	l := &tcpListener{nl: nl, flushDelay: t.flushDelay(), spans: t.Spans, meter: t.Meter}
+	if t.Loopback {
+		l.enableLoopback(addr)
+	}
+	return l, nil
 }
 
 // Dial implements Transport, bounding connection establishment by the
 // configured DialTimeout so a black-holed peer address fails fast enough
 // for the caller's redial cadence.
 func (t TCP) Dial(addr string) (Conn, error) {
+	if t.Loopback {
+		if c, ok := dialLoopback(addr); ok {
+			return c, nil
+		}
+	}
 	d := net.Dialer{Timeout: t.dialTimeout()}
 	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(nc, t.flushDelay(), t.Spans), nil
+	return newTCPConn(nc, t.flushDelay(), t.Spans, t.Meter), nil
 }
 
 type tcpListener struct {
 	nl         net.Listener
 	flushDelay time.Duration
 	spans      *span.Collector
+	meter      *Meter
+
+	// Loopback fast-path state (nil/unused unless enableLoopback ran):
+	// dials from co-located loopback-enabled transports inject an inproc
+	// endpoint instead of opening a socket; a pump goroutine forwards real
+	// socket accepts so Accept can select across both sources.
+	loopKeys []string
+	injected chan Conn
+	sockets  chan Conn
+	stop     chan struct{}
+	pumpErr  error
+	pumpDone chan struct{}
+	closeOne sync.Once
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
-	nc, err := l.nl.Accept()
-	if err != nil {
-		if errors.Is(err, net.ErrClosed) {
-			return nil, ErrClosed
+	if l.injected == nil {
+		nc, err := l.nl.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil, ErrClosed
+			}
+			return nil, fmt.Errorf("transport: accept: %w", err)
 		}
-		return nil, fmt.Errorf("transport: accept: %w", err)
+		return newTCPConn(nc, l.flushDelay, l.spans, l.meter), nil
 	}
-	return newTCPConn(nc, l.flushDelay, l.spans), nil
+	select {
+	case c := <-l.injected:
+		return c, nil
+	case c := <-l.sockets:
+		return c, nil
+	case <-l.pumpDone:
+		return nil, l.pumpErr
+	case <-l.stop:
+		return nil, ErrClosed
+	}
 }
 
 func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 
-func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Close() error {
+	l.closeOne.Do(func() {
+		if l.stop != nil {
+			close(l.stop)
+			unregisterLoopback(l)
+		}
+	})
+	return l.nl.Close()
+}
 
 // CoalesceStats counts a connection's outgoing envelopes and the socket
 // flushes that carried them; Flushes/Envelopes is the coalescing ratio
@@ -119,44 +189,54 @@ type CoalesceStats struct {
 	Flushes   uint64
 }
 
-// tcpConn frames envelopes with the msg gob codec over one socket. With a
-// positive flushDelay, a Send that follows a flush-quiet window flushes
+// tcpConn frames envelopes with the msg binary codec over one socket.
+//
+// Writes scatter-gather: each Send appends its frame to a pooled chunk,
+// chunks accumulate into a net.Buffers batch, and a flush ships the whole
+// batch in one writev — a burst is one framing pass and one syscall. With
+// a positive flushDelay, a Send that follows a flush-quiet window flushes
 // inline; Sends inside the window only encode, and a timer drains the
-// buffered bytes when the window closes — so sparse envelopes ship at once
-// while a burst shares one syscall and lingers at most flushDelay.
+// batch when the window closes — so sparse envelopes ship at once while a
+// burst shares one writev and lingers at most flushDelay.
+//
+// Reads are bulk: the socket fills a growable buffer and frames decode
+// straight out of it (msg.DecodeFrame never retains the buffer), so one
+// read syscall typically yields many envelopes.
 type tcpConn struct {
 	nc         net.Conn
 	flushDelay time.Duration
 	spans      *span.Collector
+	meter      *Meter
 
-	sendMu     sync.Mutex
-	bw         *bufio.Writer
-	enc        *msg.Encoder
-	flushKick  chan struct{} // wakes the flush loop; nil when coalescing is off
-	flushDone  chan struct{}
-	flushArmed bool
-	lastFlush  time.Time
-	sendErr    error // sticky flush error, surfaced on later Sends
-	lingering  []span.Span
+	sendMu        sync.Mutex
+	chunks        []*[]byte // encoded frames awaiting flush; tail is active
+	iov           net.Buffers
+	pendingBytes  int
+	pendingFrames int
+	flushKick     chan struct{} // wakes the flush loop; nil when coalescing is off
+	flushDone     chan struct{}
+	flushArmed    bool
+	lastFlush     time.Time
+	sendErr       error // sticky flush error, surfaced on later Sends
+	lingering     []span.Span
 
 	envelopes atomic.Uint64
 	flushes   atomic.Uint64
 
-	dec *msg.Decoder
+	// Reader state; Recv is single-goroutine per the Conn contract.
+	rbuf         []byte
+	rstart, rend int
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
-func newTCPConn(nc net.Conn, flushDelay time.Duration, spans *span.Collector) *tcpConn {
-	bw := bufio.NewWriter(nc)
+func newTCPConn(nc net.Conn, flushDelay time.Duration, spans *span.Collector, meter *Meter) *tcpConn {
 	c := &tcpConn{
 		nc:         nc,
 		flushDelay: flushDelay,
 		spans:      spans,
-		bw:         bw,
-		enc:        msg.NewEncoder(bw),
-		dec:        msg.NewDecoder(bufio.NewReader(nc)),
+		meter:      meter,
 	}
 	if flushDelay > 0 {
 		c.flushKick = make(chan struct{}, 1)
@@ -166,18 +246,39 @@ func newTCPConn(nc net.Conn, flushDelay time.Duration, spans *span.Collector) *t
 	return c
 }
 
+// tailChunk returns the chunk new frames append to, starting a fresh
+// pooled one when the tail has reached its target fill.
+func (c *tcpConn) tailChunk() *[]byte {
+	if n := len(c.chunks); n > 0 && len(*c.chunks[n-1]) < chunkTarget {
+		return c.chunks[n-1]
+	}
+	b := msg.GetBuffer()
+	c.chunks = append(c.chunks, b)
+	return b
+}
+
 func (c *tcpConn) Send(env msg.Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if c.sendErr != nil {
 		return c.sendErr
 	}
-	if err := c.enc.Encode(env); err != nil {
-		c.sendErr = c.mapErr(err)
-		return c.sendErr
+	tail := c.tailChunk()
+	out, fellBack, err := msg.AppendFrame(*tail, env)
+	if err != nil {
+		// AppendFrame returns the buffer unchanged on error: the frame
+		// boundary is intact and the stream is not poisoned, so an
+		// unencodable payload fails only its own Send.
+		return err
 	}
+	c.pendingBytes += len(out) - len(*tail)
+	*tail = out
+	c.pendingFrames++
 	c.envelopes.Add(1)
-	if c.flushDelay <= 0 {
+	if fellBack {
+		c.meter.fallback()
+	}
+	if c.flushDelay <= 0 || c.pendingBytes >= maxPendingBytes {
 		return c.flushLocked()
 	}
 	if time.Since(c.lastFlush) >= c.flushDelay {
@@ -186,7 +287,7 @@ func (c *tcpConn) Send(env msg.Envelope) error {
 		return c.flushLocked()
 	}
 	if c.spans.Decided(env.Trace, env.Origin) {
-		// The envelope will linger in the buffer until the window closes;
+		// The envelope will linger in the batch until the window closes;
 		// flushLocked stamps the span's End.
 		c.lingering = append(c.lingering, span.Span{
 			Origin: env.Origin, Phase: span.PhaseLinger, Wire: env.Wire,
@@ -204,7 +305,7 @@ func (c *tcpConn) Send(env msg.Envelope) error {
 	return nil
 }
 
-// flushLoop drains the send buffer once per linger window. The goroutine
+// flushLoop drains the send batch once per linger window. The goroutine
 // is fully parked between windows: it blocks on the kick channel while the
 // connection is idle and on a runtime timer for the window remainder, so
 // an idle or sparsely-used connection burns no CPU. (An earlier version
@@ -243,7 +344,7 @@ func (c *tcpConn) flushLoop() {
 		}
 		c.sendMu.Lock()
 		c.flushArmed = false
-		if c.sendErr == nil && c.bw.Buffered() > 0 {
+		if c.sendErr == nil && c.pendingBytes > 0 {
 			if err := c.flushLocked(); err != nil {
 				c.sendErr = err
 			}
@@ -252,6 +353,8 @@ func (c *tcpConn) flushLoop() {
 	}
 }
 
+// flushLocked ships the pending batch as one writev (net.Buffers.WriteTo)
+// and recycles the chunks to the codec pool. Caller holds sendMu.
 func (c *tcpConn) flushLocked() error {
 	c.flushes.Add(1)
 	c.lastFlush = time.Now()
@@ -262,9 +365,32 @@ func (c *tcpConn) flushLocked() error {
 		}
 		c.lingering = c.lingering[:0]
 	}
-	if err := c.bw.Flush(); err != nil {
+	if c.pendingBytes == 0 {
+		return nil
+	}
+	batch := c.iov[:0]
+	for _, ch := range c.chunks {
+		if len(*ch) > 0 {
+			batch = append(batch, *ch)
+		}
+	}
+	c.iov = batch // keep the (possibly regrown) backing array for reuse
+	frames, bytes := c.pendingFrames, c.pendingBytes
+	_, err := batch.WriteTo(c.nc) // advances batch; c.iov keeps the array
+	for i := range c.iov {
+		c.iov[i] = nil // don't pin chunk arrays between flushes
+	}
+	c.iov = c.iov[:0]
+	for _, ch := range c.chunks {
+		msg.PutBuffer(ch)
+	}
+	c.chunks = c.chunks[:0]
+	c.pendingBytes, c.pendingFrames = 0, 0
+	if err != nil {
 		return c.mapErr(err)
 	}
+	c.meter.sent(int64(bytes))
+	c.meter.writevBatch(frames)
 	return nil
 }
 
@@ -274,22 +400,59 @@ func (c *tcpConn) Stats() CoalesceStats {
 }
 
 func (c *tcpConn) Recv() (msg.Envelope, error) {
-	env, err := c.dec.Decode()
-	if err != nil {
-		return msg.Envelope{}, c.mapErr(err)
+	for {
+		if c.rend > c.rstart {
+			env, n, fellBack, err := msg.DecodeFrame(c.rbuf[c.rstart:c.rend])
+			if err == nil {
+				c.rstart += n
+				if fellBack {
+					c.meter.fallback()
+				}
+				return env, nil
+			}
+			if !errors.Is(err, msg.ErrShortFrame) {
+				return msg.Envelope{}, c.mapErr(err)
+			}
+		}
+		// Partial (or no) frame buffered: compact the window to the front
+		// and read more. Growth is bounded — DecodeFrame rejects a declared
+		// length beyond msg.MaxFrameSize before ever reporting short, so a
+		// hostile length prefix cannot drive unbounded allocation here.
+		if c.rbuf == nil {
+			c.rbuf = make([]byte, readBufStart)
+		}
+		if c.rstart > 0 {
+			copy(c.rbuf, c.rbuf[c.rstart:c.rend])
+			c.rend -= c.rstart
+			c.rstart = 0
+		}
+		if c.rend == len(c.rbuf) {
+			grown := make([]byte, 2*len(c.rbuf))
+			copy(grown, c.rbuf[:c.rend])
+			c.rbuf = grown
+		}
+		n, err := c.nc.Read(c.rbuf[c.rend:])
+		if n > 0 {
+			c.rend += n
+			c.meter.recv(int64(n))
+		}
+		if err != nil && n == 0 {
+			return msg.Envelope{}, c.mapErr(err)
+		}
+		// Bytes alongside an error: decode what arrived; the error
+		// resurfaces on the next empty read.
 	}
-	return env, nil
 }
 
 func (c *tcpConn) Close() error {
 	c.closeOnce.Do(func() {
-		// Drain any lingering bytes so a graceful close does not strand the
-		// tail of the stream in the coalescing buffer.
+		// Drain any lingering frames so a graceful close does not strand
+		// the tail of the stream in the coalescing batch.
 		if c.flushDone != nil {
 			close(c.flushDone)
 		}
 		c.sendMu.Lock()
-		if c.sendErr == nil && c.bw.Buffered() > 0 {
+		if c.sendErr == nil && c.pendingBytes > 0 {
 			_ = c.flushLocked()
 		}
 		c.sendMu.Unlock()
@@ -302,7 +465,5 @@ func (c *tcpConn) mapErr(err error) error {
 	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return ErrClosed
 	}
-	// gob wraps underlying socket errors; a closed/reset socket surfaces as
-	// a generic error after Close, so treat post-close errors uniformly.
 	return err
 }

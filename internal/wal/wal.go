@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/estimator"
+	"repro/internal/msg"
 	"repro/internal/vt"
 )
 
@@ -260,6 +261,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // followed by a 4-byte CRC32-C of the body.
 const frameHeaderSize = 8
 
+// Frame bodies come in two formats. New appends are binary: a walMagic
+// first byte, a version, the entry kind, then fixed little-endian fields
+// with payloads encoded by the msg payload codec (pooled buffers, no
+// reflective walk, no per-record type preamble). Bodies whose first byte
+// is not walMagic are legacy self-contained gob records and still decode,
+// so logs written before the binary format replay unchanged. The magic
+// cannot collide with gob: a gob stream starts with a uvarint message
+// length, and 0xFB as its first byte declares a multi-gigabyte message,
+// which maxFrameSize rejects long before this scan.
+const (
+	walMagic   = 0xFB
+	walVersion = 1
+)
+
 // readFrame reads one frame, verifying its CRC before decoding, and
 // returns the bytes it consumed.
 func readFrame(r io.Reader) (fileEntry, int64, error) {
@@ -279,11 +294,77 @@ func readFrame(r io.Reader) (fileEntry, int64, error) {
 	if crc32.Checksum(buf, castagnoli) != sum {
 		return fileEntry{}, 0, errCorruptFrame
 	}
+	if len(buf) > 0 && buf[0] == walMagic {
+		return decodeBinaryEntry(buf)
+	}
 	var e fileEntry
 	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&e); err != nil {
 		return fileEntry{}, 0, err
 	}
 	return e, int64(frameHeaderSize) + int64(n), nil
+}
+
+func decodeBinaryEntry(buf []byte) (fileEntry, int64, error) {
+	consumed := int64(frameHeaderSize) + int64(len(buf))
+	if len(buf) < 3 {
+		return fileEntry{}, 0, errors.New("wal: binary entry truncated")
+	}
+	if buf[1] != walVersion {
+		return fileEntry{}, 0, fmt.Errorf("wal: unsupported entry version %d", buf[1])
+	}
+	e := fileEntry{Kind: entryKind(int8(buf[2]))}
+	rest := buf[3:]
+	switch e.Kind {
+	case entryInput:
+		source, rest, err := cutLenString(rest)
+		if err != nil {
+			return fileEntry{}, 0, err
+		}
+		if len(rest) < 20 {
+			return fileEntry{}, 0, errors.New("wal: input entry truncated")
+		}
+		e.Input.Source = source
+		e.Input.Seq = binary.LittleEndian.Uint64(rest)
+		e.Input.VT = vt.Time(int64(binary.LittleEndian.Uint64(rest[8:])))
+		id := binary.LittleEndian.Uint32(rest[16:])
+		payload, _, err := msg.DecodePayload(id, rest[20:])
+		if err != nil {
+			return fileEntry{}, 0, fmt.Errorf("wal: input payload: %w", err)
+		}
+		e.Input.Payload = payload
+	case entryTrim:
+		source, rest, err := cutLenString(rest)
+		if err != nil {
+			return fileEntry{}, 0, err
+		}
+		if len(rest) != 8 {
+			return fileEntry{}, 0, errors.New("wal: trim entry truncated")
+		}
+		e.Source = source
+		e.Through = binary.LittleEndian.Uint64(rest)
+	case entryFault:
+		// Faults are rare (estimator recalibrations) and carry an open
+		// struct; self-describing gob inside the binary envelope keeps them
+		// evolvable without wire churn.
+		if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&e.Fault); err != nil {
+			return fileEntry{}, 0, fmt.Errorf("wal: fault entry: %w", err)
+		}
+	default:
+		return fileEntry{}, 0, fmt.Errorf("wal: unknown entry kind %d", e.Kind)
+	}
+	return e, consumed, nil
+}
+
+// cutLenString splits a u16-length-prefixed string off the front of b.
+func cutLenString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("wal: string length truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, errors.New("wal: string truncated")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
 }
 
 // errCorruptFrame reports a frame whose body does not match its CRC.
@@ -292,19 +373,82 @@ var errCorruptFrame = errors.New("wal: frame CRC mismatch")
 // maxFrameSize bounds a single log record (64 MiB).
 const maxFrameSize = 64 << 20
 
-// writeFrame appends one length-prefixed, CRC-guarded gob frame.
+// appendEntry appends e's binary body encoding to dst.
+func appendEntry(dst []byte, e fileEntry) ([]byte, error) {
+	dst = append(dst, walMagic, walVersion, byte(e.Kind))
+	appendLenString := func(dst []byte, s string) ([]byte, error) {
+		if len(s) > 0xFFFF {
+			return nil, fmt.Errorf("wal: source name %d bytes exceeds limit", len(s))
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+		return append(dst, s...), nil
+	}
+	switch e.Kind {
+	case entryInput:
+		var err error
+		if dst, err = appendLenString(dst, e.Input.Source); err != nil {
+			return nil, err
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, e.Input.Seq)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Input.VT))
+		idAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		out, id, _, err := msg.AppendPayload(dst, e.Input.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal: input payload: %w", err)
+		}
+		binary.LittleEndian.PutUint32(out[idAt:], id)
+		dst = out
+	case entryTrim:
+		var err error
+		if dst, err = appendLenString(dst, e.Source); err != nil {
+			return nil, err
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, e.Through)
+	case entryFault:
+		w := appendWriter{b: dst}
+		if err := gob.NewEncoder(&w).Encode(e.Fault); err != nil {
+			return nil, fmt.Errorf("wal: fault entry: %w", err)
+		}
+		dst = w.b
+	default:
+		return nil, fmt.Errorf("wal: unknown entry kind %d", e.Kind)
+	}
+	return dst, nil
+}
+
+// appendWriter adapts append-style encoding to io.Writer for gob-carried
+// fault records.
+type appendWriter struct{ b []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// writeFrame appends one length-prefixed, CRC-guarded binary frame,
+// encoding through the shared codec buffer pool.
 func writeFrame(w io.Writer, e fileEntry) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(e); err != nil {
+	buf := msg.GetBuffer()
+	body, err := appendEntry((*buf)[:0], e)
+	if err != nil {
+		msg.PutBuffer(buf)
 		return err
+	}
+	if len(body) > maxFrameSize {
+		msg.PutBuffer(buf)
+		return fmt.Errorf("wal: frame size %d exceeds limit", len(body))
 	}
 	var hdr [frameHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(body.Len()))
-	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body.Bytes(), castagnoli))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
+		msg.PutBuffer(buf)
 		return err
 	}
-	_, err := w.Write(body.Bytes())
+	_, err = w.Write(body)
+	*buf = body[:0]
+	msg.PutBuffer(buf)
 	return err
 }
 

@@ -96,6 +96,8 @@ func TestMetricsExpositionAudit(t *testing.T) {
 		"tart_slo_latency_seconds", "tart_slo_observations_total", "tart_slo_ok",
 		"tart_span_sample_n",
 		"tart_checkpoint_last_vt", "tart_checkpoint_age_vt",
+		"tart_transport_bytes_total", "tart_transport_frames_per_writev",
+		"tart_codec_fallbacks_total",
 	} {
 		if !audited[want] {
 			t.Errorf("family %s missing from /metrics exposition", want)

@@ -232,6 +232,25 @@ type LatencySummary = trace.LatencySummary
 // checkpoints shipped between processes.
 func RegisterPayload(v any) error { return msg.RegisterPayload(v) }
 
+// PayloadCodec describes a zero-alloc binary encoding for one payload
+// type; see RegisterBinaryPayload. Append and Decode must be
+// deterministic (identical values → identical bytes; the determinism
+// audit digests them) and Decode must not retain its input slice.
+type PayloadCodec = msg.PayloadCodec
+
+// FirstUserPayloadID is the smallest payload type ID applications may use
+// with RegisterBinaryPayload; smaller IDs are reserved for built-ins.
+const FirstUserPayloadID = msg.FirstUserPayloadID
+
+// RegisterBinaryPayload registers a binary codec for one payload type
+// under a stable numeric ID, buying it out of the reflective gob fallback:
+// envelopes carrying it encode and decode with zero heap allocations on
+// the wire hot path. The ID is recorded in logs and frames — never
+// renumber it once deployed. Types without a binary codec keep working
+// through the self-describing gob fallback (RegisterPayload), at gob
+// prices, visible in the tart_codec_fallbacks_total counter.
+func RegisterBinaryPayload(pc PayloadCodec) error { return msg.RegisterBinaryPayload(pc) }
+
 // FaultPlan describes probabilistic per-link faults (drop, duplicate,
 // reorder, delay) applied by a NetworkChaos emulator; see
 // NetworkChaos.SetLinkPlan.
