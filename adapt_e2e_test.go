@@ -1,0 +1,225 @@
+package tart_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	tart "repro"
+)
+
+// spinWorker burns real CPU time far in excess of what its estimator
+// charges, so the adaptive runtime's span-driven recalibration has a large
+// residual to correct.
+type spinWorker struct {
+	N    int
+	Spin time.Duration
+}
+
+func (w *spinWorker) OnMessage(ctx *tart.Context, port string, payload any) (any, error) {
+	w.N++
+	start := time.Now()
+	for time.Since(start) < w.Spin {
+	}
+	return nil, ctx.Send("out", w.N)
+}
+
+// TestAdaptiveDecisionsRederivedAfterRecovery is the adaptive runtime's
+// determinism proof: a cluster under WithAdaptiveRuntime takes live control
+// decisions — a span-driven estimator recalibration (the worker's linear
+// estimator charges 20µs for a ~400µs handler) and a blame-driven silence
+// escalation (sender2's wire holds the merger blocked) — then the engine is
+// crashed and recovered. The recovered incarnation must re-derive the
+// identical estimator coefficients and silence configuration purely from
+// the logged determinism faults, without the control loop re-running its
+// (wall-clock-driven, irreproducible) policy. Every decision must carry a
+// VT epoch boundary on the configured quantum grid.
+func TestAdaptiveDecisionsRederivedAfterRecovery(t *testing.T) {
+	const quantum = 1_000_000 // 1ms of virtual time
+
+	app := tart.NewApp()
+	app.Register("worker", &spinWorker{Spin: 400 * time.Microsecond},
+		tart.WithLinearCost(func(any) tart.Features { return tart.Features{1} },
+			[]float64{20_000}, time.Microsecond),
+		tart.WithCalibration(4))
+	app.Register("sender1", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(40*time.Microsecond))
+	app.Register("sender2", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(40*time.Microsecond))
+	app.Register("merger", &crashMerger{},
+		tart.WithConstantCost(100*time.Microsecond))
+	app.SourceInto("jobs", "worker", "in")
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("done", "worker", "out")
+	app.SinkFrom("out", "merger", "out")
+	app.PlaceAll("node")
+
+	cluster, err := tart.Launch(app,
+		tart.WithManualClock(func() tart.VirtualTime { return 0 }),
+		tart.WithSpanTracing(1),
+		tart.WithAdaptiveRuntime(tart.AdaptiveRuntime{
+			PollEvery:  10 * time.Millisecond,
+			Quantum:    quantum,
+			MinSamples: 4,
+			MinBlame:   time.Microsecond,
+			// Hold escalations for the test's duration, and stay VT-neutral
+			// so crash-replay equivalence is unconditional.
+			QuietWindows: 10_000,
+			MaxStrategy:  tart.Aggressive,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	for _, sink := range []string{"done", "out"} {
+		if err := cluster.Sink(sink, func(tart.Output) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, _ := cluster.Source("jobs")
+	in1, _ := cluster.Source("in1")
+	in2, _ := cluster.Source("in2")
+
+	// Checkpoint now, before any decision fires: recovery restores this
+	// pre-adaptation state, so the adapted coefficients and silence
+	// configuration can only come from re-applying the logged faults.
+	if _, err := cluster.Checkpoint("node"); err != nil {
+		t.Fatal(err)
+	}
+
+	hasKind := func(kind string) bool {
+		for _, d := range cluster.AdaptDecisions() {
+			if string(d.Kind) == kind {
+				return true
+			}
+		}
+		return false
+	}
+
+	round := 0
+	vtOf := func(r int) tart.VirtualTime { return tart.VirtualTime((r + 1) * quantum) }
+
+	// Phase 1: drive the mis-estimated worker until the controller commits
+	// a recalibration fault.
+	for ; round < 400 && !hasKind("recalibrate"); round++ {
+		v := vtOf(round)
+		if err := jobs.EmitAt(v, round); err != nil {
+			t.Fatal(err)
+		}
+		jobs.Quiesce(v + quantum/2)
+		time.Sleep(4 * time.Millisecond)
+	}
+	if !hasKind("recalibrate") {
+		t.Fatalf("no recalibration decision fired; decisions: %v", cluster.AdaptDecisions())
+	}
+
+	// Phase 2: hold the merger blocked on sender2's wire (in2's silence
+	// arrives a beat late each round) until a silence escalation commits.
+	for ; round < 400 && !hasKind("silence"); round++ {
+		v := vtOf(round)
+		if err := in1.EmitAt(v, "oak"); err != nil {
+			t.Fatal(err)
+		}
+		in1.Quiesce(v + quantum/2)
+		time.Sleep(25 * time.Millisecond) // merger blocked on s2's missing silence
+		if err := in2.EmitAt(v, "elm"); err != nil {
+			t.Fatal(err)
+		}
+		in2.Quiesce(v + quantum/2)
+		time.Sleep(4 * time.Millisecond)
+	}
+	if !hasKind("silence") {
+		t.Fatalf("no silence decision fired; decisions: %v", cluster.AdaptDecisions())
+	}
+
+	// Push every engine clock well past the last decision's epoch boundary
+	// so the pending epochs apply.
+	for end := round + 8; round < end; round++ {
+		v := vtOf(round)
+		if err := jobs.EmitAt(v, round); err != nil {
+			t.Fatal(err)
+		}
+		jobs.Quiesce(v + quantum/2)
+		if err := in1.EmitAt(v, "ash"); err != nil {
+			t.Fatal(err)
+		}
+		if err := in2.EmitAt(v, "fir"); err != nil {
+			t.Fatal(err)
+		}
+		in1.Quiesce(v + quantum/2)
+		in2.Quiesce(v + quantum/2)
+	}
+	lastQ := vtOf(round-1) + quantum/2
+
+	decisions := cluster.AdaptDecisions()
+	for _, d := range decisions {
+		if d.EffectiveVT <= 0 || int64(d.EffectiveVT)%quantum != 0 {
+			t.Errorf("decision %v effective VT %v is off the %dns epoch grid", d, d.EffectiveVT, quantum)
+		}
+	}
+
+	// Capture the adapted state once it is in force on the live engine.
+	var coeffsBefore []float64
+	var silenceBefore tart.SilenceConfig
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		coeffsBefore, err = cluster.EstimatorCoeffs("worker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		silenceBefore, err = cluster.SilenceConfigOf("sender2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coeffsBefore[0] > 40_000 && silenceBefore.Strategy == tart.Aggressive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("adapted state never took effect: coeffs=%v silence=%+v decisions=%v",
+				coeffsBefore, silenceBefore, decisions)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Crash and recover: the new incarnation restores the pre-adaptation
+	// checkpoint, replays the logged input suffix, and re-applies the
+	// logged faults.
+	if err := cluster.Fail("node"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Recover("node"); err != nil {
+		t.Fatal(err)
+	}
+	jobs.Quiesce(lastQ)
+	in1.Quiesce(lastQ)
+	in2.Quiesce(lastQ)
+
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		coeffsAfter, err := cluster.EstimatorCoeffs("worker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		silenceAfter, err := cluster.SilenceConfigOf("sender2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(coeffsAfter, coeffsBefore) && silenceAfter == silenceBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered engine did not re-derive the adapted state:\n  coeffs  before %v after %v\n  silence before %+v after %+v",
+				coeffsBefore, coeffsAfter, silenceBefore, silenceAfter)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The decision log itself is cluster state and must be unperturbed by
+	// the failover (the engines re-derive effects, never decisions).
+	if got := cluster.AdaptDecisions(); len(got) < len(decisions) {
+		t.Fatalf("decision ring shrank across recovery: %d -> %d", len(decisions), len(got))
+	}
+}

@@ -68,6 +68,69 @@ func TestChaosOracleMultiSeed(t *testing.T) {
 	}
 }
 
+// TestChaosOracleAdaptiveRuntime reruns the chaos soak with the closed-loop
+// adaptive runtime enabled on every engine. The variant is configured
+// VT-neutral — escalation capped at Aggressive so no bias floors output
+// virtual times, and the workload's constant-cost estimators leave nothing
+// to recalibrate — so every chaotic adaptive tape must stay byte-identical
+// to the plain clean reference: adaptation may change when silence is
+// propagated and what is logged, but never what the application computes.
+// Silence decisions that do fire before a crash are re-derived from the
+// stable log by the recovered incarnation (the logged-fault discipline),
+// which this soak exercises under supervisor-driven failovers.
+func TestChaosOracleAdaptiveRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed adaptive chaos soak")
+	}
+	const rounds = 12
+	adaptive := func() []tart.ClusterOption {
+		return []tart.ClusterOption{tart.WithAdaptiveRuntime(tart.AdaptiveRuntime{
+			PollEvery: 25 * time.Millisecond,
+			// Small VT quantum so decision epochs land inside the
+			// workload's 1..13ms virtual span and actually apply.
+			Quantum:     1_000_000,
+			MinBlame:    time.Millisecond,
+			MaxStrategy: tart.Aggressive,
+		})}
+	}
+
+	clean, err := chaos.Run(chaos.RunOptions{Rounds: rounds})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := chaos.Run(chaos.RunOptions{
+				Rounds:       rounds,
+				RoundEvery:   200 * time.Millisecond,
+				ExtraOptions: adaptive(),
+				Chaos: &chaos.Config{
+					Seed:            seed,
+					Crashes:         2,
+					Partitions:      1,
+					WALFaults:       1,
+					LinkFaults:      true,
+					DoubleCrashProb: 0.5,
+					EventEvery:      400 * time.Millisecond,
+					PartitionHeal:   250 * time.Millisecond,
+				},
+			})
+			if err != nil {
+				t.Fatalf("adaptive chaotic run (events so far %+v): %v", eventsOf(res), err)
+			}
+			if d := chaos.Diff(clean.Tape, res.Tape); d != "" {
+				t.Errorf("adaptive oracle violated:\n%s\nevents: %+v", d, res.Events)
+			}
+			if res.Supervised < 1 {
+				t.Errorf("no supervisor-driven failover completed; events: %+v, status: %+v",
+					res.Events, res.Status)
+			}
+		})
+	}
+}
+
 func eventsOf(res *chaos.Result) []chaos.Event {
 	if res == nil {
 		return nil

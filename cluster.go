@@ -9,10 +9,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/inspect"
 	"repro/internal/msg"
+	"repro/internal/sched"
 	"repro/internal/silence"
 	"repro/internal/slo"
 	"repro/internal/topo"
@@ -54,6 +56,7 @@ type clusterConfig struct {
 	slo                *slo.Tracker
 	otlpURL            string
 	adaptive           *AdaptiveSampling
+	adaptRuntime       *AdaptiveRuntime
 	timetravel         *TimeTravel
 	loopbackFast       bool
 }
@@ -249,6 +252,13 @@ type Cluster struct {
 	// sandboxed replay inspector built over it.
 	arch *inspect.Archive
 	insp *inspect.Inspector
+
+	// Adaptive runtime (see observability.go): the closed-loop controller,
+	// its serialization (the loop, /adapt, and tartctl all read it), and
+	// the wire-label → upstream-component index blame routing uses.
+	adaptCtl *adapt.Controller
+	adaptMu  sync.Mutex
+	wireUp   map[string]string
 }
 
 type engineSlot struct {
@@ -311,12 +321,44 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		peers:   peersOf(tp),
 		bgStop:  make(chan struct{}),
 	}
-	if cfg.adaptive != nil {
-		c.schedule = span.NewSchedule(cfg.spanSample, cfg.adaptive.Quantum)
+	if cfg.adaptive != nil || cfg.adaptRuntime != nil {
+		quantum := Ticks(0)
+		if cfg.adaptive != nil {
+			quantum = cfg.adaptive.Quantum
+		}
+		if cfg.adaptRuntime != nil && cfg.adaptRuntime.Quantum > 0 {
+			quantum = cfg.adaptRuntime.Quantum
+		}
+		c.schedule = span.NewSchedule(cfg.spanSample, quantum)
 		c.obsReg = trace.NewRegistry()
 		c.obsReg.Gauge(trace.MetricSampleN,
 			"Current adaptive head-sampling modulus (1 traced origin in N).").
 			Set(int64(c.schedule.Current().N))
+	}
+	if cfg.adaptRuntime != nil {
+		// Baseline strategies the controller escalates from (and quiet
+		// periods return to), plus the wire-label → upstream index that maps
+		// blamed input wires back to the sender whose governor can help.
+		baseline := make(map[string]silence.Config)
+		for _, comp := range tp.Components() {
+			base := specs[comp.Name].Silence
+			if base.Strategy == 0 {
+				base.Strategy = silence.Curiosity // the governor's own default
+			}
+			baseline[comp.Name] = base
+		}
+		c.wireUp = make(map[string]string)
+		for _, w := range tp.Wires() {
+			if w.From == topo.External {
+				continue
+			}
+			c.wireUp[sched.WireName(tp, w)] = tp.Component(w.From).Name
+		}
+		ctlCfg := cfg.adaptRuntime.controllerConfig()
+		if ctlCfg.Quantum <= 0 {
+			ctlCfg.Quantum = c.schedule.Quantum()
+		}
+		c.adaptCtl = adapt.New(ctlCfg, baseline, c.schedule.Current().N)
 	}
 	if cfg.supervisor != nil {
 		// Created before the engines so their debug surfaces (/supervisor,
@@ -516,6 +558,12 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 	}
 	if tracker := c.cfg.slo; tracker != nil {
 		cfg.SLOInfo = func() any { return tracker.Report() }
+	}
+	if c.adaptCtl != nil {
+		cfg.AdaptInfo = func() any { return c.AdaptStatus() }
+		// The span-driven controller owns recalibration; the scheduler's
+		// sample-count refits would race it with a second fault stream.
+		cfg.DisableCalibration = true
 	}
 	cfg.ExtraMetrics = c.extraMetrics()
 	if c.arch != nil {
@@ -719,6 +767,60 @@ func (c *Cluster) SetSilenceStrategy(component string, strategy SilenceStrategy)
 		return fmt.Errorf("tart: component %q not hosted on %q", component, comp.Engine)
 	}
 	return sch.SetSilence(silence.Config{Strategy: strategy})
+}
+
+// SilenceConfigOf reports the silence configuration currently in force on
+// a component's governor — including changes installed by the adaptive
+// runtime's logged faults. A recovered engine re-derives the same
+// configuration from the stable log, so comparing this across a failover
+// is the replica-consistency check for adaptive decisions.
+func (c *Cluster) SilenceConfigOf(component string) (SilenceConfig, error) {
+	comp, ok := c.tp.ComponentByName(component)
+	if !ok {
+		return SilenceConfig{}, fmt.Errorf("tart: unknown component %q", component)
+	}
+	slot, err := c.slot(comp.Engine)
+	if err != nil {
+		return SilenceConfig{}, err
+	}
+	c.mu.Lock()
+	failed := slot.failed
+	eng := slot.eng
+	c.mu.Unlock()
+	if failed {
+		return SilenceConfig{}, fmt.Errorf("tart: component %q: %w", component, ErrEngineDown)
+	}
+	sch, ok := eng.Scheduler(component)
+	if !ok {
+		return SilenceConfig{}, fmt.Errorf("tart: component %q not hosted on %q", component, comp.Engine)
+	}
+	return sch.SilenceConfig(), nil
+}
+
+// EstimatorCoeffs reports the coefficients a component's calibrated
+// estimator has in force at its engine's current virtual time (nil when
+// the component uses a static estimator).
+func (c *Cluster) EstimatorCoeffs(component string) ([]float64, error) {
+	comp, ok := c.tp.ComponentByName(component)
+	if !ok {
+		return nil, fmt.Errorf("tart: unknown component %q", component)
+	}
+	slot, err := c.slot(comp.Engine)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	failed := slot.failed
+	eng := slot.eng
+	c.mu.Unlock()
+	if failed {
+		return nil, fmt.Errorf("tart: component %q: %w", component, ErrEngineDown)
+	}
+	cal, ok := eng.Calibrated(component)
+	if !ok {
+		return nil, nil
+	}
+	return cal.Coeffs(eng.ComponentVT(component)), nil
 }
 
 // Metrics returns the named engine's runtime counters.

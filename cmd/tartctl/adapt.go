@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	tart "repro"
+)
+
+// adaptCmd renders the closed-loop adaptive runtime's view from an
+// engine's /adapt debug endpoint: SLO-burn degradation state, per-component
+// estimator residuals and coefficients, the silence strategy currently
+// selected for each adaptable wire, and the tail of the decision log with
+// the signal that motivated each decision.
+func adaptCmd(addr string, last int, asJSON bool) error {
+	if addr == "" {
+		return fmt.Errorf("adapt: -addr is required (engine debug HTTP address)")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/adapt")
+	if err != nil {
+		return fmt.Errorf("adapt: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("adapt: engine at %s has no adaptive runtime (enable with WithAdaptiveRuntime)", addr)
+	}
+	var st tart.AdaptStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("adapt: decode /adapt: %w", err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	mode := "nominal"
+	if st.Degraded {
+		mode = "DEGRADED (slo burn over budget: sampling shed, escalation bar lowered)"
+	}
+	fmt.Printf("adaptive runtime at %s: %s\n", addr, mode)
+	if len(st.Components) > 0 {
+		fmt.Println("  estimators:")
+		fmt.Printf("    %-14s %9s %8s  %s\n", "component", "residual", "samples", "coefficients")
+		for _, c := range st.Components {
+			fmt.Printf("    %-14s %8.1f%% %8d  %v\n", c.Component, 100*c.Residual, c.Samples, c.Coeffs)
+		}
+	}
+	if len(st.Wires) > 0 {
+		fmt.Println("  silence strategies:")
+		fmt.Printf("    %-28s %-12s %-16s %s\n", "wire", "upstream", "strategy", "blame window")
+		for _, w := range st.Wires {
+			fmt.Printf("    %-28s %-12s %-16s %.1fms\n", w.Wire, w.Upstream, w.Name, 1e3*w.WindowSec)
+		}
+	}
+	ds := st.Decisions
+	if last > 0 && len(ds) > last {
+		ds = ds[len(ds)-last:]
+	}
+	if len(ds) == 0 {
+		fmt.Println("  decisions: none yet")
+		return nil
+	}
+	fmt.Printf("  decisions (last %d):\n", len(ds))
+	for _, d := range ds {
+		fmt.Printf("    %s %s\n", d.At.Format("15:04:05.000"), d.String())
+	}
+	return nil
+}

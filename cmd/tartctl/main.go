@@ -10,6 +10,7 @@
 //	tartctl trace -addr H:P -origin w0#3   one input's chain from a live engine
 //	tartctl timeline -addr H:P   per-origin critical-path table from /spans
 //	tartctl slo -addr H:P        live SLO verdict table from /slo (exit 1 on violation)
+//	tartctl adapt -addr H:P      adaptive-runtime state from /adapt: residuals, strategies, decisions
 //	tartctl timeline -file s.json -origin w0#3 -chrome t.json   span tree + Perfetto export
 //	tartctl rewind -addr H:P -component c -vt T       reconstruct c's state at virtual time T
 //	tartctl rewind -addr H:P -component c -diff T1,T2 diff c's state between two virtual times
@@ -75,6 +76,13 @@ func main() {
 		asJSON := fs.Bool("json", false, "print the raw report JSON instead of the table")
 		_ = fs.Parse(os.Args[2:])
 		err = sloCmd(*addr, *asJSON)
+	case "adapt":
+		fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
+		last := fs.Int("last", 16, "print the last N adaptive decisions")
+		asJSON := fs.Bool("json", false, "print the raw /adapt JSON instead of the tables")
+		_ = fs.Parse(os.Args[2:])
+		err = adaptCmd(*addr, *last, *asJSON)
 	case "rewind":
 		fs := flag.NewFlagSet("rewind", flag.ExitOnError)
 		addr := fs.String("addr", "", "engine debug HTTP address (host:port)")
@@ -100,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline|slo|rewind|bisect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tartctl <topo|wal|demo|status|trace|timeline|slo|adapt|rewind|bisect> [flags]")
 }
 
 func fig1Topology() (*topo.Topology, error) {
@@ -185,7 +193,11 @@ func dumpWAL(path string) error {
 			return err
 		}
 		for _, f := range faults {
-			fmt.Printf("  fault  component=%-8s effective=%v coeffs=%v\n", f.Component, f.Fault.EffectiveVT, f.Fault.Coeffs)
+			if f.Silence != nil {
+				fmt.Printf("  fault  component=%-8s effective=%v silence=%v\n", f.Component, f.Silence.EffectiveVT, f.Silence.Config.Strategy)
+			} else {
+				fmt.Printf("  fault  component=%-8s effective=%v coeffs=%v\n", f.Component, f.Fault.EffectiveVT, f.Fault.Coeffs)
+			}
 			printed++
 		}
 	}

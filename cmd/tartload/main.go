@@ -9,6 +9,7 @@
 //	tartload -scenario slowconsumer -chaos 7         crash an engine every 5s
 //	tartload -scenario burst -adaptive-budget 2000   adaptive span sampling
 //	tartload -scenario hotkey -otlp http://localhost:4318/v1/traces
+//	tartload -scenario slowconsumer -adapt           closed-loop adaptive runtime
 //	tartload -list                                   describe the scenarios
 //
 // With TART_ARTIFACT_DIR set, the full machine-readable result (report,
@@ -44,6 +45,7 @@ func main() {
 		spans    = flag.Int("spans", 0, "static span head-sampling modulus (0: default 1/64)")
 		adaptive = flag.Float64("adaptive-budget", 0, "adaptive span sampling at this many spans/sec (overrides -spans)")
 		otlpURL  = flag.String("otlp", "", "export spans OTLP/HTTP to this URL")
+		adapt    = flag.Bool("adapt", false, "enable the closed-loop adaptive runtime; exit 1 if any decision lands off its VT epoch grid")
 		chaos    = flag.Uint64("chaos", 0, "chaos seed: crash engines under a failover supervisor (0: off)")
 		chaosGap = flag.Duration("chaos-every", 5*time.Second, "crash cadence with -chaos")
 		tcp      = flag.Bool("tcp", false, "inter-engine wires over loopback TCP")
@@ -61,7 +63,7 @@ func main() {
 		return
 	}
 	if err := run(*scenario, *rate, *duration, *users, *engines, *seed, *sloSpec, *budget,
-		*spans, *adaptive, *otlpURL, *chaos, *chaosGap, *tcp, *basePort, *debug, *quiet); err != nil {
+		*spans, *adaptive, *otlpURL, *adapt, *chaos, *chaosGap, *tcp, *basePort, *debug, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tartload:", err)
 		os.Exit(1)
 	}
@@ -69,7 +71,7 @@ func main() {
 
 func run(scenario string, rate float64, duration time.Duration, usersStr string, engines int,
 	seed uint64, sloSpec, budgetSpec string, spans int, adaptive float64, otlpURL string,
-	chaos uint64, chaosGap time.Duration, tcp bool, basePort int, debug, quiet bool) error {
+	adapt bool, chaos uint64, chaosGap time.Duration, tcp bool, basePort int, debug, quiet bool) error {
 
 	sc, err := load.Lookup(scenario)
 	if err != nil {
@@ -100,6 +102,7 @@ func run(scenario string, rate float64, duration time.Duration, usersStr string,
 		SpanSampleN:    spans,
 		AdaptiveBudget: adaptive,
 		OTLPURL:        otlpURL,
+		Adapt:          adapt,
 		ChaosSeed:      chaos,
 		ChaosEvery:     chaosGap,
 		TCP:            tcp,
@@ -127,9 +130,39 @@ func run(scenario string, rate float64, duration time.Duration, usersStr string,
 			fmt.Fprintln(os.Stderr, "tartload: artifact:", err)
 		}
 	}
+	if adapt {
+		if err := validateAdaptDecisions(res); err != nil {
+			return err
+		}
+	}
 	if !res.Report.OK {
 		return fmt.Errorf("SLO violated")
 	}
+	return nil
+}
+
+// validateAdaptDecisions enforces the adaptive runtime's determinism
+// contract on the finished run: every decision the controller took must be
+// pinned to a strictly-positive boundary on the configured VT epoch grid.
+// An off-grid decision would not re-derive identically under replay, so it
+// fails the run (exit 1).
+func validateAdaptDecisions(res *load.Result) error {
+	q := res.AdaptQuantum
+	if q <= 0 {
+		return fmt.Errorf("adapt: result carries no epoch quantum")
+	}
+	bad := 0
+	for _, d := range res.AdaptDecisions {
+		if d.EffectiveVT <= 0 || int64(d.EffectiveVT)%q != 0 {
+			fmt.Fprintf(os.Stderr, "tartload: OFF-GRID decision: %s (vt %d %% %d = %d)\n",
+				d, int64(d.EffectiveVT), q, int64(d.EffectiveVT)%q)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("adapt: %d of %d decisions off the %dns epoch grid", bad, len(res.AdaptDecisions), q)
+	}
+	fmt.Printf("adapt: %d decisions, all on the %dns epoch grid\n", len(res.AdaptDecisions), q)
 	return nil
 }
 
@@ -172,6 +205,12 @@ func printResult(res *load.Result) {
 		fmt.Printf("\nadaptive sampling epochs (%d):\n", len(res.SampleEpochs))
 		for _, ep := range res.SampleEpochs {
 			fmt.Printf("  from vt=%-14d 1/%d\n", int64(ep.Start), ep.N)
+		}
+	}
+	if len(res.AdaptDecisions) > 0 {
+		fmt.Printf("\nadaptive-runtime decisions (%d):\n", len(res.AdaptDecisions))
+		for _, d := range res.AdaptDecisions {
+			fmt.Printf("  %s\n", d)
 		}
 	}
 	if res.OTLP.Enqueued > 0 || res.OTLP.Errors > 0 {

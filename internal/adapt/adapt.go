@@ -1,0 +1,624 @@
+// Package adapt implements the closed-loop adaptive runtime controller:
+// it turns three observability signals — sampled compute spans, pessimism
+// blame, and SLO burn rate — into three deterministic control actions —
+// estimator recalibration, silence-strategy selection, and sampling
+// degradation.
+//
+// The controller itself is deliberately non-deterministic (it reads wall
+// time, sampled spans, and load); determinism is preserved by *how* its
+// decisions take effect, never by how they are made. Every action is
+// stamped with a VT-quantized, strictly-future epoch boundary and routed
+// through a logged determinism fault (estimator and silence changes) or an
+// append-only epoch schedule (sampling), so a replay, a passive replica,
+// or a time-travel rewind re-derives the identical behaviour from the log
+// instead of re-running the control loop (paper §II.G.4).
+//
+// The package is pure policy: no goroutines, no clocks, no I/O. The
+// cluster's adaptive loop harvests an Observation each tick, calls Step,
+// and routes the returned Decisions to the engines.
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/silence"
+	"repro/internal/vt"
+)
+
+// Kind discriminates adaptive decisions.
+type Kind string
+
+// Decision kinds.
+const (
+	// KindRecalibrate pushes corrected estimator coefficients through a
+	// logged determinism fault.
+	KindRecalibrate Kind = "recalibrate"
+	// KindSilence switches a component's silence-propagation strategy
+	// through a logged determinism fault.
+	KindSilence Kind = "silence"
+	// KindSampling steps the cluster-wide span-sampling modulus through the
+	// append-only rate-epoch schedule.
+	KindSampling Kind = "sampling"
+)
+
+// Decision is one control action the caller must route to the engines. All
+// decisions carry the VT epoch boundary at which they take effect.
+type Decision struct {
+	// Seq numbers decisions over the controller's lifetime (1-based).
+	Seq uint64 `json:"seq"`
+	// Kind discriminates the action.
+	Kind Kind `json:"kind"`
+	// Component is the target component (the estimator's owner for
+	// recalibrations, the silence governor's owner for strategy switches;
+	// empty for cluster-wide sampling steps).
+	Component string `json:"component,omitempty"`
+	// Wire is the blamed wire label that motivated a silence decision.
+	Wire string `json:"wire,omitempty"`
+	// EffectiveVT is the quantized, strictly-future epoch boundary the
+	// decision takes effect at.
+	EffectiveVT vt.Time `json:"effectiveVT"`
+	// Coeffs are the corrected coefficients (recalibrations only).
+	Coeffs []float64 `json:"coeffs,omitempty"`
+	// Silence is the full configuration to install (silence only).
+	Silence silence.Config `json:"silence,omitzero"`
+	// SampleN is the new sampling modulus (sampling only).
+	SampleN uint64 `json:"sampleN,omitempty"`
+	// Cause is the human-readable signal that motivated the decision.
+	Cause string `json:"cause"`
+	// At is the wall-clock time the decision was taken (observability
+	// only; never replayed).
+	At time.Time `json:"at"`
+}
+
+// String renders the decision compactly for logs and tartctl.
+func (d Decision) String() string {
+	switch d.Kind {
+	case KindRecalibrate:
+		return fmt.Sprintf("#%d recalibrate %s @%v coeffs=%v (%s)", d.Seq, d.Component, d.EffectiveVT, d.Coeffs, d.Cause)
+	case KindSilence:
+		return fmt.Sprintf("#%d silence %s -> %s @%v (%s)", d.Seq, d.Component, d.Silence.Strategy, d.EffectiveVT, d.Cause)
+	case KindSampling:
+		return fmt.Sprintf("#%d sampling 1/%d @%v (%s)", d.Seq, d.SampleN, d.EffectiveVT, d.Cause)
+	default:
+		return fmt.Sprintf("#%d %s @%v (%s)", d.Seq, d.Kind, d.EffectiveVT, d.Cause)
+	}
+}
+
+// ComputeSample is one sampled compute span: the wall-clock nanoseconds
+// the handler actually ran versus the virtual-time ticks the estimator
+// charged for it.
+type ComputeSample struct {
+	WallNanos float64
+	Charged   float64
+}
+
+// WireBlame is the cumulative pessimism blame attributed to one input
+// wire: the receiver waited Seconds (in total, since start) with this wire
+// as the last holdout, and Upstream is the sending component whose silence
+// strategy can shrink it.
+type WireBlame struct {
+	Upstream string
+	Seconds  float64
+}
+
+// Observation is one harvest of the cluster's observability signals.
+type Observation struct {
+	// Now is the newest live engine VT clock; epoch boundaries are
+	// quantized relative to it.
+	Now vt.Time
+	// Compute maps component name to the compute samples harvested since
+	// the previous Step (calibrated components only).
+	Compute map[string][]ComputeSample
+	// Coeffs maps component name to its current estimator coefficients
+	// (calibrated components only).
+	Coeffs map[string][]float64
+	// Blame maps wire label to its cumulative blame. Cumulative, not
+	// windowed: the controller differences successive observations itself,
+	// so a harvest may be lost without corrupting the window.
+	Blame map[string]WireBlame
+	// BurnRate is the worst SLO error-budget burn rate (>1 means the
+	// budget is being consumed faster than allotted; 0 when no tracker).
+	BurnRate float64
+	// SampleN is the span-sampling modulus currently in force.
+	SampleN uint64
+}
+
+// Config tunes a Controller.
+type Config struct {
+	// Quantum is the VT grain decisions are quantized to. Default
+	// 250ms of virtual time (span.DefaultQuantum).
+	Quantum vt.Ticks
+	// Window is how many Steps of blame history feed strategy selection.
+	// Default 4.
+	Window int
+	// MinSamples is the number of compute samples required before a
+	// recalibration is considered. Default 16.
+	MinSamples int
+	// ResidualThreshold is the relative residual (Σ|wall−charged|/Σwall)
+	// above which a recalibration fires. Default 0.25.
+	ResidualThreshold float64
+	// MinBlameSeconds is the windowed blame below which no strategy
+	// escalation happens. Default 10ms.
+	MinBlameSeconds float64
+	// BlameShare is the fraction of the window's total blame the dominant
+	// wire must hold before its upstream is escalated. Default 0.5.
+	BlameShare float64
+	// QuietWindows is how many consecutive blame-free Steps an escalated
+	// component must see before stepping back down. Default 8.
+	QuietWindows int
+	// Cooldown is how many Steps a component rests after a strategy
+	// change before the next one. Default 2.
+	Cooldown int
+	// Bias is the promise bias installed when escalating to
+	// HyperAggressive. Default 2ms of virtual time.
+	Bias vt.Ticks
+	// MaxStrategy caps escalation. Default HyperAggressive; chaos
+	// variants cap at Aggressive to stay VT-neutral.
+	MaxStrategy silence.Strategy
+	// BurnThreshold is the SLO burn rate above which the runtime degrades
+	// (recovery happens below half of it). Default 1.0.
+	BurnThreshold float64
+	// DegradedSampleN is the sampling modulus while degraded. Default 64.
+	DegradedSampleN uint64
+	// History bounds the retained decision ring. Default 64.
+	History int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quantum <= 0 {
+		c.Quantum = vt.Ticks(250e6)
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.ResidualThreshold <= 0 {
+		c.ResidualThreshold = 0.25
+	}
+	if c.MinBlameSeconds <= 0 {
+		c.MinBlameSeconds = 0.010
+	}
+	if c.BlameShare <= 0 {
+		c.BlameShare = 0.5
+	}
+	if c.QuietWindows <= 0 {
+		c.QuietWindows = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2
+	}
+	if c.Bias <= 0 {
+		c.Bias = vt.Ticks(2e6) // 2ms
+	}
+	if c.MaxStrategy == 0 {
+		c.MaxStrategy = silence.HyperAggressive
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 1.0
+	}
+	if c.DegradedSampleN == 0 {
+		c.DegradedSampleN = 64
+	}
+	if c.History <= 0 {
+		c.History = 64
+	}
+	return c
+}
+
+// compState is the per-component recalibration bookkeeping.
+type compState struct {
+	window   []ComputeSample
+	residual float64 // last computed relative residual
+}
+
+// wireState is the per-wire blame bookkeeping.
+type wireState struct {
+	upstream string
+	lastCum  float64   // cumulative seconds at the previous Step
+	deltas   []float64 // ring of the last Window per-Step deltas
+}
+
+// stratState is the per-component silence-strategy bookkeeping.
+type stratState struct {
+	base     silence.Config // the configured baseline to fall back to
+	current  silence.Config
+	level    int // 0 = baseline, 1 = Aggressive, 2 = HyperAggressive+bias
+	quiet    int // consecutive blame-free Steps
+	cooldown int // Steps until the next change is allowed
+}
+
+// Controller is the adaptive policy. Not safe for concurrent use; the
+// cluster's single adaptive loop owns it (Status takes a snapshot the
+// debug endpoint can serve from any goroutine via the loop's mutex).
+type Controller struct {
+	cfg          Config
+	comps        map[string]*compState
+	wires        map[string]*wireState
+	strats       map[string]*stratState
+	degraded     bool
+	baseSampleN  uint64
+	seq          uint64
+	lastBoundary vt.Time
+	decisions    []Decision // ring, newest last
+	nowFn        func() time.Time
+}
+
+// New builds a controller. baseline maps each adaptable component to its
+// configured silence baseline (the strategy de-escalation returns to);
+// components absent from it are never escalated. baseSampleN is the
+// sampling modulus recovery restores.
+func New(cfg Config, baseline map[string]silence.Config, baseSampleN uint64) *Controller {
+	c := &Controller{
+		cfg:         cfg.withDefaults(),
+		comps:       make(map[string]*compState),
+		wires:       make(map[string]*wireState),
+		strats:      make(map[string]*stratState),
+		baseSampleN: baseSampleN,
+		nowFn:       time.Now,
+	}
+	if c.baseSampleN == 0 {
+		c.baseSampleN = 1
+	}
+	for name, base := range baseline {
+		c.strats[name] = &stratState{base: base, current: base}
+	}
+	return c
+}
+
+// boundary returns the shared, monotonic, VT-quantized epoch boundary for
+// decisions taken at now: the first quantum boundary at least one full
+// quantum in the future (the same rule as span.Schedule.Propose, so every
+// engine within one quantum of now passes it strictly later).
+func (c *Controller) boundary(now vt.Time) vt.Time {
+	q := int64(c.cfg.Quantum)
+	b := vt.Time(((int64(now)+q)/q + 1) * q)
+	if b < c.lastBoundary {
+		b = c.lastBoundary
+	}
+	c.lastBoundary = b
+	return b
+}
+
+func (c *Controller) record(d Decision) Decision {
+	c.seq++
+	d.Seq = c.seq
+	d.At = c.nowFn()
+	c.decisions = append(c.decisions, d)
+	if len(c.decisions) > c.cfg.History {
+		c.decisions = c.decisions[len(c.decisions)-c.cfg.History:]
+	}
+	return d
+}
+
+// Step consumes one observation and returns the decisions to act on, in a
+// deterministic order (sampling, then recalibrations by component name,
+// then at most one silence change).
+func (c *Controller) Step(obs Observation) []Decision {
+	var out []Decision
+	at := c.boundary(obs.Now)
+	if d, ok := c.stepBurn(obs, at); ok {
+		out = append(out, d)
+	}
+	out = append(out, c.stepResiduals(obs, at)...)
+	if d, ok := c.stepBlame(obs, at); ok {
+		out = append(out, d)
+	}
+	return out
+}
+
+// stepBurn implements SLO-burn-fed degradation: over-budget burn steps the
+// sampling modulus down (fewer spans, lower overhead) and lets stepBlame
+// escalate more readily; a recovered budget steps back.
+func (c *Controller) stepBurn(obs Observation, at vt.Time) (Decision, bool) {
+	if !c.degraded && obs.BurnRate > c.cfg.BurnThreshold {
+		c.degraded = true
+		if obs.SampleN != c.cfg.DegradedSampleN {
+			return c.record(Decision{
+				Kind:        KindSampling,
+				EffectiveVT: at,
+				SampleN:     c.cfg.DegradedSampleN,
+				Cause:       fmt.Sprintf("slo burn %.2f > %.2f: degrade sampling 1/%d -> 1/%d", obs.BurnRate, c.cfg.BurnThreshold, obs.SampleN, c.cfg.DegradedSampleN),
+			}), true
+		}
+		return Decision{}, false
+	}
+	if c.degraded && obs.BurnRate < c.cfg.BurnThreshold/2 {
+		c.degraded = false
+		if obs.SampleN != c.baseSampleN {
+			return c.record(Decision{
+				Kind:        KindSampling,
+				EffectiveVT: at,
+				SampleN:     c.baseSampleN,
+				Cause:       fmt.Sprintf("slo burn %.2f recovered: restore sampling 1/%d", obs.BurnRate, c.baseSampleN),
+			}), true
+		}
+	}
+	return Decision{}, false
+}
+
+// stepResiduals implements span-driven estimator recalibration: a windowed
+// least-squares fit of measured wall time against charged virtual time;
+// when the relative residual exceeds the threshold, the current
+// coefficients are rescaled by the fitted slope and pushed through the
+// logged determinism-fault path.
+func (c *Controller) stepResiduals(obs Observation, at vt.Time) []Decision {
+	var out []Decision
+	for _, name := range sortedKeys(obs.Compute) {
+		cs := c.comps[name]
+		if cs == nil {
+			cs = &compState{}
+			c.comps[name] = cs
+		}
+		cs.window = append(cs.window, obs.Compute[name]...)
+		if n := 4 * c.cfg.MinSamples; len(cs.window) > n {
+			cs.window = cs.window[len(cs.window)-n:]
+		}
+		var absErr, wallSum, cross, chargedSq float64
+		for _, s := range cs.window {
+			d := s.WallNanos - s.Charged
+			if d < 0 {
+				d = -d
+			}
+			absErr += d
+			wallSum += s.WallNanos
+			cross += s.WallNanos * s.Charged
+			chargedSq += s.Charged * s.Charged
+		}
+		if wallSum <= 0 {
+			continue
+		}
+		cs.residual = absErr / wallSum
+		if len(cs.window) < c.cfg.MinSamples || cs.residual <= c.cfg.ResidualThreshold || chargedSq <= 0 {
+			continue
+		}
+		cur, ok := obs.Coeffs[name]
+		if !ok || len(cur) == 0 {
+			continue
+		}
+		// Least-squares slope of wall = scale · charged: the single factor
+		// that best maps the charged model onto measured reality.
+		scale := cross / chargedSq
+		if scale <= 0 {
+			continue
+		}
+		coeffs := make([]float64, len(cur))
+		for i, b := range cur {
+			coeffs[i] = b * scale
+		}
+		out = append(out, c.record(Decision{
+			Kind:        KindRecalibrate,
+			Component:   name,
+			EffectiveVT: at,
+			Coeffs:      coeffs,
+			Cause:       fmt.Sprintf("residual %.0f%% over %d samples: rescale coefficients by %.2f", cs.residual*100, len(cs.window), scale),
+		}))
+		cs.window = cs.window[:0]
+		cs.residual = 0
+	}
+	return out
+}
+
+// stepBlame implements blame-driven silence-strategy selection: the wire
+// dominating the recent pessimism-blame window gets its upstream escalated
+// one step (baseline → Aggressive → HyperAggressive with bias, capped at
+// MaxStrategy); sustained quiet steps an escalated component back down.
+func (c *Controller) stepBlame(obs Observation, at vt.Time) (Decision, bool) {
+	// Fold this Step's cumulative readings into per-wire delta windows.
+	compBlame := make(map[string]float64) // upstream component -> windowed seconds
+	var total float64
+	for _, label := range sortedKeys(obs.Blame) {
+		wb := obs.Blame[label]
+		ws := c.wires[label]
+		if ws == nil {
+			ws = &wireState{upstream: wb.Upstream, lastCum: wb.Seconds}
+			c.wires[label] = ws
+			continue // first sighting: no delta yet
+		}
+		delta := wb.Seconds - ws.lastCum
+		if delta < 0 {
+			delta = 0 // counter reset (failover)
+		}
+		ws.lastCum = wb.Seconds
+		ws.upstream = wb.Upstream
+		ws.deltas = append(ws.deltas, delta)
+		if len(ws.deltas) > c.cfg.Window {
+			ws.deltas = ws.deltas[len(ws.deltas)-c.cfg.Window:]
+		}
+		sum := 0.0
+		for _, d := range ws.deltas {
+			sum += d
+		}
+		compBlame[wb.Upstream] += sum
+		total += sum
+	}
+
+	// Quiet / cooldown bookkeeping for every adaptable component.
+	minBlame := c.cfg.MinBlameSeconds
+	if c.degraded {
+		minBlame /= 4 // burn pressure: escalate on weaker evidence
+	}
+	resting := make(map[string]bool)
+	for _, name := range sortedKeys(c.strats) {
+		st := c.strats[name]
+		if st.cooldown > 0 {
+			resting[name] = true
+			st.cooldown--
+		}
+		if compBlame[name] < minBlame/4 {
+			st.quiet++
+		} else {
+			st.quiet = 0
+		}
+	}
+
+	// Escalate the dominant blamed upstream, if it clears the bar.
+	var worst string
+	var worstSum float64
+	var worstWire string
+	for _, label := range sortedKeys(c.wires) {
+		ws := c.wires[label]
+		st := c.strats[ws.upstream]
+		if st == nil || resting[ws.upstream] {
+			continue
+		}
+		if s := compBlame[ws.upstream]; s > worstSum {
+			worst, worstSum, worstWire = ws.upstream, s, label
+		}
+	}
+	if worst != "" && worstSum >= minBlame && (total <= 0 || worstSum/total >= c.cfg.BlameShare) {
+		st := c.strats[worst]
+		if next, ok := c.escalated(st); ok {
+			prev := st.current.Strategy
+			st.current = next
+			st.level++
+			st.quiet = 0
+			st.cooldown = c.cfg.Cooldown
+			return c.record(Decision{
+				Kind:        KindSilence,
+				Component:   worst,
+				Wire:        worstWire,
+				EffectiveVT: at,
+				Silence:     next,
+				Cause:       fmt.Sprintf("wire %s blamed for %.1fms over window: %s -> %s", worstWire, worstSum*1e3, prev, next.Strategy),
+			}), true
+		}
+	}
+
+	// De-escalate one sustained-quiet component per Step.
+	for _, name := range sortedKeys(c.strats) {
+		st := c.strats[name]
+		if st.level == 0 || st.quiet < c.cfg.QuietWindows || resting[name] {
+			continue
+		}
+		prev := st.current.Strategy
+		st.level--
+		if st.level == 0 {
+			st.current = st.base
+		} else {
+			st.current = silence.Config{Strategy: silence.Aggressive, Stride: st.base.Stride}
+		}
+		st.quiet = 0
+		st.cooldown = c.cfg.Cooldown
+		return c.record(Decision{
+			Kind:        KindSilence,
+			Component:   name,
+			EffectiveVT: at,
+			Silence:     st.current,
+			Cause:       fmt.Sprintf("blame quiet for %d windows: %s -> %s", c.cfg.QuietWindows, prev, st.current.Strategy),
+		}), true
+	}
+	return Decision{}, false
+}
+
+// escalated returns the next-more-eager configuration for st, or false
+// when already at the cap.
+func (c *Controller) escalated(st *stratState) (silence.Config, bool) {
+	switch {
+	case st.level == 0 && st.current.Strategy < silence.Aggressive && c.cfg.MaxStrategy >= silence.Aggressive:
+		return silence.Config{Strategy: silence.Aggressive, Stride: st.base.Stride}, true
+	case st.level <= 1 && st.current.Strategy == silence.Aggressive && c.cfg.MaxStrategy >= silence.HyperAggressive:
+		return silence.Config{Strategy: silence.HyperAggressive, Stride: st.base.Stride, Bias: c.cfg.Bias}, true
+	default:
+		return silence.Config{}, false
+	}
+}
+
+// WireStrategy reports the silence strategy currently selected for the
+// wire's upstream component (the baseline when the component is unknown).
+type WireStrategy struct {
+	Wire      string           `json:"wire"`
+	Upstream  string           `json:"upstream"`
+	Strategy  silence.Strategy `json:"-"`
+	Name      string           `json:"strategy"`
+	WindowSec float64          `json:"blameWindowSeconds"`
+}
+
+// ComponentStatus is one component's estimator view.
+type ComponentStatus struct {
+	Component string    `json:"component"`
+	Residual  float64   `json:"residual"`
+	Samples   int       `json:"samples"`
+	Coeffs    []float64 `json:"coeffs,omitempty"`
+}
+
+// Status is a JSON-able snapshot for /adapt and tartctl adapt.
+type Status struct {
+	Degraded   bool              `json:"degraded"`
+	Components []ComponentStatus `json:"components,omitempty"`
+	Wires      []WireStrategy    `json:"wires,omitempty"`
+	Decisions  []Decision        `json:"decisions,omitempty"`
+}
+
+// Status snapshots the controller. coeffs supplies current per-component
+// coefficients for display (may be nil).
+func (c *Controller) Status(coeffs map[string][]float64) Status {
+	st := Status{Degraded: c.degraded}
+	for _, name := range sortedKeys(c.comps) {
+		cs := c.comps[name]
+		st.Components = append(st.Components, ComponentStatus{
+			Component: name, Residual: cs.residual, Samples: len(cs.window), Coeffs: coeffs[name],
+		})
+	}
+	for _, label := range sortedKeys(c.wires) {
+		ws := c.wires[label]
+		strat := silence.Config{}
+		if s := c.strats[ws.upstream]; s != nil {
+			strat = s.current
+		}
+		sum := 0.0
+		for _, d := range ws.deltas {
+			sum += d
+		}
+		name := "-"
+		if strat.Strategy != 0 {
+			name = strat.Strategy.String()
+		}
+		st.Wires = append(st.Wires, WireStrategy{
+			Wire: label, Upstream: ws.upstream, Strategy: strat.Strategy, Name: name, WindowSec: sum,
+		})
+	}
+	st.Decisions = append(st.Decisions, c.decisions...)
+	return st
+}
+
+// StrategyOf returns the currently selected configuration for a component
+// and whether the component is adaptable.
+func (c *Controller) StrategyOf(component string) (silence.Config, bool) {
+	st, ok := c.strats[component]
+	if !ok {
+		return silence.Config{}, false
+	}
+	return st.current, true
+}
+
+// Decisions returns the retained decision ring, oldest first.
+func (c *Controller) Decisions() []Decision {
+	return append([]Decision(nil), c.decisions...)
+}
+
+// Degraded reports whether the controller is in SLO-burn degradation.
+func (c *Controller) Degraded() bool { return c.degraded }
+
+// SetNowFunc overrides the wall-clock source (tests).
+func (c *Controller) SetNowFunc(fn func() time.Time) { c.nowFn = fn }
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	// Insertion sort: key sets here are tiny (components, wires).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

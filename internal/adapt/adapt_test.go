@@ -1,0 +1,208 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/silence"
+	"repro/internal/vt"
+)
+
+func testConfig() Config {
+	return Config{
+		Quantum:           1000,
+		Window:            3,
+		MinSamples:        4,
+		ResidualThreshold: 0.2,
+		MinBlameSeconds:   0.010,
+		BlameShare:        0.5,
+		QuietWindows:      2,
+		Cooldown:          1,
+		Bias:              500,
+		BurnThreshold:     1.0,
+		DegradedSampleN:   64,
+	}
+}
+
+func newTest(cfg Config) *Controller {
+	c := New(cfg, map[string]silence.Config{
+		"sender1": {Strategy: silence.Lazy},
+		"sender2": {Strategy: silence.Lazy},
+	}, 8)
+	c.SetNowFunc(func() time.Time { return time.Unix(0, 0) })
+	return c
+}
+
+func TestBoundaryQuantizedStrictlyFuture(t *testing.T) {
+	c := newTest(testConfig())
+	for _, now := range []vt.Time{0, 1, 999, 1000, 1001, 1500} {
+		b := c.boundary(now)
+		if int64(b)%1000 != 0 {
+			t.Fatalf("boundary(%v) = %v not on quantum grid", now, b)
+		}
+		if b <= now {
+			t.Fatalf("boundary(%v) = %v not strictly future", now, b)
+		}
+	}
+	// Monotonic even if now regresses (loosely aligned engine clocks).
+	high := c.boundary(10_000)
+	if low := c.boundary(500); low < high {
+		t.Fatalf("boundary regressed: %v after %v", low, high)
+	}
+}
+
+func TestRecalibrationFiresOnResidual(t *testing.T) {
+	c := newTest(testConfig())
+	// Estimator charges 100 ticks; handler measures ~300ns wall. Residual
+	// is ~67%, and the least-squares slope is 3.
+	samples := make([]ComputeSample, 8)
+	for i := range samples {
+		samples[i] = ComputeSample{WallNanos: 300, Charged: 100}
+	}
+	ds := c.Step(Observation{
+		Now:     100,
+		Compute: map[string][]ComputeSample{"worker": samples},
+		Coeffs:  map[string][]float64{"worker": {50, 2}},
+	})
+	if len(ds) != 1 || ds[0].Kind != KindRecalibrate {
+		t.Fatalf("want one recalibrate decision, got %v", ds)
+	}
+	d := ds[0]
+	if d.Component != "worker" {
+		t.Fatalf("component = %q", d.Component)
+	}
+	if len(d.Coeffs) != 2 || d.Coeffs[0] < 149 || d.Coeffs[0] > 151 || d.Coeffs[1] < 5.9 || d.Coeffs[1] > 6.1 {
+		t.Fatalf("coeffs = %v, want ~[150 6]", d.Coeffs)
+	}
+	if int64(d.EffectiveVT)%1000 != 0 || d.EffectiveVT <= 100 {
+		t.Fatalf("effective VT %v not a strictly-future boundary", d.EffectiveVT)
+	}
+	// Window cleared: an immediate second step with no new samples is quiet.
+	if ds := c.Step(Observation{Now: 200, Coeffs: map[string][]float64{"worker": {150, 6}}}); len(ds) != 0 {
+		t.Fatalf("expected no decisions after window reset, got %v", ds)
+	}
+}
+
+func TestAccurateEstimatorStaysQuiet(t *testing.T) {
+	c := newTest(testConfig())
+	samples := make([]ComputeSample, 8)
+	for i := range samples {
+		samples[i] = ComputeSample{WallNanos: 105, Charged: 100}
+	}
+	ds := c.Step(Observation{
+		Now:     100,
+		Compute: map[string][]ComputeSample{"worker": samples},
+		Coeffs:  map[string][]float64{"worker": {50}},
+	})
+	if len(ds) != 0 {
+		t.Fatalf("5%% residual should not recalibrate, got %v", ds)
+	}
+}
+
+func TestBlameEscalatesAndRecovers(t *testing.T) {
+	c := newTest(testConfig())
+	blame := func(sec float64) Observation {
+		return Observation{Now: 100, Blame: map[string]WireBlame{
+			"sender2.out>merger.s2": {Upstream: "sender2", Seconds: sec},
+		}}
+	}
+	// First sighting establishes the cumulative baseline; no decision.
+	if ds := c.Step(blame(0.100)); len(ds) != 0 {
+		t.Fatalf("baseline step decided %v", ds)
+	}
+	// A 50ms delta dominates the window: escalate sender2 to Aggressive.
+	ds := c.Step(blame(0.150))
+	if len(ds) != 1 || ds[0].Kind != KindSilence || ds[0].Component != "sender2" {
+		t.Fatalf("want silence escalation for sender2, got %v", ds)
+	}
+	if ds[0].Silence.Strategy != silence.Aggressive {
+		t.Fatalf("first escalation = %v, want aggressive", ds[0].Silence.Strategy)
+	}
+	// Cooldown: the immediately following step stays quiet.
+	if ds := c.Step(blame(0.200)); len(ds) != 0 {
+		t.Fatalf("cooldown step decided %v", ds)
+	}
+	// Still dominant: next escalation reaches HyperAggressive with bias.
+	ds = c.Step(blame(0.250))
+	if len(ds) != 1 || ds[0].Silence.Strategy != silence.HyperAggressive || ds[0].Silence.Bias != 500 {
+		t.Fatalf("want hyper-aggressive bias=500, got %v", ds)
+	}
+	// Quiet blame for QuietWindows+cooldown steps walks it back down.
+	var kinds []Decision
+	for i := 0; i < 10; i++ {
+		kinds = append(kinds, c.Step(blame(0.250))...)
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("expected two de-escalations, got %v", kinds)
+	}
+	if kinds[0].Silence.Strategy != silence.Aggressive || kinds[1].Silence.Strategy != silence.Lazy {
+		t.Fatalf("de-escalation path = %v", kinds)
+	}
+	cfg, ok := c.StrategyOf("sender2")
+	if !ok || cfg.Strategy != silence.Lazy {
+		t.Fatalf("final strategy = %v, want baseline lazy", cfg.Strategy)
+	}
+}
+
+func TestMaxStrategyCapsEscalation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxStrategy = silence.Aggressive
+	c := newTest(cfg)
+	obs := func(sec float64) Observation {
+		return Observation{Now: 100, Blame: map[string]WireBlame{
+			"sender2.out>merger.s2": {Upstream: "sender2", Seconds: sec},
+		}}
+	}
+	c.Step(obs(0.1))
+	ds := c.Step(obs(0.2))
+	if len(ds) != 1 || ds[0].Silence.Strategy != silence.Aggressive {
+		t.Fatalf("want aggressive, got %v", ds)
+	}
+	// Never crosses into hyper-aggressive regardless of blame pressure.
+	for i := 0; i < 6; i++ {
+		for _, d := range c.Step(obs(0.3 + float64(i))) {
+			if d.Kind == KindSilence && d.Silence.Strategy > silence.Aggressive {
+				t.Fatalf("escalated past cap: %v", d)
+			}
+		}
+	}
+}
+
+func TestBurnDegradesAndRestoresSampling(t *testing.T) {
+	c := newTest(testConfig())
+	ds := c.Step(Observation{Now: 100, BurnRate: 2.5, SampleN: 8})
+	if len(ds) != 1 || ds[0].Kind != KindSampling || ds[0].SampleN != 64 {
+		t.Fatalf("want degrade to 1/64, got %v", ds)
+	}
+	if !c.Degraded() {
+		t.Fatal("controller not degraded")
+	}
+	// Burn above half-threshold: hold.
+	if ds := c.Step(Observation{Now: 200, BurnRate: 0.8, SampleN: 64}); len(ds) != 0 {
+		t.Fatalf("hold step decided %v", ds)
+	}
+	ds = c.Step(Observation{Now: 300, BurnRate: 0.2, SampleN: 64})
+	if len(ds) != 1 || ds[0].Kind != KindSampling || ds[0].SampleN != 8 {
+		t.Fatalf("want restore to 1/8, got %v", ds)
+	}
+	if c.Degraded() {
+		t.Fatal("controller still degraded")
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	c := newTest(testConfig())
+	c.Step(Observation{Now: 100, BurnRate: 2.0, SampleN: 8, Blame: map[string]WireBlame{
+		"sender1.out>merger.s1": {Upstream: "sender1", Seconds: 0.001},
+	}})
+	st := c.Status(map[string][]float64{})
+	if !st.Degraded {
+		t.Fatal("status not degraded")
+	}
+	if len(st.Wires) != 1 || st.Wires[0].Upstream != "sender1" || st.Wires[0].Name != "lazy" {
+		t.Fatalf("wires = %+v", st.Wires)
+	}
+	if len(st.Decisions) != 1 {
+		t.Fatalf("decisions = %v", st.Decisions)
+	}
+}

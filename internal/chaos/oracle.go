@@ -60,6 +60,12 @@ type RunOptions struct {
 	LogDir string
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration
+	// ExtraOptions appends cluster options to the standard set — e.g.
+	// WithAdaptiveRuntime for the adaptive chaos soak. Options that change
+	// virtual-time stamps would break the oracle; adaptive variants must
+	// stay VT-neutral (cap escalation at Aggressive, constant-cost
+	// components so no recalibration fires).
+	ExtraOptions []tart.ClusterOption
 }
 
 // Result is one oracle run's outcome.
@@ -148,6 +154,7 @@ func Run(opts RunOptions) (*Result, error) {
 	if opts.LogDir != "" {
 		clusterOpts = append(clusterOpts, tart.WithFileLogs(opts.LogDir))
 	}
+	clusterOpts = append(clusterOpts, opts.ExtraOptions...)
 	var nc *tart.NetworkChaos
 	var inj *tart.WALFaultInjector
 	if opts.Chaos != nil {

@@ -263,6 +263,10 @@ func NewFromBackup(cfg Config, store *checkpoint.ReplicaStore) (*Engine, error) 
 					Note: fmt.Sprintf("checkpoint audit chain mismatch at delivery %d", schedState.AuditCount-1)})
 			}
 		}
+		faults, err := e.log.Faults(h.name)
+		if err != nil {
+			return nil, err
+		}
 		if h.cal != nil {
 			if estState != nil {
 				if err := h.cal.SetState(*estState); err != nil {
@@ -271,12 +275,11 @@ func NewFromBackup(cfg Config, store *checkpoint.ReplicaStore) (*Engine, error) 
 			}
 			// Re-apply determinism faults logged after the checkpoint; the
 			// synchronous fault log is the source of truth (§II.G.4).
-			faults, err := e.log.Faults(h.name)
-			if err != nil {
-				return nil, err
-			}
 			last := lastEpochStart(h.cal)
 			for _, f := range faults {
+				if f.Silence != nil {
+					continue // silence faults re-applied below
+				}
 				if f.Fault.EffectiveVT < last {
 					continue // already reflected in the checkpointed state
 				}
@@ -284,6 +287,17 @@ func NewFromBackup(cfg Config, store *checkpoint.ReplicaStore) (*Engine, error) 
 					return nil, fmt.Errorf("engine: replay fault for %q: %w", h.name, err)
 				}
 			}
+		}
+		// Silence configuration is not part of the checkpointed component
+		// state, so re-install every logged silence fault in log order: the
+		// scheduler applies boundaries at or before the restored clock
+		// immediately (later entries overwrite earlier ones, converging on
+		// the newest past config) and queues strictly-future ones.
+		for _, f := range faults {
+			if f.Silence == nil {
+				continue
+			}
+			h.sch.ApplySilenceEpoch(f.Silence.Config, f.Silence.EffectiveVT)
 		}
 		h.shippedFull = false // first post-recovery checkpoint ships full state
 		if schedState.Clock > e.lastCkptVT {

@@ -47,6 +47,7 @@ func (e *Engine) startDebug() error {
 	mux.HandleFunc("/topology", d.handleTopology)
 	mux.HandleFunc("/supervisor", d.handleSupervisor)
 	mux.HandleFunc("/slo", d.handleSLO)
+	mux.HandleFunc("/adapt", d.handleAdapt)
 	mux.HandleFunc("/rewind", d.handleRewind)
 	if e.cfg.DebugPprof {
 		// Off by default: pprof endpoints can stop the world (heap dumps,
@@ -139,6 +140,20 @@ func (d *debugServer) handleSLO(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(d.e.cfg.SLOInfo())
+}
+
+// handleAdapt serves the adaptive runtime controller's status — current
+// estimator coefficients, per-wire silence strategies, and the most recent
+// decisions with their causes (404 when the cluster runs without one).
+func (d *debugServer) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	if d.e.cfg.AdaptInfo == nil {
+		http.Error(w, "no adaptive runtime attached (enable with WithAdaptiveRuntime)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(d.e.cfg.AdaptInfo())
 }
 
 // healthz reports engine liveness and peer connectivity; any disconnected

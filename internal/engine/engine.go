@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -152,6 +153,11 @@ type Config struct {
 	// supervisor-owned series (failovers, time-to-recover) on every
 	// engine's scrape endpoint. Optional.
 	ExtraMetrics func(w io.Writer)
+	// AdaptInfo, when set, is served as JSON at the debug listener's /adapt
+	// endpoint — the cluster installs the adaptive runtime controller's
+	// status (coefficients, per-wire strategies, recent decisions) here.
+	// Optional.
+	AdaptInfo func() any
 	// RewindInfo, when set, serves /rewind queries on the debug listener —
 	// the cluster installs its time-travel inspector here. The handler
 	// receives the raw query values and returns a JSON-encodable result or
@@ -373,6 +379,80 @@ func calibrationFor(e *Engine, name string, cal *estimator.Calibrated, spec Comp
 			return cal.Apply(fault)
 		},
 	}
+}
+
+// CommitEstimatorFault routes an externally proposed estimator
+// recalibration (the adaptive runtime's) through the same log-then-apply
+// discipline as scheduler-proposed faults: the record hits stable storage
+// before the new coefficients take effect (§II.G.4). Errors if the
+// component is not hosted here or lacks a calibrated estimator.
+func (e *Engine) CommitEstimatorFault(component string, fault estimator.Fault) error {
+	h, ok := e.comps[component]
+	if !ok {
+		return fmt.Errorf("engine: component %q not hosted on %q", component, e.name)
+	}
+	if h.cal == nil {
+		return fmt.Errorf("engine: component %q has no calibrated estimator", component)
+	}
+	rec := wal.FaultRecord{Component: component, Fault: fault}
+	if err := e.log.AppendFault(rec); err != nil {
+		return err
+	}
+	return h.cal.Apply(fault)
+}
+
+// CommitSilenceFault logs a silence-configuration change as a determinism
+// fault and schedules it to take effect at the given virtual-time epoch
+// boundary. Every adaptive strategy switch goes through here — even ones
+// that would pass the SetConfig guard — so replay and replicas re-derive
+// the identical per-wire strategy sequence from the log instead of
+// re-running the control loop.
+func (e *Engine) CommitSilenceFault(component string, cfg silence.Config, at vt.Time) error {
+	h, ok := e.comps[component]
+	if !ok {
+		return fmt.Errorf("engine: component %q not hosted on %q", component, e.name)
+	}
+	rec := wal.FaultRecord{Component: component, Silence: &wal.SilenceFault{Config: cfg, EffectiveVT: at}}
+	if err := e.log.AppendFault(rec); err != nil {
+		return err
+	}
+	h.sch.ApplySilenceEpoch(cfg, at)
+	return nil
+}
+
+// Calibrated returns a hosted component's calibrated estimator, or false
+// when the component is not hosted here or uses a plain estimator.
+func (e *Engine) Calibrated(component string) (*estimator.Calibrated, bool) {
+	h, ok := e.comps[component]
+	if !ok || h.cal == nil {
+		return nil, false
+	}
+	return h.cal, true
+}
+
+// ComponentVT returns a hosted component's virtual-time frontier: the
+// later of the engine clock and the component's scheduler clock. Manual-
+// clock deployments keep the engine clock pinned while schedulers still
+// advance with processed messages, so "which estimator/silence epoch is in
+// force" must consult the scheduler side too.
+func (e *Engine) ComponentVT(component string) vt.Time {
+	now := e.clock()
+	if h, ok := e.comps[component]; ok {
+		if c := h.sch.Clock(); c > now {
+			now = c
+		}
+	}
+	return now
+}
+
+// Hosted returns the names of the components hosted on this engine, sorted.
+func (e *Engine) Hosted() []string {
+	out := make([]string, 0, len(e.comps))
+	for name := range e.comps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Name returns the engine name.

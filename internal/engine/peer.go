@@ -34,11 +34,19 @@ type peerSet struct {
 	// newest subsumes the rest — promises are monotone). silCoalesced
 	// counts promises absorbed by a newer one instead of being transmitted.
 	silMu        sync.Mutex
-	silPending   map[string]map[msg.WireID]vt.Time
+	silPending   map[string]map[msg.WireID]pendingSilence
 	silTimer     *time.Timer
 	silArmed     bool
 	silLast      time.Time
 	silCoalesced *trace.Counter
+}
+
+// pendingSilence is one coalesced peer-bound promise: the watermark plus the
+// sender's data-prefix attestation (both monotone per wire, so coalescing
+// keeps the max of each).
+type pendingSilence struct {
+	promise vt.Time
+	seq     uint64
 }
 
 func newPeerSet(e *Engine) *peerSet {
@@ -52,7 +60,7 @@ func newPeerSet(e *Engine) *peerSet {
 		needed:     make(map[string]bool),
 		lastHeard:  make(map[string]time.Time),
 		gens:       gens,
-		silPending: make(map[string]map[msg.WireID]vt.Time),
+		silPending: make(map[string]map[msg.WireID]pendingSilence),
 		silCoalesced: e.metrics.Registry().Counter(trace.MetricSilenceCoalesce,
 			"Peer-bound silence promises absorbed by a newer promise within a flush window."),
 	}
@@ -188,17 +196,24 @@ func (p *peerSet) sendSilence(peer string, env msg.Envelope) {
 	p.silMu.Lock()
 	m := p.silPending[peer]
 	if m == nil {
-		m = make(map[msg.WireID]vt.Time)
+		m = make(map[msg.WireID]pendingSilence)
 		p.silPending[peer] = m
 	}
+	next := pendingSilence{promise: env.Promise, seq: env.Seq}
 	if old, ok := m[env.Wire]; ok {
 		p.silCoalesced.Inc()
-		if env.Promise <= old {
+		if env.Promise <= old.promise && env.Seq <= old.seq {
 			p.silMu.Unlock()
 			return
 		}
+		if old.promise > next.promise {
+			next.promise = old.promise
+		}
+		if old.seq > next.seq {
+			next.seq = old.seq
+		}
 	}
-	m[env.Wire] = env.Promise
+	m[env.Wire] = next
 	if time.Since(p.silLast) >= window {
 		p.silMu.Unlock()
 		p.flushSilence()
@@ -220,7 +235,7 @@ func (p *peerSet) sendSilence(peer string, env msg.Envelope) {
 func (p *peerSet) flushSilence() {
 	p.silMu.Lock()
 	pending := p.silPending
-	p.silPending = make(map[string]map[msg.WireID]vt.Time)
+	p.silPending = make(map[string]map[msg.WireID]pendingSilence)
 	p.silArmed = false
 	p.silLast = time.Now()
 	p.silMu.Unlock()
@@ -236,7 +251,8 @@ func (p *peerSet) flushSilence() {
 		}
 		sort.Slice(wires, func(i, j int) bool { return wires[i] < wires[j] })
 		for _, w := range wires {
-			p.send(peer, msg.NewSilence(w, pending[peer][w]))
+			ps := pending[peer][w]
+			p.send(peer, msg.NewSilenceAfter(w, ps.promise, ps.seq))
 		}
 	}
 }

@@ -105,8 +105,9 @@ func (s *Source) Quiesce(through vt.Time) {
 		return
 	}
 	s.promised = through
+	seq := s.seq
 	s.mu.Unlock()
-	s.target.sch.Deliver(msg.NewSilence(s.wire.ID, through))
+	s.target.sch.Deliver(msg.NewSilenceAfter(s.wire.ID, through, seq))
 }
 
 // End promises the source will never emit again (end of stream).
@@ -174,10 +175,11 @@ func (e *Engine) answerSourceProbe(w *topo.Wire) {
 			return // nothing new to promise
 		}
 		s.promised = promise
+		seq := s.seq
 		s.mu.Unlock()
 		e.metrics.AddSilence()
 		e.rec.Record(trace.Event{Kind: trace.EvSilence, VT: promise, Component: s.name, Wire: w.ID, Note: "source probe answer"})
-		s.target.sch.Deliver(msg.NewSilence(w.ID, promise))
+		s.target.sch.Deliver(msg.NewSilenceAfter(w.ID, promise, seq))
 		return
 	}
 }
@@ -197,9 +199,10 @@ func (e *Engine) advanceSourceSilence() {
 			continue
 		}
 		s.promised = promise
+		seq := s.seq
 		s.mu.Unlock()
 		e.metrics.AddSilence()
-		s.target.sch.Deliver(msg.NewSilence(s.wire.ID, promise))
+		s.target.sch.Deliver(msg.NewSilenceAfter(s.wire.ID, promise, seq))
 	}
 }
 

@@ -27,6 +27,11 @@ type Req struct {
 // and wire frames, never renumber.
 const reqPayloadID = tart.FirstUserPayloadID
 
+// AdaptQuantumVT is the VT epoch quantum (1ms of virtual time) the -adapt
+// runtime quantizes decision boundaries to; the harness validates every
+// decision against this grid after the run.
+const AdaptQuantumVT = 1_000_000
+
 var registerOnce sync.Once
 
 func registerReq() {
@@ -117,6 +122,10 @@ type Options struct {
 	AdaptiveBudget float64
 	// OTLPURL, when non-empty, exports spans OTLP/HTTP to this endpoint.
 	OTLPURL string
+	// Adapt enables the closed-loop adaptive runtime (span-driven estimator
+	// recalibration, blame-driven silence adaptation, burn-fed shedding) on
+	// every engine, with decisions quantized to AdaptQuantumVT boundaries.
+	Adapt bool
 	// ChaosSeed, when non-zero, crashes a random engine every ChaosEvery
 	// under an automatic failover supervisor.
 	ChaosSeed  uint64
@@ -179,8 +188,12 @@ type Result struct {
 	ReplayedSpans int                      `json:"replayedSpans,omitempty"`
 	// SampleEpochs is the adaptive-sampling rate history (adaptive runs).
 	SampleEpochs []tart.SampleRateEpoch `json:"sampleEpochs,omitempty"`
-	OTLP         tart.OTLPStats         `json:"otlp"`
-	DebugAddrs   map[string]string      `json:"debugAddrs,omitempty"`
+	// AdaptDecisions is the closed-loop controller's decision log (-adapt
+	// runs); every EffectiveVT must sit on the AdaptQuantum grid.
+	AdaptDecisions []tart.AdaptDecision `json:"adaptDecisions,omitempty"`
+	AdaptQuantum   int64                `json:"adaptQuantum,omitempty"`
+	OTLP           tart.OTLPStats       `json:"otlp"`
+	DebugAddrs     map[string]string    `json:"debugAddrs,omitempty"`
 }
 
 // buildApp assembles the gate → shard_i → collect pipeline.
@@ -273,6 +286,16 @@ func Run(opts Options) (*Result, error) {
 	}
 	if opts.OTLPURL != "" {
 		copts = append(copts, tart.WithOTLPExport(opts.OTLPURL))
+	}
+	if opts.Adapt {
+		copts = append(copts, tart.WithAdaptiveRuntime(tart.AdaptiveRuntime{
+			PollEvery: 200 * time.Millisecond,
+			Quantum:   AdaptQuantumVT,
+			MinBlame:  500 * time.Microsecond,
+			// Stay VT-neutral: escalations stop at Aggressive so the load
+			// run's outputs match a non-adaptive run's byte for byte.
+			MaxStrategy: tart.Aggressive,
+		}))
 	}
 	if opts.ChaosSeed != 0 {
 		copts = append(copts, tart.WithSupervisor(tart.SupervisorConfig{}))
@@ -424,6 +447,10 @@ func Run(opts Options) (*Result, error) {
 		res.Failovers = st.Failovers
 	}
 	res.SampleEpochs = cluster.SampleEpochs()
+	if opts.Adapt {
+		res.AdaptDecisions = cluster.AdaptDecisions()
+		res.AdaptQuantum = AdaptQuantumVT
+	}
 	res.OTLP = cluster.OTLPStats()
 	if opts.Debug {
 		res.DebugAddrs = make(map[string]string)

@@ -147,7 +147,10 @@ func (k Kind) String() string {
 // increasing).
 //
 // For KindSilence, Promise is the time through which the sender guarantees
-// it will send no further message on this wire; VT and Seq are unused.
+// it will send no further message at or before; Seq (when non-zero) attests
+// to the sender's data prefix at promise time — the receiver must hold the
+// promise back until it has contiguously received sequence numbers through
+// Seq, lest the promise overtake lost-but-replayable data. VT is unused.
 //
 // For KindProbe, Promise carries the receiver's target time: the sender
 // should keep answering with extended promises until its promise reaches the
@@ -202,9 +205,25 @@ func NewData(w WireID, seq uint64, t vt.Time, payload any) Envelope {
 	return Envelope{Wire: w, Kind: KindData, Seq: seq, VT: t, Payload: payload}
 }
 
-// NewSilence constructs a silence-promise envelope.
+// NewSilence constructs a silence-promise envelope with no data-prefix
+// attestation (Seq 0): the receiver applies it to its watermark
+// unconditionally. Use NewSilenceAfter when the sender tracks per-wire
+// sequence numbers — external harnesses and sources that deliver in-order
+// by construction are the only callers that should use the bare form.
 func NewSilence(w WireID, through vt.Time) Envelope {
 	return Envelope{Wire: w, Kind: KindSilence, Promise: through}
+}
+
+// NewSilenceAfter constructs a silence promise that also attests to the
+// sender's data stream: at the moment of the promise, the sender had
+// emitted exactly seq data messages on the wire. A receiver lets such a
+// promise advance its silence watermark only once it has contiguously
+// received that prefix. Without the attestation, a promise regenerated
+// during crash replay (or racing a partition heal) can overtake data that
+// was lost in flight and will still be re-sent — advancing the watermark
+// past it and committing the downstream merge in the wrong order.
+func NewSilenceAfter(w WireID, through vt.Time, seq uint64) Envelope {
+	return Envelope{Wire: w, Kind: KindSilence, Seq: seq, Promise: through}
 }
 
 // NewProbe constructs a curiosity probe asking the sender of wire w for a

@@ -22,6 +22,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -163,6 +164,11 @@ type Scheduler struct {
 	pessStart        time.Time
 	pessBlame        msg.WireID // last holdout observed during the current pessimism episode; -1 if none
 	finalSilenceSent bool
+	// pendingSilence holds logged silence-strategy faults waiting for their
+	// VT-quantized effective boundaries, sorted by boundary. Each applies
+	// when the component clock first reaches its epoch start, so replica and
+	// replay re-derive the identical switch point from the fault log.
+	pendingSilence []silenceEpoch
 
 	// Determinism audit chain (paper §II.G.4): a rolling hash over the
 	// delivered (wire, seq, VT, payload-digest) sequence. auditCount is the
@@ -328,6 +334,49 @@ func (s *Scheduler) SetSilence(cfg silence.Config) error {
 	return nil
 }
 
+// silenceEpoch is one logged silence-strategy fault waiting for its
+// VT-quantized effective boundary.
+type silenceEpoch struct {
+	cfg silence.Config
+	at  vt.Time
+}
+
+// ApplySilenceEpoch installs a silence configuration on behalf of a logged
+// determinism fault (§II.G.4), bypassing SetSilence's bias guard. The
+// configuration takes effect when the component clock first reaches at;
+// boundaries the clock has already passed apply immediately (the restore
+// path re-deriving past decisions). Callers must have appended the
+// corresponding fault record to the synchronous log first.
+func (s *Scheduler) ApplySilenceEpoch(cfg silence.Config, at vt.Time) {
+	s.mu.Lock()
+	if s.clock >= at {
+		s.gov.ApplyFault(cfg)
+	} else {
+		s.pendingSilence = append(s.pendingSilence, silenceEpoch{cfg: cfg, at: at})
+		sort.SliceStable(s.pendingSilence, func(i, j int) bool {
+			return s.pendingSilence[i].at < s.pendingSilence[j].at
+		})
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+// applyDueSilenceLocked applies pending silence epochs whose effective
+// boundary the component clock has reached.
+func (s *Scheduler) applyDueSilenceLocked() {
+	for len(s.pendingSilence) > 0 && s.clock >= s.pendingSilence[0].at {
+		s.gov.ApplyFault(s.pendingSilence[0].cfg)
+		s.pendingSilence = s.pendingSilence[1:]
+	}
+}
+
+// SilenceConfig returns the governor's current effective configuration.
+func (s *Scheduler) SilenceConfig() silence.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gov.Config()
+}
+
 // Deliver hands an incoming envelope to the scheduler. Data and
 // call-request envelopes join the logical queue; silence promises advance
 // watermarks; probes (for wires this component sends on) are answered via
@@ -396,9 +445,25 @@ func (s *Scheduler) deliverMessage(env msg.Envelope) {
 func (s *Scheduler) deliverSilence(env msg.Envelope) {
 	s.mu.Lock()
 	in, ok := s.inputs[env.Wire]
-	if ok && env.Promise > in.watermark {
-		in.watermark = env.Promise
-		s.front.update(in)
+	if ok {
+		if env.Seq >= in.nextSeq {
+			// The promise attests to a data prefix this receiver has not
+			// contiguously received: it overtook messages still in flight
+			// or lost to a crash/partition (silence promises are unsequenced
+			// fire-and-forget, so they can outrun replayed data). Park it —
+			// advancing the watermark now would commit the merge past data
+			// that will still arrive. enqueue applies it when the gap fills;
+			// gapFrom surfaces the attested range to the repair loop.
+			if env.Seq > in.pendPromiseSeq {
+				in.pendPromiseSeq = env.Seq
+			}
+			if env.Promise > in.pendPromise {
+				in.pendPromise = env.Promise
+			}
+		} else if env.Promise > in.watermark {
+			in.watermark = env.Promise
+			s.front.update(in)
+		}
 	}
 	s.mu.Unlock()
 	if ok {
@@ -419,10 +484,11 @@ func (s *Scheduler) deliverProbe(env msg.Envelope) {
 	// so the probe is answered with the freshest promise.
 	s.advanceFrontierLocked()
 	p := s.gov.OnProbe(env.Wire, env.Promise, s.viewLocked(ow))
+	sentSeq := ow.seq
 	s.mu.Unlock()
 	if p != nil {
 		s.noteSilence(ow, p.Through)
-		s.cfg.Router.Route(msg.NewSilence(p.Wire, p.Through))
+		s.cfg.Router.Route(msg.NewSilenceAfter(p.Wire, p.Through, sentSeq))
 	}
 	s.wake()
 }

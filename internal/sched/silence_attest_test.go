@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/topo"
+)
+
+// TestAttestedSilencePromiseParksOnGap pins the receiver-side contract for
+// data-prefix-attested silence promises (msg.NewSilenceAfter): a promise
+// whose attestation outruns the wire's contiguous cursor must NOT advance
+// the silence watermark — it parks, is reported as a repairable gap, and
+// applies only once the missing prefix arrives. Without the holdback, a
+// promise regenerated during crash replay (or racing a partition heal) can
+// overtake lost-but-replayable data and commit the merge in the wrong
+// order: the downstream component delivers another wire's later message
+// before the lost one, diverging from the tape every replay would produce.
+func TestAttestedSilencePromiseParksOnGap(t *testing.T) {
+	tp := fig1(t)
+	f := newFabric(t, tp)
+	// Only the merger is registered: probes it sends toward the (absent)
+	// senders vanish, so every watermark advance in this test comes from the
+	// envelopes delivered explicitly below.
+	m := f.add("merger", passthrough("out"))
+	f.start()
+	defer f.stop()
+
+	merger, _ := tp.ComponentByName("merger")
+	var wA, wB msg.WireID
+	for _, wid := range merger.Inputs {
+		w := tp.Wire(wid)
+		if w.From == topo.External {
+			continue
+		}
+		switch tp.Component(w.From).Name {
+		case "sender1":
+			wA = wid
+		case "sender2":
+			wB = wid
+		}
+	}
+
+	m.Deliver(msg.NewData(wA, 1, 1000, "a1"))
+	m.Deliver(msg.NewData(wB, 1, 2000, "b1"))
+	// a1 is deliverable (wB's data at 2000 implies silence through 2000);
+	// b1 must wait for wire A's frontier to pass 2000.
+	if got := f.awaitSink(1, 5*time.Second); got[0].Payload != "a1" {
+		t.Fatalf("first delivery = %v, want a1", got[0].Payload)
+	}
+
+	// A promise through 5000 attesting seqs 1..3 were sent — but seqs 2 and
+	// 3 never arrived (lost in flight). It must park, not unblock b1.
+	m.Deliver(msg.NewSilenceAfter(wA, 5000, 3))
+	select {
+	case env := <-f.sinkCh:
+		t.Fatalf("merge committed past lost data: delivered %v with seqs 2..3 of wire %v missing", env.Payload, wA)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// The parked attestation is a tail gap — nothing behind it lands in
+	// holdback, so the promise itself must make the repair loop see it.
+	if from, ok := m.Gaps()[wA]; !ok || from != 2 {
+		t.Fatalf("Gaps()[%v] = (%d,%v), want (2,true)", wA, from, ok)
+	}
+
+	// The lost prefix is re-sent (gap repair): the parked promise applies at
+	// the gap fill, the frontier jumps to 5000, and b1 finally commits —
+	// after a2 and a3, exactly the order a full replay would produce.
+	m.Deliver(msg.NewData(wA, 2, 1500, "a2"))
+	m.Deliver(msg.NewData(wA, 3, 1800, "a3"))
+	got := f.awaitSink(3, 5*time.Second)
+	want := []string{"a2", "a3", "b1"}
+	for i, env := range got {
+		if env.Payload != want[i] {
+			t.Fatalf("delivery order %d = %v, want %v (full order %v)", i, env.Payload, want[i], payloads(got))
+		}
+	}
+	if gaps := m.Gaps(); len(gaps) != 0 {
+		t.Fatalf("gaps remain after prefix fill: %v", gaps)
+	}
+}
+
+// TestBareSilencePromiseAppliesImmediately: promises without an attestation
+// (Seq 0 — external harnesses, pre-attestation senders) keep the original
+// semantics and advance the watermark unconditionally.
+func TestBareSilencePromiseAppliesImmediately(t *testing.T) {
+	tp := fig1(t)
+	f := newFabric(t, tp)
+	m := f.add("merger", passthrough("out"))
+	f.start()
+	defer f.stop()
+
+	merger, _ := tp.ComponentByName("merger")
+	var wA, wB msg.WireID
+	for _, wid := range merger.Inputs {
+		w := tp.Wire(wid)
+		if w.From == topo.External {
+			continue
+		}
+		switch tp.Component(w.From).Name {
+		case "sender1":
+			wA = wid
+		case "sender2":
+			wB = wid
+		}
+	}
+
+	m.Deliver(msg.NewData(wB, 1, 2000, "b1"))
+	m.Deliver(msg.NewSilence(wA, 5000))
+	if got := f.awaitSink(1, 5*time.Second); got[0].Payload != "b1" {
+		t.Fatalf("delivery = %v, want b1", got[0].Payload)
+	}
+}
+
+func payloads(envs []msg.Envelope) []any {
+	out := make([]any, len(envs))
+	for i, e := range envs {
+		out[i] = e.Payload
+	}
+	return out
+}

@@ -74,6 +74,18 @@ type inWire struct {
 	// nextSeq is the next sequence number expected from the sender.
 	nextSeq uint64
 
+	// pendPromise/pendPromiseSeq park a silence promise whose data-prefix
+	// attestation (Envelope.Seq on a silence envelope) outruns nextSeq: the
+	// sender claims to have emitted data this receiver has not contiguously
+	// received, so the data was lost in flight (crash replay, partition) and
+	// will be re-sent. Applying such a promise immediately would advance the
+	// watermark past the missing messages and let the merge commit other
+	// wires ahead of them. The promise is applied by enqueue once the prefix
+	// fills in; meanwhile gapFrom reports the attested range as a repairable
+	// gap. pendPromiseSeq == 0 means nothing is parked.
+	pendPromise    vt.Time
+	pendPromiseSeq uint64
+
 	// lastVT is the virtual time of the last delivered message.
 	lastVT vt.Time
 
@@ -109,12 +121,13 @@ type queued struct {
 
 func newInWire(w *topo.Wire) *inWire {
 	return &inWire{
-		w:         w,
-		holdback:  make(map[uint64]queued),
-		watermark: vt.Never,
-		nextSeq:   1,
-		lastVT:    vt.Never,
-		hpos:      -1,
+		w:           w,
+		holdback:    make(map[uint64]queued),
+		watermark:   vt.Never,
+		nextSeq:     1,
+		lastVT:      vt.Never,
+		pendPromise: vt.Never,
+		hpos:        -1,
 	}
 }
 
@@ -159,6 +172,15 @@ func (in *inWire) enqueue(q queued) {
 	if q.env.VT > in.watermark {
 		in.watermark = q.env.VT
 	}
+	// A parked silence promise becomes applicable once the data prefix it
+	// attested to has been contiguously received.
+	if in.pendPromiseSeq != 0 && in.nextSeq > in.pendPromiseSeq {
+		if in.pendPromise > in.watermark {
+			in.watermark = in.pendPromise
+		}
+		in.pendPromiseSeq = 0
+		in.pendPromise = vt.Never
+	}
 }
 
 // head returns the earliest pending message, or nil.
@@ -174,12 +196,19 @@ func (in *inWire) pop() queued {
 }
 
 // gapFrom returns the first missing sequence number if messages are parked
-// behind a gap, and whether such a gap exists.
+// behind a gap, and whether such a gap exists. A parked silence promise
+// counts as a gap too: its attestation proves the sender emitted data
+// through pendPromiseSeq, so a trailing cursor means messages were lost
+// with nothing behind them to land in holdback (a tail gap that would
+// otherwise be invisible to the repair loop).
 func (in *inWire) gapFrom() (uint64, bool) {
-	if len(in.holdback) == 0 {
-		return 0, false
+	if len(in.holdback) > 0 {
+		return in.nextSeq, true
 	}
-	return in.nextSeq, true
+	if in.pendPromiseSeq >= in.nextSeq && in.pendPromiseSeq != 0 {
+		return in.nextSeq, true
+	}
+	return 0, false
 }
 
 // ring is a growable circular queue of queued messages. Pop is O(1) — the

@@ -78,10 +78,12 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 		// discrete-event simulator, a component whose inputs are all silent
 		// through T has deterministically "lived through" T, which extends
 		// the silence promises it can make downstream.
+		s.applyDueSilenceLocked()
 		if s.advanceFrontierLocked() {
+			s.applyDueSilenceLocked()
 			for _, p := range s.gov.OnAdvance(s.viewsLocked()) {
 				s.noteSilence(s.outputs[p.Wire], p.Through)
-				control = append(control, msg.NewSilence(p.Wire, p.Through))
+				control = append(control, msg.NewSilenceAfter(p.Wire, p.Through, s.outputs[p.Wire].seq))
 			}
 			// End of stream: when every input has promised silence forever,
 			// the component will never send again. Flush a final promise on
@@ -96,7 +98,7 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 					}
 					s.gov.NoteData(id, vt.Max)
 					s.noteSilence(ow, vt.Max)
-					control = append(control, msg.NewSilence(id, vt.Max))
+					control = append(control, msg.NewSilenceAfter(id, vt.Max, ow.seq))
 				}
 			}
 		}
@@ -268,12 +270,13 @@ func (s *Scheduler) step() (delivered bool, control []msg.Envelope) {
 			s.clock = ctx.handlerVT
 		}
 		s.inFlight = vt.Never
+		s.applyDueSilenceLocked()
 		if s.quietWaiters > 0 {
 			s.quiet.Broadcast()
 		}
 		for _, p := range s.gov.OnAdvance(s.viewsLocked()) {
 			s.noteSilence(s.outputs[p.Wire], p.Through)
-			control = append(control, msg.NewSilence(p.Wire, p.Through))
+			control = append(control, msg.NewSilenceAfter(p.Wire, p.Through, s.outputs[p.Wire].seq))
 		}
 		delivered = true
 		n++

@@ -174,6 +174,9 @@ func NewGovernor(cfg Config) *Governor {
 // Strategy returns the governor's strategy.
 func (g *Governor) Strategy() Strategy { return g.cfg.Strategy }
 
+// Config returns the governor's effective (defaulted) configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
 // SetConfig switches the silence-propagation discipline at runtime. Lazy,
 // Curiosity, and Aggressive may be mixed and changed freely — how silence
 // is *communicated* has no effect on behaviour (§II.G.4). Changing
@@ -195,6 +198,15 @@ func (g *Governor) SetConfig(cfg Config) error {
 	}
 	g.cfg = cfg
 	return nil
+}
+
+// ApplyFault installs a configuration on behalf of a logged determinism
+// fault, bypassing SetConfig's bias guard. Callers must have appended the
+// corresponding fault record to the synchronous log first (§II.G.4) —
+// this is the apply half of the log-then-apply discipline, mirroring
+// estimator.Calibrated.Apply.
+func (g *Governor) ApplyFault(cfg Config) {
+	g.cfg = cfg.withDefaults()
 }
 
 // OnProbe handles an incoming curiosity probe on an output wire asking for

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"time"
+)
+
+// AdaptiveParams configures a closed-loop simulation run: the base model
+// plus a blame-driven controller that arms the slow sender's bias algorithm
+// at a quantized, strictly-future virtual-time boundary — the simulated
+// counterpart of the live adaptive runtime's silence decisions.
+type AdaptiveParams struct {
+	Params
+	// PollEvery is the controller's observation cadence (default 250ms of
+	// simulated time).
+	PollEvery time.Duration
+	// Quantum is the decision grain: escalations take effect at the first
+	// quantum boundary at least one full quantum past the decision time,
+	// exactly the live controller's epoch rule (default 250ms).
+	Quantum time.Duration
+	// MinBlame is the blocked time one wire must accumulate within a single
+	// observation window before its sender is escalated (default 2ms).
+	MinBlame time.Duration
+	// MinEpisodes is the number of blame episodes the wire must draw in a
+	// single window. Bias pays off only for wires that block the merger
+	// *frequently* — the lagging-sender signature (wire usually empty, many
+	// short stalls). A wire blamed in rare, long episodes is behind a busy
+	// sender whose promises cannot advance anyway, and flooring its output
+	// times would push the silence requirement on every other wire further
+	// out. Default 100 (400 stalls/s at the default 250ms window).
+	MinEpisodes int
+	// BlameShare is the fraction of the window's total blame the dominant
+	// wire must hold (default 0.5).
+	BlameShare float64
+	// Bias is the promise bias armed on escalation (default 2ms).
+	Bias time.Duration
+}
+
+func (p AdaptiveParams) withDefaults() AdaptiveParams {
+	p.Params = p.Params.withDefaults()
+	if p.PollEvery <= 0 {
+		p.PollEvery = 250 * time.Millisecond
+	}
+	if p.Quantum <= 0 {
+		p.Quantum = 250 * time.Millisecond
+	}
+	if p.MinBlame <= 0 {
+		p.MinBlame = 2 * time.Millisecond
+	}
+	if p.MinEpisodes <= 0 {
+		p.MinEpisodes = 100
+	}
+	if p.BlameShare <= 0 {
+		p.BlameShare = 0.5
+	}
+	if p.Bias <= 0 {
+		p.Bias = 2 * time.Millisecond
+	}
+	return p
+}
+
+// AdaptiveDecision records one controller escalation.
+type AdaptiveDecision struct {
+	// Wire is the blamed wire whose sender was escalated.
+	Wire string
+	// At is the simulated time the decision was taken.
+	At time.Duration
+	// Boundary is the quantized virtual-time boundary the bias armed at.
+	Boundary time.Duration
+}
+
+// AdaptiveResult is a Result plus the controller's decision log.
+type AdaptiveResult struct {
+	Result
+	Decisions []AdaptiveDecision
+}
+
+// RunAdaptive executes one closed-loop simulation: the pipeline starts with
+// every sender on its configured (typically lazy) silence behaviour, and a
+// controller polling the merger's per-wire blame arms the bias algorithm on
+// whichever sender's wire dominates a window — at a quantized future
+// boundary, never immediately, mirroring the epoch discipline the live
+// runtime uses to stay replay-deterministic.
+func RunAdaptive(p AdaptiveParams) AdaptiveResult {
+	p = p.withDefaults()
+	w := newWorld(p.Params)
+
+	res := AdaptiveResult{}
+	var lastCum [2]float64
+	var lastEps [2]int
+	var armed [2]bool
+	poll := float64(p.PollEvery.Nanoseconds())
+	q := float64(p.Quantum.Nanoseconds())
+	minBlame := float64(p.MinBlame.Nanoseconds())
+
+	var tick func()
+	tick = func() {
+		var delta [2]float64
+		var eps [2]int
+		var total float64
+		for i := range delta {
+			delta[i] = w.merger.blameWait[i] - lastCum[i]
+			lastCum[i] = w.merger.blameWait[i]
+			eps[i] = w.merger.blame[i] - lastEps[i]
+			lastEps[i] = w.merger.blame[i]
+			total += delta[i]
+		}
+		for i := range delta {
+			if armed[i] || total <= 0 || delta[i] < minBlame || delta[i]/total < p.BlameShare ||
+				eps[i] < p.MinEpisodes {
+				continue
+			}
+			armed[i] = true
+			// First quantum boundary at least one full quantum out —
+			// external VTs equal their real arrival times here, so the
+			// real-time boundary is the VT boundary.
+			boundary := (float64(int64((w.now+q)/q)) + 1) * q
+			wire := i
+			res.Decisions = append(res.Decisions, AdaptiveDecision{
+				Wire:     simWireName(wire),
+				At:       time.Duration(w.now),
+				Boundary: time.Duration(boundary),
+			})
+			w.at(boundary-w.now, func() {
+				w.senders[wire].bias = float64(p.Bias.Nanoseconds())
+			})
+		}
+		w.at(poll, tick)
+	}
+	w.at(poll, tick)
+
+	w.run(float64(p.Duration.Nanoseconds()))
+	res.Result = w.collect()
+	return res
+}

@@ -414,9 +414,9 @@ func simWireName(wire int) string {
 	return "sender2.out>merger.s2"
 }
 
-// Run executes one simulation and returns its measurements.
-func Run(p Params) Result {
-	p = p.withDefaults()
+// newWorld builds a ready-to-run world with arrivals seeded; p must
+// already have defaults applied.
+func newWorld(p Params) *world {
 	w := &world{p: p, rng: stats.NewRNG(p.Seed)}
 	w.merger = &simMerger{w: w, pessStart: -1}
 	for i := range w.senders {
@@ -425,8 +425,20 @@ func Run(p Params) Result {
 	}
 	w.scheduleArrivals(0)
 	w.scheduleArrivals(1)
-	w.run(float64(p.Duration.Nanoseconds()))
+	return w
+}
 
+// Run executes one simulation and returns its measurements.
+func Run(p Params) Result {
+	p = p.withDefaults()
+	w := newWorld(p)
+	w.run(float64(p.Duration.Nanoseconds()))
+	return w.collect()
+}
+
+// collect aggregates the world's measurements after run.
+func (w *world) collect() Result {
+	p := w.p
 	res := Result{
 		Mode:           p.Mode,
 		Messages:       w.merger.delivered,

@@ -65,6 +65,12 @@ const (
 	// epoch's quantized start boundary and Note carries the old and new
 	// 1/N moduli plus the observed traffic that motivated the change.
 	EvSampleEpoch
+	// EvAdaptDecision is one closed-loop adaptive-runtime decision: an
+	// estimator recalibration, a silence-strategy switch, or a sampling
+	// degradation step. VT is the quantized strictly-future epoch boundary
+	// the decision takes effect at, Component names the target (empty for
+	// cluster-wide sampling steps), and Note carries the action and cause.
+	EvAdaptDecision
 )
 
 var eventKindNames = [...]string{
@@ -86,6 +92,7 @@ var eventKindNames = [...]string{
 	EvPeerUp:             "peer-up",
 	EvPeerDown:           "peer-down",
 	EvSampleEpoch:        "sample-epoch",
+	EvAdaptDecision:      "adapt-decision",
 }
 
 // String renders the kind name.

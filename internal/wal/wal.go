@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/estimator"
 	"repro/internal/msg"
+	"repro/internal/silence"
 	"repro/internal/vt"
 )
 
@@ -41,12 +42,31 @@ type InputRecord struct {
 	Payload any
 }
 
-// FaultRecord is one logged determinism fault.
+// SilenceFault is a logged silence-configuration change. Most strategy
+// switches are mere communication and need no log entry, but the adaptive
+// runtime logs every switch it makes — and hyper-aggressive bias changes
+// *must* be logged (they alter output virtual times, §II.G.4) — so that
+// replay and replicas re-derive the same configuration at the same virtual
+// time instead of re-running the control loop.
+type SilenceFault struct {
+	// Config is the full configuration to install.
+	Config silence.Config
+	// EffectiveVT is the quantized epoch boundary at which it takes effect.
+	EffectiveVT vt.Time
+}
+
+// FaultRecord is one logged determinism fault: either an estimator
+// recalibration (Silence nil) or a silence-configuration change (Silence
+// non-nil; Fault is then zero and ignored).
 type FaultRecord struct {
-	// Component names the component whose estimator changed.
+	// Component names the component whose estimator or silence governor
+	// changed.
 	Component string
 	// Fault carries the new coefficients and their effective virtual time.
 	Fault estimator.Fault
+	// Silence, when non-nil, marks this record as a silence-configuration
+	// fault instead of an estimator fault.
+	Silence *SilenceFault
 }
 
 // Log is a stable store for input and fault records. Implementations must

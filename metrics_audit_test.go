@@ -22,15 +22,24 @@ func (e *auditEcho) OnMessage(ctx *tart.Context, _ string, p any) (any, error) {
 }
 
 // TestMetricsExpositionAudit drives a cluster with every metrics-producing
-// subsystem enabled (supervisor, SLO tracker, adaptive span sampling) and
-// audits the full /metrics exposition: the Prometheus text Content-Type,
-// and a # TYPE plus non-empty # HELP comment for every family emitted —
-// including the cluster-level families appended after the engine's own.
+// subsystem enabled (supervisor, SLO tracker, adaptive span sampling, the
+// closed-loop adaptive runtime) and audits the full /metrics exposition:
+// the Prometheus text Content-Type, and a # TYPE plus non-empty # HELP
+// comment for every family emitted — including the cluster-level families
+// appended after the engine's own.
 func TestMetricsExpositionAudit(t *testing.T) {
 	app := tart.NewApp()
-	app.Register("echo", &auditEcho{}, tart.WithConstantCost(5*time.Microsecond))
+	// A calibrated linear estimator plus an inter-component wire give the
+	// adaptive runtime both of its per-entity gauge families (estimator
+	// residual per component, silence strategy per wire) something to seed.
+	app.Register("echo", &auditEcho{},
+		tart.WithLinearCost(func(any) tart.Features { return tart.Features{1} },
+			[]float64{5_000}, time.Microsecond),
+		tart.WithCalibration(4))
+	app.Register("tally", &auditEcho{}, tart.WithConstantCost(5*time.Microsecond))
 	app.SourceInto("in", "echo", "in")
-	app.SinkFrom("out", "echo", "out")
+	app.Connect("echo", "out", "tally", "in")
+	app.SinkFrom("out", "tally", "out")
 	app.PlaceAll("main")
 
 	tracker := tart.NewSLOTracker(mustObjectives(t, "p99<1s"), nil)
@@ -40,6 +49,7 @@ func TestMetricsExpositionAudit(t *testing.T) {
 		tart.WithSupervisor(tart.SupervisorConfig{SuspectAfter: time.Hour}),
 		tart.WithSLO(tracker),
 		tart.WithAdaptiveSpanSampling(tart.AdaptiveSampling{SpansPerSec: 100}),
+		tart.WithAdaptiveRuntime(tart.AdaptiveRuntime{PollEvery: time.Hour}),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +108,8 @@ func TestMetricsExpositionAudit(t *testing.T) {
 		"tart_checkpoint_last_vt", "tart_checkpoint_age_vt",
 		"tart_transport_bytes_total", "tart_transport_frames_per_writev",
 		"tart_codec_fallbacks_total",
+		"tart_adapt_decisions_total", "tart_adapt_recalibrations_total",
+		"tart_estimator_residual_seconds", "tart_adapt_silence_strategy",
 	} {
 		if !audited[want] {
 			t.Errorf("family %s missing from /metrics exposition", want)

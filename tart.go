@@ -103,6 +103,10 @@ const (
 	HyperAggressive = silence.HyperAggressive
 )
 
+// SilenceConfig is a silence governor's full configuration: strategy,
+// push stride, and (hyper-aggressive only) promise bias.
+type SilenceConfig = silence.Config
+
 // Output is one message delivered to an external sink.
 type Output struct {
 	// Seq is the 1-based output sequence number on the sink's wire;
@@ -208,6 +212,7 @@ const (
 	EvPeerUp             = trace.EvPeerUp
 	EvPeerDown           = trace.EvPeerDown
 	EvSampleEpoch        = trace.EvSampleEpoch
+	EvAdaptDecision      = trace.EvAdaptDecision
 )
 
 // MetricFamily is one gathered labeled metric with all of its series; see
