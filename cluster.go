@@ -3,6 +3,7 @@ package tart
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -59,6 +60,9 @@ type clusterConfig struct {
 	adaptRuntime       *AdaptiveRuntime
 	timetravel         *TimeTravel
 	loopbackFast       bool
+	durableDir         string
+	hostSet            map[string]bool
+	shedLimit          int
 }
 
 // WithTCP runs inter-engine wires over TCP; addrs maps engine names to
@@ -93,6 +97,43 @@ func WithFlushDelay(d time.Duration) ClusterOption {
 // fall back to real sockets automatically. No effect without WithTCP.
 func WithLoopbackFastPath() ClusterOption {
 	return clusterOptionFunc(func(c *clusterConfig) { c.loopbackFast = true })
+}
+
+// WithDurableStore roots each engine's recovery state in dir: the stable
+// input log moves to <dir>/<engine>/wal.log and every soft checkpoint is
+// additionally persisted — full-state, fsync-disciplined, atomically
+// manifested — under <dir>/<engine>/checkpoints. The directory then
+// survives OS-process death: a new process pointed at the same dir with
+// Reopen restores the newest durable checkpoint, replays the WAL suffix,
+// and rejoins its peers under a freshly bumped (and durably recorded)
+// generation. Launch treats the directory as a fresh deployment's state
+// root; use Reopen to restart over an existing one.
+func WithDurableStore(dir string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.durableDir = dir })
+}
+
+// WithEngines restricts this process to hosting only the named engines of
+// the topology; the rest are expected to run in other processes reachable
+// through the configured transport (normally WithTCP). Sources and sinks
+// attached to unhosted engines are rejected with an error naming the
+// engine. Without this option the process hosts every engine.
+func WithEngines(names ...string) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) {
+		c.hostSet = make(map[string]bool, len(names))
+		for _, n := range names {
+			c.hostSet[n] = true
+		}
+	})
+}
+
+// WithShedLimit bounds every engine's total buffered replay envelopes.
+// While a peer is down its unacked envelopes cannot be trimmed; past the
+// limit, sources refuse new external inputs with ErrSourceShed instead of
+// growing the buffers without bound. The refused input never entered the
+// system, so the producer can retry the same virtual time later. Zero
+// (the default) keeps the buffers unbounded.
+func WithShedLimit(n int) ClusterOption {
+	return clusterOptionFunc(func(c *clusterConfig) { c.shedLimit = n })
 }
 
 // WithCheckpointEvery sets the soft-checkpoint cadence (the paper's
@@ -265,6 +306,7 @@ type engineSlot struct {
 	name      string
 	eng       *engine.Engine
 	store     *checkpoint.ReplicaStore
+	fstore    *checkpoint.FileStore // durable checkpoint store (WithDurableStore)
 	log       wal.Log
 	sinks     map[string]func(Output) // sink name -> user callback
 	rec       *trace.Recorder         // shared across engine generations
@@ -277,6 +319,22 @@ type engineSlot struct {
 
 // Launch builds and starts a cluster from the application.
 func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
+	return launch(app, false, opts)
+}
+
+// Reopen cold-restarts a cluster over an existing durable state directory
+// (requires WithDurableStore): each hosted engine restores the newest
+// durable checkpoint, replays its WAL suffix past the checkpoint's
+// cursors, bumps and durably persists its generation *before* rejoining
+// peers (so a zombie of the pre-crash process is fenced), and resumes.
+// Engines whose store holds no checkpoint start fresh from their WAL.
+// Output stutter from the replayed suffix is suppressed by DedupOutputs
+// as usual.
+func Reopen(app *App, opts ...ClusterOption) (*Cluster, error) {
+	return launch(app, true, opts)
+}
+
+func launch(app *App, reopen bool, opts []ClusterOption) (*Cluster, error) {
 	tp, specs, err := app.build()
 	if err != nil {
 		return nil, err
@@ -287,6 +345,20 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 	}
 	if cfg.sourceSilenceEvery == 0 {
 		cfg.sourceSilenceEvery = time.Millisecond
+	}
+	if reopen && cfg.durableDir == "" {
+		return nil, errors.New("tart: Reopen requires WithDurableStore")
+	}
+	if cfg.hostSet != nil {
+		known := make(map[string]bool)
+		for _, e := range tp.Engines() {
+			known[e] = true
+		}
+		for name := range cfg.hostSet {
+			if !known[name] {
+				return nil, fmt.Errorf("tart: WithEngines names unknown engine %q", name)
+			}
+		}
 	}
 	if cfg.flushDelay != 0 || cfg.dialTimeout != 0 {
 		if t, ok := cfg.transport.(transport.TCP); ok {
@@ -387,12 +459,30 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		}
 	}
 	for _, name := range tp.Engines() {
+		if !c.hosts(name) {
+			continue
+		}
 		slot := &engineSlot{
 			name:      name,
 			store:     checkpoint.NewReplicaStore(),
 			sinks:     make(map[string]func(Output)),
 			gen:       1,
 			startedAt: time.Now(),
+		}
+		if cfg.durableDir != "" {
+			// Generations must be durable before they are visible: the bumped
+			// token is persisted in the manifest before the engine dials a
+			// single peer, so even a crash mid-rejoin leaves the fencing
+			// ratchet intact for the next restart.
+			slot.fstore, err = checkpoint.OpenFileStore(
+				filepath.Join(cfg.durableDir, name, "checkpoints"))
+			if err != nil {
+				return nil, err
+			}
+			slot.gen = slot.fstore.Generation() + 1
+			if err := slot.fstore.SetGeneration(slot.gen); err != nil {
+				return nil, err
+			}
 		}
 		if cfg.flightOn {
 			// The flight recorder and the determinism audit log share a
@@ -424,9 +514,32 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 		if cfg.walInject != nil {
 			slot.log = cfg.walInject.Wrap(name, slot.log)
 		}
-		slot.eng, err = engine.New(c.engineConfig(slot))
-		if err != nil {
-			return nil, err
+		if reopen && slot.fstore != nil && slot.fstore.Seq() > 0 {
+			// Cold restart: seed the in-process replica from the newest
+			// durable checkpoint, then build the replacement engine from it
+			// exactly as a warm failover would — Start replays the WAL suffix
+			// past the checkpoint's cursors and re-drives remote replay.
+			ck, err := slot.fstore.Latest()
+			if err != nil {
+				return nil, fmt.Errorf("tart: reopen %q: %w", name, err)
+			}
+			if err := slot.store.Apply(ck); err != nil {
+				return nil, fmt.Errorf("tart: reopen %q: %w", name, err)
+			}
+			ecfg := c.engineConfig(slot)
+			ecfg.ColdStart = true
+			slot.eng, err = engine.NewFromBackup(ecfg, slot.store)
+			if err != nil {
+				return nil, fmt.Errorf("tart: reopen %q: %w", name, err)
+			}
+		} else {
+			// First launch of this state dir (or a reopen that beat the very
+			// first checkpoint — the durable launch checkpoint below closes
+			// that window for every completed Launch).
+			slot.eng, err = engine.New(c.engineConfig(slot))
+			if err != nil {
+				return nil, err
+			}
 		}
 		c.engines[name] = slot
 	}
@@ -436,12 +549,15 @@ func Launch(app *App, opts ...ClusterOption) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	if c.sup != nil || c.arch != nil {
+	if c.sup != nil || c.arch != nil || cfg.durableDir != "" {
 		// An engine that crashes before its first periodic checkpoint would
 		// otherwise be unrecoverable; with a supervisor in charge nobody is
 		// around to notice, so launch itself establishes the baseline. Time
 		// travel wants the same baseline: the launch checkpoint is the
 		// archive's first rewind point, making VT 0 onward reconstructible.
+		// Durable stores want it most of all: the launch checkpoint is what
+		// guarantees every completed Launch leaves a restorable state dir,
+		// so a kill -9 at any later instant cold-restarts via Reopen.
 		for _, slot := range c.engines {
 			if _, err := slot.eng.Checkpoint(); err != nil {
 				c.Stop()
@@ -489,10 +605,23 @@ func peersOf(tp *topo.Topology) map[string][]string {
 }
 
 func (c *Cluster) newLog(engineName string) (wal.Log, error) {
+	if c.cfg.durableDir != "" {
+		dir := filepath.Join(c.cfg.durableDir, engineName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("tart: durable state dir for %q: %w", engineName, err)
+		}
+		return wal.OpenFileLog(filepath.Join(dir, "wal.log"))
+	}
 	if c.cfg.logDir == "" {
 		return wal.NewMemLog(), nil
 	}
 	return wal.OpenFileLog(fmt.Sprintf("%s/%s.wal", c.cfg.logDir, engineName))
+}
+
+// hosts reports whether this process hosts the named engine (WithEngines
+// restricts the set; the default is all of them).
+func (c *Cluster) hosts(engineName string) bool {
+	return c.cfg.hostSet == nil || c.cfg.hostSet[engineName]
 }
 
 func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
@@ -538,8 +667,9 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		Transport:          tr,
 		Addrs:              c.cfg.addrs,
 		Log:                slot.log,
-		Backup:             slot.store,
+		Backup:             c.backupFor(slot, metrics),
 		CheckpointEvery:    c.cfg.checkpointEvery,
+		ShedBufferedLimit:  c.cfg.shedLimit,
 		SourceSilenceEvery: silenceEvery,
 		SilenceFlushEvery:  c.cfg.flushDelay,
 		Clock:              c.cfg.manualClock,
@@ -570,11 +700,50 @@ func (c *Cluster) engineConfig(slot *engineSlot) engine.Config {
 		// Checkpoints tee into the rewind-point archive, must be full
 		// captures (an archived point restores standalone), and the debug
 		// listener answers /rewind through the inspector.
-		cfg.Backup = c.arch.Tee(slot.name, slot.store)
+		cfg.Backup = c.arch.Tee(slot.name, cfg.Backup)
 		cfg.ForceFullCheckpoints = true
 		cfg.RewindInfo = c.rewindInfo
 	}
+	if slot.fstore != nil {
+		// A durable checkpoint must restore standalone in a fresh process:
+		// no delta chains, every capture full.
+		cfg.ForceFullCheckpoints = true
+	}
 	return cfg
+}
+
+// backupFor assembles one engine's checkpoint destination: always the warm
+// in-process replica, teed into the durable file store when
+// WithDurableStore is configured. The file store's write/fsync accounting
+// lands in this incarnation's metric registry.
+func (c *Cluster) backupFor(slot *engineSlot, metrics *trace.Metrics) engine.Backup {
+	if slot.fstore == nil {
+		return slot.store
+	}
+	reg := metrics.Registry()
+	writes := reg.Counter(trace.MetricCkptStoreWrites,
+		"Checkpoints persisted by the durable checkpoint store.")
+	fsyncs := reg.Counter(trace.MetricCkptStoreFsyncs,
+		"fsync calls issued by the durable checkpoint store.")
+	slot.fstore.SetObserver(func(int64) { writes.Inc() }, fsyncs.Inc)
+	return teeBackup{slot.store, slot.fstore}
+}
+
+// teeBackup fans one checkpoint out to both stores: the warm replica first
+// (it backs in-process Recover), then the durable store. A durable-write
+// failure is surfaced — the engine treats the checkpoint as failed and the
+// next one ships full state — but the warm replica already advanced, so
+// in-process failover stays as fresh as memory allows.
+type teeBackup struct {
+	warm    engine.Backup
+	durable engine.Backup
+}
+
+func (t teeBackup) Apply(ck *checkpoint.Checkpoint) error {
+	if err := t.warm.Apply(ck); err != nil {
+		return err
+	}
+	return t.durable.Apply(ck)
 }
 
 // peerGens snapshots the highest generation the cluster has issued for
@@ -607,6 +776,9 @@ func (c *Cluster) Source(name string) (*Source, error) {
 	}
 	w := c.tp.Wire(src.Wire)
 	engName := c.tp.EngineOf(w.To)
+	if _, ok := c.engines[engName]; !ok {
+		return nil, fmt.Errorf("tart: source %q feeds engine %q, which this process does not host (WithEngines)", name, engName)
+	}
 	s := &Source{c: c, name: name, engine: engName}
 	c.sources[name] = s
 	return s, nil
@@ -623,7 +795,11 @@ func (c *Cluster) Sink(name string, fn func(Output)) error {
 		return fmt.Errorf("tart: unknown sink %q", name)
 	}
 	w := c.tp.Wire(sink.Wire)
-	slot := c.engines[c.tp.EngineOf(w.From)]
+	engName := c.tp.EngineOf(w.From)
+	slot, ok := c.engines[engName]
+	if !ok {
+		return fmt.Errorf("tart: sink %q is served by engine %q, which this process does not host (WithEngines)", name, engName)
+	}
 	slot.sinks[name] = fn
 	if slot.failed {
 		return nil // re-registered on Recover
@@ -713,7 +889,16 @@ func (c *Cluster) Recover(engineName string) error {
 	// handshakes below their max-seen, so the dead engine's zombie (should
 	// its goroutines linger) cannot re-join as the live incarnation.
 	slot.gen++
+	gen := slot.gen
 	c.mu.Unlock()
+	if slot.fstore != nil {
+		// Durable before visible: the new incarnation's fencing token must
+		// survive a crash-during-recovery, or a later cold restart could
+		// reuse a generation peers have already fenced.
+		if err := slot.fstore.SetGeneration(gen); err != nil {
+			return fmt.Errorf("tart: recover %q: persist generation: %w", engineName, err)
+		}
+	}
 
 	if slot.store.Seq() == 0 {
 		return fmt.Errorf("tart: engine %q has no checkpoint to recover from", engineName)
@@ -976,7 +1161,44 @@ func (c *Cluster) Stop() {
 			s.eng.Stop()
 		}
 		_ = s.log.Close()
+		if s.fstore != nil {
+			_ = s.fstore.Close()
+		}
 	}
+}
+
+// DumpFlightRecorders writes every hosted engine's flight-recorder ring to
+// <dir>/<engine>-flight.jsonl (requires WithFlightRecorder; engines
+// without a recorder are skipped). Signal handlers use it to persist the
+// last seconds of structured history on SIGTERM — the post-mortem story a
+// cold restart would otherwise lose with the process.
+func (c *Cluster) DumpFlightRecorders(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	slots := make([]*engineSlot, 0, len(c.engines))
+	for _, s := range c.engines {
+		slots = append(slots, s)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, s := range slots {
+		if s.rec == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, s.name+"-flight.jsonl"))
+		if err == nil {
+			err = s.rec.WriteDump(f, s.name)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 func (c *Cluster) slot(engineName string) (*engineSlot, error) {

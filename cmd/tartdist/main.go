@@ -24,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	tart "repro"
@@ -316,6 +318,26 @@ func runTART(strategy tart.SilenceStrategy, requests int, rate float64, port int
 		return nil, err
 	}
 	defer cluster.Stop()
+	// SIGTERM/SIGINT mid-run: persist the flight recorders (a no-op without
+	// -debug, which is what enables them) before dying, so a killed run
+	// still leaves a post-mortem artifact.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		dir := os.Getenv("TART_ARTIFACT_DIR")
+		if dir == "" {
+			dir = "."
+		}
+		if err := cluster.DumpFlightRecorders(dir); err == nil {
+			fmt.Fprintf(os.Stderr, "tartdist: %v: flight recorders dumped to %s\n", s, dir)
+		}
+		os.Exit(130)
+	}()
 	if debug {
 		for _, eng := range []string{"A", "B"} {
 			if addr, err := cluster.DebugAddr(eng); err == nil && addr != "" {

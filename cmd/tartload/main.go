@@ -22,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	tart "repro"
 	"repro/internal/load"
 	"repro/internal/slo"
 )
@@ -108,6 +111,27 @@ func run(scenario string, rate float64, duration time.Duration, usersStr string,
 		TCP:            tcp,
 		BasePort:       basePort,
 		Debug:          debug,
+	}
+	// SIGTERM/SIGINT mid-run: persist the flight recorders before dying, so
+	// an operator (or CI timeout) killing the harness still gets the last
+	// seconds of structured history as a post-mortem artifact.
+	opts.OnLaunch = func(cluster *tart.Cluster) {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		go func() {
+			s, ok := <-sig
+			if !ok {
+				return
+			}
+			dir := os.Getenv("TART_ARTIFACT_DIR")
+			if dir == "" {
+				dir = "."
+			}
+			if err := cluster.DumpFlightRecorders(dir); err == nil {
+				fmt.Fprintf(os.Stderr, "tartload: %v: flight recorders dumped to %s\n", s, dir)
+			}
+			os.Exit(130)
+		}()
 	}
 	if !quiet {
 		opts.Progress = os.Stdout

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	tart "repro"
+	"repro/internal/trace"
+)
+
+// csCounter is the stateful stage the cold restart must bring back.
+type csCounter struct {
+	Seen int
+	Sum  int
+}
+
+func (c *csCounter) OnMessage(ctx *tart.Context, _ string, p any) (any, error) {
+	c.Seen++
+	c.Sum += p.(int)
+	return nil, ctx.Send("out", p)
+}
+
+func coldstartApp() *tart.App {
+	app := tart.NewApp()
+	app.Register("counter", &csCounter{}, tart.WithConstantCost(100*time.Nanosecond))
+	app.SourceInto("in", "counter", "in")
+	app.SinkFrom("out", "counter", "out")
+	app.PlaceAll("node")
+	return app
+}
+
+// coldstartExp measures what the durable checkpoint cadence buys on the
+// cold-restart path: a reopened process restores the newest durable
+// checkpoint and then replays the WAL suffix logged after it, so restart
+// time should track the suffix length, which the cadence bounds by one
+// interval. One fixed workload "crashes" (stops) at an input count chosen
+// to sit just short of a checkpoint boundary at every cadence, maximising
+// the suffix each cadence can leave behind.
+func coldstartExp(seed uint64) error {
+	const (
+		inputs  = 127 // 127 mod {4,16,64} = {3,15,63}: worst-case suffix per cadence
+		spacing = 1_000
+	)
+	fmt.Println("== Cold restart: reopen latency vs. durable checkpoint cadence ==")
+	fmt.Println("   reopen = restore newest durable checkpoint + deterministic replay of")
+	fmt.Println("   the WAL suffix logged after it; the cadence bounds that suffix")
+	fmt.Println()
+	fmt.Printf("   workload: %d external inputs, %d VT ticks apart, stop mid-interval\n\n", inputs, spacing)
+	fmt.Printf("   %-16s %8s %12s %12s\n", "cadence(inputs)", "ckpts", "replayed", "reopen")
+
+	for _, every := range []int{4, 16, 64} {
+		if err := coldstartCadence(seed, every, inputs, spacing); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	fmt.Println("   replayed = WAL-suffix records re-executed by the reopened engine")
+	fmt.Println("   (tart_coldstart_replayed_records); the floor is restore-only at cadence 1")
+	return nil
+}
+
+func coldstartCadence(seed uint64, every, inputs, spacing int) error {
+	dir, err := os.MkdirTemp("", "tart-coldstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	opts := func() []tart.ClusterOption {
+		return []tart.ClusterOption{
+			tart.WithManualClock(func() tart.VirtualTime { return 0 }),
+			tart.WithDurableStore(dir),
+		}
+	}
+
+	// First incarnation: run the workload, checkpointing every `every`
+	// inputs, then stop without a final checkpoint — the WAL suffix a real
+	// crash would leave behind.
+	cluster, err := tart.Launch(coldstartApp(), opts()...)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	seen := 0
+	cond := sync.NewCond(&mu)
+	sink := func(tart.Output) {
+		mu.Lock()
+		seen++
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	await := func(n int) {
+		mu.Lock()
+		for seen < n {
+			cond.Wait()
+		}
+		mu.Unlock()
+	}
+	if err := cluster.Sink("out", sink); err != nil {
+		cluster.Stop()
+		return err
+	}
+	src, err := cluster.Source("in")
+	if err != nil {
+		cluster.Stop()
+		return err
+	}
+	ckpts := 0
+	for i := 1; i <= inputs; i++ {
+		if err := src.EmitAt(tart.VirtualTime(i*spacing), int(seed)+i); err != nil {
+			cluster.Stop()
+			return err
+		}
+		if i%every == 0 {
+			await(i) // quiesce: the checkpoint covers a known input prefix
+			if _, err := cluster.Checkpoint("node"); err != nil {
+				cluster.Stop()
+				return err
+			}
+			ckpts++
+		}
+	}
+	await(inputs)
+	cluster.Stop()
+
+	// Second incarnation: cold restart over the same state directory.
+	start := time.Now()
+	cluster2, err := tart.Reopen(coldstartApp(), opts()...)
+	if err != nil {
+		return err
+	}
+	reopen := time.Since(start)
+	defer cluster2.Stop()
+
+	// Prove liveness past the restore before reading the replay counter: an
+	// input after the crash point must flow end to end.
+	mu.Lock()
+	seen = 0
+	mu.Unlock()
+	if err := cluster2.Sink("out", sink); err != nil {
+		return err
+	}
+	src2, err := cluster2.Source("in")
+	if err != nil {
+		return err
+	}
+	if err := src2.EmitAt(tart.VirtualTime((inputs+1)*spacing), 0); err != nil {
+		return err
+	}
+	await(1)
+
+	replayed := 0.0
+	fams, err := cluster2.MetricFamilies("node")
+	if err != nil {
+		return err
+	}
+	for _, f := range fams {
+		if f.Name != trace.MetricColdstartReplayed {
+			continue
+		}
+		for _, s := range f.Series {
+			replayed += s.Value
+		}
+	}
+	fmt.Printf("   %-16d %8d %12.0f %12v\n", every, ckpts, replayed, reopen.Round(10*time.Microsecond))
+	return nil
+}

@@ -14,6 +14,7 @@
 //	tartsim -exp chaos       Chaos seed sweep: exact-replay oracle under supervised failover
 //	tartsim -exp slo         SLO scenario sweep: open-loop arrival shapes vs the latency tail
 //	tartsim -exp rewind      Time-travel rewind latency vs VT checkpoint cadence
+//	tartsim -exp coldstart   Cold-restart reopen latency vs durable checkpoint cadence
 //	tartsim -exp wirespeed   Codec/transport throughput: gob vs binary vs loopback fast path
 //	tartsim -exp adapt       Closed-loop adaptation: blame-driven bias arming vs static policies
 //	tartsim -exp all         Everything above
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|chaos|slo|rewind|wirespeed|adapt|all")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig3|fig4|throughput|dumb|bias|wires|blame|fanin|critpath|chaos|slo|rewind|coldstart|wirespeed|adapt|all")
 		duration = flag.Duration("duration", 20*time.Second, "simulated time per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		samples  = flag.Int("fig2n", 10000, "Figure-2 sample count")
@@ -72,6 +73,8 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 		return sloExp(400, 4*time.Second, seed)
 	case "rewind":
 		return rewindExp(seed)
+	case "coldstart":
+		return coldstartExp(seed)
 	case "wirespeed":
 		return wirespeed()
 	case "adapt":
@@ -98,6 +101,9 @@ func run(exp string, duration time.Duration, seed uint64, fig2n, fig2reps int) e
 			return err
 		}
 		if err := rewindExp(seed); err != nil {
+			return err
+		}
+		if err := coldstartExp(seed); err != nil {
 			return err
 		}
 		if err := wirespeed(); err != nil {

@@ -1,0 +1,236 @@
+package tart_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	tart "repro"
+	"repro/internal/checkpoint"
+)
+
+// coldApp builds a fresh instance of the Figure-1 pipeline. A cold restart
+// happens in a new OS process, so each (re)open constructs new component
+// objects — their state comes from the durable checkpoint, never from
+// heap leftovers.
+func coldApp() *tart.App {
+	app := tart.NewApp()
+	app.Register("sender1", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(40*time.Microsecond))
+	app.Register("sender2", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(70*time.Microsecond))
+	app.Register("merger", &crashMerger{},
+		tart.WithConstantCost(100*time.Microsecond))
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.PlaceAll("node")
+	return app
+}
+
+// coldRun drives `rounds` rounds (two inputs each) through a cluster and
+// appends the deduped output to the shared collector.
+func coldRound(t *testing.T, cluster *tart.Cluster, round int, outCh chan crashRecord) {
+	t.Helper()
+	in1, err := cluster.Source("in1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := cluster.Source("in2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"ash", "birch", "cedar", "fir"}
+	vtBase := tart.VirtualTime((round + 1) * 1_000_000)
+	if err := in1.EmitAt(vtBase, words[round%len(words)]); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.EmitAt(vtBase+333_000, words[(round+1)%len(words)]); err != nil {
+		t.Fatal(err)
+	}
+	q := vtBase + 500_000
+	in1.Quiesce(q)
+	in2.Quiesce(q)
+	_ = outCh
+}
+
+// TestColdRestartReopen is the in-process half of the cold-restart
+// contract: a cluster launched over a durable state directory is stopped
+// with rounds of input beyond its newest durable checkpoint, then a brand
+// new cluster (fresh component objects — stand-in for a fresh OS process)
+// Reopens the same directory. The restart must restore the checkpoint,
+// replay the WAL suffix, suppress the resulting stutter under
+// DedupOutputs, accept new input, and produce a total output tape
+// identical to a clean run that never restarted. The durable generation
+// must ratchet across incarnations.
+func TestColdRestartReopen(t *testing.T) {
+	const (
+		ckptAfterRound = 3 // durable checkpoint here; later rounds live only in the WAL
+		stopAfterRound = 6 // first process ends here
+		totalRounds    = 8 // second incarnation adds two more
+	)
+
+	run := func(t *testing.T, restart bool) []crashRecord {
+		t.Helper()
+		dir := t.TempDir()
+		outCh := make(chan crashRecord, 256)
+		// ONE dedup cursor across both incarnations: it plays the role of
+		// the external consumer, which does not restart with the engine.
+		deduped := tart.DedupOutputs(func(o tart.Output) {
+			outCh <- crashRecord{Seq: o.Seq, VT: o.VT, Payload: o.Payload.(string)}
+		})
+		var got []crashRecord
+		collect := func(n int) {
+			deadline := time.After(20 * time.Second)
+			for len(got) < n {
+				select {
+				case r := <-outCh:
+					got = append(got, r)
+				case <-deadline:
+					t.Fatalf("timed out at %d of %d outputs", len(got), n)
+				}
+			}
+		}
+
+		opts := []tart.ClusterOption{
+			tart.WithManualClock(func() tart.VirtualTime { return 0 }),
+			tart.WithDurableStore(dir),
+		}
+		cluster, err := tart.Launch(coldApp(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Sink("out", deduped); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < stopAfterRound; r++ {
+			coldRound(t, cluster, r, outCh)
+			collect(2 * (r + 1))
+			if r+1 == ckptAfterRound {
+				if _, err := cluster.Checkpoint("node"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !restart {
+			// Clean reference: same schedule, one incarnation end to end.
+			for r := stopAfterRound; r < totalRounds; r++ {
+				coldRound(t, cluster, r, outCh)
+				collect(2 * (r + 1))
+			}
+			cluster.Stop()
+			return got
+		}
+		cluster.Stop()
+
+		// "New process": fresh component objects, same state directory.
+		cluster2, err := tart.Reopen(coldApp(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster2.Stop()
+		if err := cluster2.Sink("out", deduped); err != nil {
+			t.Fatal(err)
+		}
+		// The WAL suffix past the durable checkpoint replays immediately on
+		// reopen; the dedup cursor swallows the stutter, so the visible tape
+		// just continues.
+		for r := stopAfterRound; r < totalRounds; r++ {
+			coldRound(t, cluster2, r, outCh)
+			collect(2 * (r + 1))
+		}
+
+		// The replayed-suffix counter saw the WAL records past the durable
+		// checkpoint's cursor: rounds 4..6, one record per source.
+		fams, err := cluster2.MetricFamilies("node")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replayed float64
+		for _, f := range fams {
+			if f.Name != "tart_coldstart_replayed_records" {
+				continue
+			}
+			for _, s := range f.Series {
+				replayed += s.Value
+			}
+		}
+		if want := float64(2 * (stopAfterRound - ckptAfterRound)); replayed != want {
+			t.Fatalf("tart_coldstart_replayed_records = %v, want %v", replayed, want)
+		}
+		cluster2.Stop()
+
+		// Generation ratchet: launch persisted 1, reopen persisted 2 — and
+		// did so durably, so a third incarnation would fence both.
+		fs, err := checkpoint.OpenFileStore(dir + "/node/checkpoints")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		if g := fs.Generation(); g != 2 {
+			t.Fatalf("durable generation after reopen = %d, want 2", g)
+		}
+		if fs.Seq() == 0 {
+			t.Fatal("durable store holds no checkpoint after reopen")
+		}
+		return got
+	}
+
+	want := run(t, false)
+	got := run(t, true)
+	if !reflect.DeepEqual(want, got) {
+		for i := range want {
+			if i >= len(got) || want[i] != got[i] {
+				t.Fatalf("restarted tape diverged at output %d:\n  want %+v\n  got  %+v",
+					i, want[i], safeIndex(got, i))
+			}
+		}
+		t.Fatalf("tape length mismatch: clean %d vs restarted %d", len(want), len(got))
+	}
+}
+
+// TestWithEnginesRejectsUnhostedAttachments pins the engine-subset
+// contract: a process hosting only part of the topology gets a clear
+// error — not a nil-pointer crash — when asked to attach a source or sink
+// served by an engine it does not host.
+func TestWithEnginesRejectsUnhostedAttachments(t *testing.T) {
+	app := tart.NewApp()
+	app.Register("sender1", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(40*time.Microsecond))
+	app.Register("sender2", &crashCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(70*time.Microsecond))
+	app.Register("merger", &crashMerger{},
+		tart.WithConstantCost(100*time.Microsecond))
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.Place("sender1", "left")
+	app.Place("sender2", "left")
+	app.Place("merger", "right")
+
+	cluster, err := tart.Launch(app,
+		tart.WithManualClock(func() tart.VirtualTime { return 0 }),
+		tart.WithEngines("left"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	if _, err := cluster.Source("in1"); err != nil {
+		t.Fatalf("hosted source rejected: %v", err)
+	}
+	if err := cluster.Sink("out", func(tart.Output) {}); err == nil {
+		t.Fatal("sink on unhosted engine was accepted")
+	} else if !strings.Contains(err.Error(), "right") {
+		t.Fatalf("sink error does not name the unhosted engine: %v", err)
+	}
+
+	if _, err := tart.Launch(app, tart.WithEngines("nope")); err == nil {
+		t.Fatal("WithEngines with unknown engine name was accepted")
+	}
+}

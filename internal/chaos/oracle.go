@@ -108,6 +108,30 @@ func (m *chaosMerger) OnMessage(ctx *tart.Context, port string, payload any) (an
 	return nil, ctx.Send("out", fmt.Sprintf("%03d:%v", m.N, payload))
 }
 
+// ScenarioApp builds a fresh instance of the standard workload: two
+// per-word counters on separate engines ("left", "mid") feeding a merger
+// on a third ("right"). Every call constructs new component objects, so
+// the same topology can be (re)launched in one process or split across
+// several.
+func ScenarioApp() *tart.App {
+	app := tart.NewApp()
+	app.Register("sender1", &chaosCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(40*time.Microsecond))
+	app.Register("sender2", &chaosCounter{Counts: map[string]int{}},
+		tart.WithConstantCost(70*time.Microsecond))
+	app.Register("merger", &chaosMerger{},
+		tart.WithConstantCost(100*time.Microsecond))
+	app.SourceInto("in1", "sender1", "in")
+	app.SourceInto("in2", "sender2", "in")
+	app.Connect("sender1", "out", "merger", "s1")
+	app.Connect("sender2", "out", "merger", "s2")
+	app.SinkFrom("out", "merger", "out")
+	app.Place("sender1", "left")
+	app.Place("sender2", "mid")
+	app.Place("merger", "right")
+	return app
+}
+
 // Run drives the standard three-engine workload — two counters on
 // separate engines feeding a merger on a third — and returns its
 // deduplicated output tape. The cluster always runs under the failover
@@ -124,21 +148,7 @@ func Run(opts RunOptions) (*Result, error) {
 	}
 	deadline := time.Now().Add(opts.Timeout)
 
-	app := tart.NewApp()
-	app.Register("sender1", &chaosCounter{Counts: map[string]int{}},
-		tart.WithConstantCost(40*time.Microsecond))
-	app.Register("sender2", &chaosCounter{Counts: map[string]int{}},
-		tart.WithConstantCost(70*time.Microsecond))
-	app.Register("merger", &chaosMerger{},
-		tart.WithConstantCost(100*time.Microsecond))
-	app.SourceInto("in1", "sender1", "in")
-	app.SourceInto("in2", "sender2", "in")
-	app.Connect("sender1", "out", "merger", "s1")
-	app.Connect("sender2", "out", "merger", "s2")
-	app.SinkFrom("out", "merger", "out")
-	app.Place("sender1", "left")
-	app.Place("sender2", "mid")
-	app.Place("merger", "right")
+	app := ScenarioApp()
 
 	clusterOpts := []tart.ClusterOption{
 		tart.WithManualClock(func() tart.VirtualTime { return 0 }),

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain reroutes the test binary into the sender role when spawned as
+// a subprocess by the process-kill oracle.
+func TestMain(m *testing.M) {
+	if os.Getenv(SenderProcessEnv) == "1" {
+		os.Exit(SenderProcessMain())
+	}
+	os.Exit(m.Run())
+}
+
+// freeAddrs reserves n distinct loopback TCP addresses.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+		l.Close()
+	}
+	return addrs
+}
+
+// spawnSender starts the sender role in a fresh OS process (this test
+// binary re-exec'd through TestMain).
+func spawnSender(t *testing.T, dir, addrs string, rounds int, reopen bool, flightDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		SenderProcessEnv+"=1",
+		"TART_PROC_DIR="+dir,
+		"TART_PROC_ADDRS="+addrs,
+		fmt.Sprintf("TART_PROC_ROUNDS=%d", rounds),
+	)
+	if reopen {
+		cmd.Env = append(cmd.Env, "TART_PROC_REOPEN=1")
+	}
+	if flightDir != "" {
+		cmd.Env = append(cmd.Env, "TART_PROC_FLIGHT_DIR="+flightDir)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// TestProcessKillColdRestartOracleMultiSeed is the tentpole end-to-end
+// oracle: the scenario workload split across two OS processes, the sender
+// half SIGKILLed mid-traffic (no cleanup, no flush — real process death),
+// then cold-restarted as a brand new process over the same durable state
+// directory via tart.Reopen. For every seed, the collector's deduplicated
+// output tape must be byte-identical to the clean single-process run —
+// the paper's §II.A criterion extended across process boundaries.
+//
+// The restarted sender is then SIGTERMed and must exit 0 after dumping
+// its flight recorder — the post-mortem artifact path CI collects.
+func TestProcessKillColdRestartOracleMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill-9 oracle")
+	}
+	const rounds = 16
+	clean, err := CleanTape(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 2*rounds {
+		t.Fatalf("clean reference has %d outputs, want %d", len(clean), 2*rounds)
+	}
+
+	// Seeds vary the kill point: after 2, 6, and 10 collected outputs —
+	// early (right after the first durable checkpoints), mid-stream, and
+	// deep into the run.
+	for seed, killAfter := range map[uint64]int{1: 2, 2: 6, 3: 10} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			flightDir := t.TempDir()
+			a := freeAddrs(t, 3)
+			addrs := map[string]string{"left": a[0], "mid": a[1], "right": a[2]}
+			addrsEnv := "left=" + a[0] + ",mid=" + a[1] + ",right=" + a[2]
+
+			sender := spawnSender(t, dir, addrsEnv, rounds, false, "")
+			var senderMu sync.Mutex
+			killed := false
+			t.Cleanup(func() {
+				senderMu.Lock()
+				defer senderMu.Unlock()
+				_ = sender.Process.Kill()
+				_, _ = sender.Process.Wait()
+			})
+
+			tape, err := RunCollector(ProcConfig{
+				Dir:     dir,
+				Addrs:   addrs,
+				Rounds:  rounds,
+				Timeout: 90 * time.Second,
+				Progress: func(n int) {
+					senderMu.Lock()
+					defer senderMu.Unlock()
+					if killed || n < killAfter {
+						return
+					}
+					killed = true
+					// kill -9: no handlers run, no WAL flush beyond what is
+					// already durable, no checkpoint store cleanup.
+					if err := sender.Process.Signal(syscall.SIGKILL); err != nil {
+						t.Errorf("SIGKILL sender: %v", err)
+					}
+					_, _ = sender.Process.Wait()
+					sender = spawnSender(t, dir, addrsEnv, rounds, true, flightDir)
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (tape %d outputs)", seed, err, len(tape))
+			}
+			if d := Diff(clean, tape); d != "" {
+				t.Fatalf("seed %d: restarted tape diverged from clean run:\n%s", seed, d)
+			}
+
+			// Graceful shutdown of the reopened sender: SIGTERM → flight
+			// dump → exit 0.
+			senderMu.Lock()
+			s := sender
+			senderMu.Unlock()
+			if !killed {
+				t.Fatal("collector finished before the kill point was reached")
+			}
+			if err := s.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			state, err := s.Process.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if state.ExitCode() != 0 {
+				t.Fatalf("reopened sender exited %d after SIGTERM", state.ExitCode())
+			}
+			if _, err := os.Stat(filepath.Join(flightDir, "left-flight.jsonl")); err != nil {
+				t.Fatalf("no flight-recorder dump after SIGTERM: %v", err)
+			}
+		})
+	}
+}

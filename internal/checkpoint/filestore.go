@@ -1,0 +1,290 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// storeCastagnoli guards checkpoint files against torn or bit-rotted
+// content: the manifest records each file's CRC32-C, and open-time
+// validation falls back past any entry whose bytes no longer match.
+var storeCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// retainCheckpoints is how many durable checkpoints a FileStore keeps.
+// More than one, so a torn newest write can fall back to its predecessor;
+// few, because every retained file was a full capture.
+const retainCheckpoints = 3
+
+// manifestName is the atomically rewritten index of a FileStore directory.
+const manifestName = "MANIFEST"
+
+// manifestEntry describes one durable checkpoint file.
+type manifestEntry struct {
+	Seq  uint64 `json:"seq"`
+	File string `json:"file"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"`
+}
+
+// manifest is the FileStore's on-disk index: the engine's durable
+// generation plus the retained checkpoints, oldest first.
+type manifest struct {
+	Generation uint64          `json:"generation"`
+	Entries    []manifestEntry `json:"entries"`
+}
+
+// FileStore is a durable Store: each checkpoint is written to its own
+// file under dir with a temp-write + fsync + rename discipline, then
+// recorded in an atomically rewritten manifest. A crash at any point
+// leaves either the old manifest (new checkpoint invisible, predecessor
+// intact) or the new one (new checkpoint fully durable); a torn or
+// corrupted checkpoint file is detected by its CRC at open time and the
+// store falls back to the previous manifest entry.
+//
+// The manifest also carries the engine's durable generation — the fencing
+// token a cold restart bumps and persists before rejoining, so a zombie
+// of the pre-crash incarnation is rejected by peers even across OS
+// processes.
+type FileStore struct {
+	mu       sync.Mutex
+	dir      string
+	man      manifest
+	closed   bool
+	fellBack int
+
+	onWrite func(bytes int64)
+	onFsync func()
+}
+
+var _ Store = (*FileStore)(nil)
+
+// OpenFileStore opens (creating if needed) the durable checkpoint store
+// rooted at dir and validates its newest checkpoint. Manifest entries
+// whose file is missing, short, or fails its CRC are discarded newest-
+// first until a valid checkpoint (or an empty store) remains — the
+// torn-write fallback.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open store %s: %w", dir, err)
+	}
+	s := &FileStore{dir: dir}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.man); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode manifest %s: %w", dir, err)
+	}
+	// Validate newest-first; everything newer than the first valid entry
+	// is a casualty of a torn write and is dropped (file removed
+	// best-effort — the manifest rewrite is what makes the drop durable).
+	for len(s.man.Entries) > 0 {
+		e := s.man.Entries[len(s.man.Entries)-1]
+		if s.validate(e) {
+			break
+		}
+		s.fellBack++
+		_ = os.Remove(filepath.Join(dir, e.File))
+		s.man.Entries = s.man.Entries[:len(s.man.Entries)-1]
+	}
+	if s.fellBack > 0 {
+		if err := s.writeManifestLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// validate checks one manifest entry's file against its recorded size and
+// CRC.
+func (s *FileStore) validate(e manifestEntry) bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	if err != nil || int64(len(data)) != e.Size {
+		return false
+	}
+	return crc32.Checksum(data, storeCastagnoli) == e.CRC
+}
+
+// TornFallbacks reports how many manifest entries the last Open discarded
+// as torn or corrupt (0 for a clean store).
+func (s *FileStore) TornFallbacks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fellBack
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// SetObserver installs write/fsync accounting hooks (both optional); the
+// cluster routes them into the engine's metric registry.
+func (s *FileStore) SetObserver(onWrite func(bytes int64), onFsync func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onWrite = onWrite
+	s.onFsync = onFsync
+}
+
+// Apply implements Store: encode, temp-write, fsync, rename, fsync the
+// directory, then durably record the new entry in the manifest. Only
+// after the manifest rename is the checkpoint visible to a restart.
+func (s *FileStore) Apply(c *Checkpoint) error {
+	data, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if n := len(s.man.Entries); n > 0 && c.Seq <= s.man.Entries[n-1].Seq {
+		return nil // duplicate or stale; idempotent
+	}
+	name := fmt.Sprintf("ckpt-%016d.bin", c.Seq)
+	if err := s.writeFileAtomic(name, data); err != nil {
+		return fmt.Errorf("checkpoint: persist seq %d: %w", c.Seq, err)
+	}
+	s.man.Entries = append(s.man.Entries, manifestEntry{
+		Seq: c.Seq, File: name, Size: int64(len(data)),
+		CRC: crc32.Checksum(data, storeCastagnoli),
+	})
+	var evicted []manifestEntry
+	if n := len(s.man.Entries); n > retainCheckpoints {
+		evicted = append(evicted, s.man.Entries[:n-retainCheckpoints]...)
+		s.man.Entries = append([]manifestEntry(nil), s.man.Entries[n-retainCheckpoints:]...)
+	}
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	// Old files are unreferenced once the manifest rename landed; their
+	// removal needs no durability ceremony.
+	for _, e := range evicted {
+		_ = os.Remove(filepath.Join(s.dir, e.File))
+	}
+	if s.onWrite != nil {
+		s.onWrite(int64(len(data)))
+	}
+	return nil
+}
+
+// Latest implements Store.
+func (s *FileStore) Latest() (*Checkpoint, error) {
+	s.mu.Lock()
+	if len(s.man.Entries) == 0 {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	e := s.man.Entries[len(s.man.Entries)-1]
+	s.mu.Unlock()
+	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", e.File, err)
+	}
+	if crc32.Checksum(data, storeCastagnoli) != e.CRC {
+		return nil, fmt.Errorf("checkpoint: %s failed CRC validation", e.File)
+	}
+	return Decode(data)
+}
+
+// Seq implements Store.
+func (s *FileStore) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.man.Entries); n > 0 {
+		return s.man.Entries[n-1].Seq
+	}
+	return 0
+}
+
+// Generation returns the durable generation recorded in the manifest
+// (0 before the first SetGeneration).
+func (s *FileStore) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Generation
+}
+
+// SetGeneration durably records the engine incarnation's fencing token.
+// A cold restart bumps and persists the generation *before* rejoining its
+// peers, so the ordering "durable, then visible" holds for fencing the
+// same way it does for checkpoints.
+func (s *FileStore) SetGeneration(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	s.man.Generation = gen
+	return s.writeManifestLocked()
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// writeManifestLocked atomically replaces the manifest.
+func (s *FileStore) writeManifestLocked() error {
+	data, err := json.Marshal(&s.man)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	if err := s.writeFileAtomic(manifestName, data); err != nil {
+		return fmt.Errorf("checkpoint: persist manifest: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes name under the store directory with the full
+// durability ceremony: temp file, fsync, rename over the target, fsync
+// the directory so the rename itself survives power loss.
+func (s *FileStore) writeFileAtomic(name string, data []byte) error {
+	tmpPath := filepath.Join(s.dir, name+".tmp")
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	s.noteFsync()
+	if err := f.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		if d.Sync() == nil {
+			s.noteFsync()
+		}
+		d.Close()
+	}
+	return nil
+}
+
+func (s *FileStore) noteFsync() {
+	if s.onFsync != nil {
+		s.onFsync()
+	}
+}

@@ -1,0 +1,95 @@
+package checkpoint
+
+import (
+	"errors"
+	"sync"
+)
+
+// Store is a durable checkpoint backend: it accepts checkpoints the way a
+// passive replica does (Apply is engine.Backup-compatible) and can hand
+// the newest one back after an arbitrary amount of time — including in a
+// different OS process. Unlike ReplicaStore, which accumulates delta
+// chains in memory, a Store persists standalone checkpoints: every
+// applied checkpoint must carry full handler state (engines writing to a
+// Store run with ForceFullCheckpoints), so Latest restores without any
+// history.
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Apply persists one checkpoint. Stale or duplicate sequence numbers
+	// are ignored (idempotent), matching ReplicaStore semantics.
+	Apply(c *Checkpoint) error
+	// Latest returns the newest persisted checkpoint, or nil when the
+	// store is empty.
+	Latest() (*Checkpoint, error)
+	// Seq returns the sequence number of the newest persisted checkpoint
+	// (0 when empty).
+	Seq() uint64
+	// Close releases resources. Applying after Close is an error.
+	Close() error
+}
+
+// ErrStoreClosed reports operations against a closed Store.
+var ErrStoreClosed = errors.New("checkpoint: store closed")
+
+// MemStore is an in-memory Store: the newest checkpoint, kept as its
+// encoded bytes so Latest hands back an isolated copy exactly like a
+// durable backend would. It is the conformance reference for FileStore
+// and the backend of choice for tests that need Store semantics without
+// a disk.
+type MemStore struct {
+	mu     sync.Mutex
+	seq    uint64
+	data   []byte
+	closed bool
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Apply implements Store.
+func (m *MemStore) Apply(c *Checkpoint) error {
+	data, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrStoreClosed
+	}
+	if c.Seq <= m.seq && m.seq != 0 {
+		return nil // duplicate or stale; idempotent
+	}
+	m.seq = c.Seq
+	m.data = data
+	return nil
+}
+
+// Latest implements Store.
+func (m *MemStore) Latest() (*Checkpoint, error) {
+	m.mu.Lock()
+	data := m.data
+	m.mu.Unlock()
+	if data == nil {
+		return nil, nil
+	}
+	return Decode(data)
+}
+
+// Seq implements Store.
+func (m *MemStore) Seq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

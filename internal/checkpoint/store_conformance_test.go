@@ -1,0 +1,279 @@
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/sched"
+	"repro/internal/vt"
+)
+
+func init() { gob.Register("") }
+
+// fullCheckpoint builds a standalone checkpoint (full handler capture for
+// every component) the way a durable-store engine would.
+func fullCheckpoint(seq uint64) *Checkpoint {
+	return &Checkpoint{
+		Engine: "e1",
+		Seq:    seq,
+		VT:     vt.Time(int64(seq) * 1000),
+		Components: map[string]ComponentState{
+			"counter": {
+				Sched:   sched.State{Clock: vt.Time(int64(seq) * 1000)},
+				Kind:    HandlerFull,
+				Handler: []byte(fmt.Sprintf("state-%d", seq)),
+			},
+		},
+		Buffers: map[msg.WireID][]msg.Envelope{
+			0: {{Wire: 0, Kind: msg.KindData, Seq: seq, VT: vt.Time(int64(seq)), Payload: "p"}},
+		},
+	}
+}
+
+// storeConformance is the shared Store contract suite, run against every
+// backend.
+func storeConformance(t *testing.T, open func(t *testing.T) Store) {
+	t.Run("EmptyStore", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		if got := s.Seq(); got != 0 {
+			t.Fatalf("empty store Seq = %d, want 0", got)
+		}
+		ck, err := s.Latest()
+		if err != nil || ck != nil {
+			t.Fatalf("empty store Latest = %v, %v; want nil, nil", ck, err)
+		}
+	})
+	t.Run("LatestTracksNewest", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		for seq := uint64(1); seq <= 4; seq++ {
+			if err := s.Apply(fullCheckpoint(seq)); err != nil {
+				t.Fatalf("apply %d: %v", seq, err)
+			}
+		}
+		if got := s.Seq(); got != 4 {
+			t.Fatalf("Seq = %d, want 4", got)
+		}
+		ck, err := s.Latest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck.Seq != 4 || ck.Engine != "e1" {
+			t.Fatalf("Latest = seq %d engine %q, want 4 e1", ck.Seq, ck.Engine)
+		}
+		if got := string(ck.Components["counter"].Handler); got != "state-4" {
+			t.Fatalf("handler state = %q, want state-4", got)
+		}
+		if got := len(ck.Buffers[0]); got != 1 {
+			t.Fatalf("buffers lost: %d envelopes, want 1", got)
+		}
+	})
+	t.Run("StaleAndDuplicateIgnored", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		if err := s.Apply(fullCheckpoint(5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(fullCheckpoint(5)); err != nil {
+			t.Fatalf("duplicate apply: %v", err)
+		}
+		if err := s.Apply(fullCheckpoint(3)); err != nil {
+			t.Fatalf("stale apply: %v", err)
+		}
+		ck, err := s.Latest()
+		if err != nil || ck.Seq != 5 {
+			t.Fatalf("Latest after stale applies = %+v, %v; want seq 5", ck, err)
+		}
+	})
+	t.Run("ClosedStoreRejectsApply", func(t *testing.T) {
+		s := open(t)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(fullCheckpoint(1)); err == nil {
+			t.Fatal("Apply after Close succeeded, want error")
+		}
+	})
+	t.Run("LatestIsIsolatedCopy", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		if err := s.Apply(fullCheckpoint(1)); err != nil {
+			t.Fatal(err)
+		}
+		a, _ := s.Latest()
+		a.Components["counter"] = ComponentState{Handler: []byte("mutated")}
+		b, err := s.Latest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(b.Components["counter"].Handler); got != "state-1" {
+			t.Fatalf("mutating a Latest result leaked into the store: %q", got)
+		}
+	})
+}
+
+func TestMemStoreConformance(t *testing.T) {
+	storeConformance(t, func(t *testing.T) Store { return NewMemStore() })
+}
+
+func TestFileStoreConformance(t *testing.T) {
+	storeConformance(t, func(t *testing.T) Store {
+		s, err := OpenFileStore(filepath.Join(t.TempDir(), "ckpts"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+// TestFileStoreSurvivesReopen is the durability half of the contract:
+// what Apply persisted, a new process (here: a new OpenFileStore) reads
+// back, including the durable generation.
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := s.Apply(fullCheckpoint(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetGeneration(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Seq(); got != 5 {
+		t.Fatalf("reopened Seq = %d, want 5", got)
+	}
+	if got := r.Generation(); got != 3 {
+		t.Fatalf("reopened Generation = %d, want 3", got)
+	}
+	ck, err := r.Latest()
+	if err != nil || ck == nil || ck.Seq != 5 {
+		t.Fatalf("reopened Latest = %+v, %v; want seq 5", ck, err)
+	}
+	if got := string(ck.Components["counter"].Handler); got != "state-5" {
+		t.Fatalf("reopened handler state = %q", got)
+	}
+}
+
+// TestFileStoreRetainsBounded checks old checkpoint files are pruned once
+// the manifest stops referencing them.
+func TestFileStoreRetainsBounded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := s.Apply(fullCheckpoint(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".bin" {
+			files++
+		}
+	}
+	if files != retainCheckpoints {
+		t.Fatalf("retained %d checkpoint files, want %d", files, retainCheckpoints)
+	}
+}
+
+// TestFileStoreTornWriteFallsBack injects a torn newest checkpoint (the
+// manifest landed, the data didn't — or rotted afterwards) and checks a
+// reopen falls back to the previous manifest entry instead of failing or
+// serving garbage.
+func TestFileStoreTornWriteFallsBack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.Apply(fullCheckpoint(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Tear the newest checkpoint file: truncate it mid-content.
+	newest := filepath.Join(dir, "ckpt-0000000000000003.bin")
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("open with torn newest: %v", err)
+	}
+	defer r.Close()
+	if got := r.TornFallbacks(); got != 1 {
+		t.Fatalf("TornFallbacks = %d, want 1", got)
+	}
+	if got := r.Seq(); got != 2 {
+		t.Fatalf("fell back to Seq %d, want 2", got)
+	}
+	ck, err := r.Latest()
+	if err != nil || ck == nil || ck.Seq != 2 {
+		t.Fatalf("Latest after fallback = %+v, %v; want seq 2", ck, err)
+	}
+	if got := string(ck.Components["counter"].Handler); got != "state-2" {
+		t.Fatalf("fallback handler state = %q, want state-2", got)
+	}
+	// The fallback is durable: a further reopen sees a clean store.
+	r.Close()
+	r2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.TornFallbacks(); got != 0 {
+		t.Fatalf("second reopen TornFallbacks = %d, want 0", got)
+	}
+	if got := r2.Seq(); got != 2 {
+		t.Fatalf("second reopen Seq = %d, want 2", got)
+	}
+}
+
+// TestFileStoreCorruptManifestIsAnError: an unreadable manifest is not
+// silently treated as an empty store — that would discard recoverable
+// state.
+func TestFileStoreCorruptManifestIsAnError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Apply(fullCheckpoint(1))
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(dir); err == nil {
+		t.Fatal("OpenFileStore with corrupt manifest succeeded, want error")
+	}
+}

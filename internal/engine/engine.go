@@ -178,6 +178,19 @@ type Config struct {
 	// component's next delivery starts. The time-travel inspector uses it
 	// to observe replayed state transitions. See sched.Config.OnDelivered.
 	OnDelivered func(d sched.Delivery)
+	// ColdStart marks this incarnation as a cold restart: the engine was
+	// rebuilt in a fresh OS process from a durable checkpoint plus WAL
+	// suffix (not activated from a warm in-process replica). It only
+	// affects observability — the coldstart-replayed counter tracks how
+	// many logged inputs the restart re-injected.
+	ColdStart bool
+	// ShedBufferedLimit bounds the engine's total buffered replay
+	// envelopes. While a peer is down its unacked envelopes cannot be
+	// trimmed; past the limit, sources refuse new external inputs with
+	// ErrShed instead of growing the buffers without bound (explicit shed,
+	// not indefinite stall — determinism is unaffected because only
+	// not-yet-ingested external inputs are refused). Zero means unbounded.
+	ShedBufferedLimit int
 }
 
 // Engine hosts the components placed on one engine name.
@@ -289,6 +302,23 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.buffers = newBufferSet()
 	e.peers = newPeerSet(e)
+	// Seed the cold-restart robustness families at zero so they are
+	// scrapeable from launch — including on single-engine clusters that
+	// never dial, shed, or cold-start. Per-peer labeled series join the
+	// same families once dial loops run.
+	reg := cfg.Metrics.Registry()
+	reg.Counter(trace.MetricRedials,
+		"Dial attempts to a peer engine (first dials and redials).")
+	reg.Gauge(trace.MetricDialBreaker,
+		"Per-peer dial circuit breaker position (0 closed, 1 open, 2 half-open).")
+	reg.Counter(trace.MetricColdstartReplayed,
+		"Logged input records re-injected from the durable WAL suffix during a cold restart.")
+	reg.Counter(trace.MetricCkptStoreWrites,
+		"Checkpoints persisted by the durable checkpoint store.")
+	reg.Counter(trace.MetricCkptStoreFsyncs,
+		"fsync calls issued by the durable checkpoint store.")
+	reg.Counter(trace.MetricSourceShed,
+		"External inputs refused at sources because buffered replay state hit its bound.")
 	if cfg.Clock != nil {
 		e.clock = cfg.Clock
 	} else {

@@ -318,21 +318,54 @@ func (p *peerSet) handleInbound(conn transport.Conn) {
 	p.readLoop(peer, conn)
 }
 
+// dialLoop redials peer until the engine stops, pacing attempts with
+// capped exponential backoff (jittered, so a fleet restarting together
+// does not thunder) and a per-peer circuit breaker that suppresses dials
+// entirely while the peer looks long-dead — then half-opens forever after,
+// so a cold-restarting peer is always rediscovered.
 func (p *peerSet) dialLoop(peer string) {
 	defer p.wg.Done()
+	base := p.e.cfg.RedialEvery
+	bo := &transport.Backoff{Base: base, Max: 16 * base}
+	reg := p.e.metrics.Registry()
+	redials := reg.Counter(trace.MetricRedials,
+		"Dial attempts to a peer engine (first dials and redials).",
+		trace.L("peer", peer))
+	breakerState := reg.Gauge(trace.MetricDialBreaker,
+		"Per-peer dial circuit breaker position (0 closed, 1 open, 2 half-open).",
+		trace.L("peer", peer))
+	br := &transport.Breaker{
+		Threshold: 5,
+		Cooldown:  8 * base,
+		OnChange:  func(s transport.BreakerState) { breakerState.Set(int64(s)) },
+	}
 	for {
 		if p.isStopped() {
 			return
 		}
-		conn := p.tryDial(peer)
-		if conn == nil {
+		if !br.Allow() {
+			// Open breaker: no dial attempt; poll for the cooldown at the
+			// base cadence.
 			select {
 			case <-p.e.stop:
 				return
-			case <-time.After(p.e.cfg.RedialEvery):
+			case <-time.After(base):
 			}
 			continue
 		}
+		redials.Inc()
+		conn := p.tryDial(peer)
+		if conn == nil {
+			br.Failure()
+			select {
+			case <-p.e.stop:
+				return
+			case <-time.After(bo.Next()):
+			}
+			continue
+		}
+		br.Success()
+		bo.Reset()
 		conn = p.register(peer, conn)
 		p.readLoop(peer, conn)
 		// Connection died; loop to redial.

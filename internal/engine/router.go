@@ -313,6 +313,21 @@ func (b *bufferSet) count(w msg.WireID) int {
 	return len(b.data[w]) + len(b.replies[w])
 }
 
+// total returns the number of buffered envelopes across all wires — the
+// quantity ShedBufferedLimit bounds.
+func (b *bufferSet) total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, buf := range b.data {
+		n += len(buf)
+	}
+	for _, buf := range b.replies {
+		n += len(buf)
+	}
+	return n
+}
+
 func (b *bufferSet) trim(w msg.WireID, throughSeq uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

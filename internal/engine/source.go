@@ -77,7 +77,21 @@ func (s *Source) EmitAt(t vt.Time, payload any) error {
 	return s.emitLocked(t, payload)
 }
 
+// ErrShed reports an external input refused because the engine's buffered
+// replay state hit its configured bound (ShedBufferedLimit) — typically
+// because a peer is down and unacked envelopes cannot be trimmed. The
+// input never entered the system (not logged, not delivered), so the
+// producer may retry later or drop it; determinism of everything already
+// ingested is unaffected.
+var ErrShed = fmt.Errorf("engine: input shed: buffered replay state at limit")
+
 func (s *Source) emitLocked(t vt.Time, payload any) error {
+	if limit := s.e.cfg.ShedBufferedLimit; limit > 0 && s.e.buffers.total() >= limit {
+		s.e.metrics.Registry().Counter(trace.MetricSourceShed,
+			"External inputs refused at sources because buffered replay state hit its bound.",
+			trace.L("source", s.name)).Inc()
+		return fmt.Errorf("source %q: %w (%d buffered)", s.name, ErrShed, s.e.buffers.total())
+	}
 	seq := s.seq + 1
 	if err := s.e.log.AppendInput(wal.InputRecord{Source: s.name, Seq: seq, VT: t, Payload: payload}); err != nil {
 		return fmt.Errorf("engine: log input for source %q: %w", s.name, err)
@@ -143,6 +157,7 @@ func (s *Source) restoreCursor(fromSeq uint64, lastVT vt.Time) error {
 		}
 	}
 	s.mu.Unlock()
+	replayed := 0
 	for _, r := range recs {
 		if r.Seq < fromSeq {
 			continue
@@ -154,6 +169,12 @@ func (s *Source) restoreCursor(fromSeq uint64, lastVT vt.Time) error {
 		// emission stamped, so replayed envelopes stay consistently traced.
 		env.Trace = s.e.metrics.Spans().DecideAt(env.Origin, r.VT)
 		s.target.sch.Deliver(env)
+		replayed++
+	}
+	if s.e.cfg.ColdStart && replayed > 0 {
+		s.e.metrics.Registry().Counter(trace.MetricColdstartReplayed,
+			"Logged input records re-injected from the durable WAL suffix during a cold restart.",
+			trace.L("source", s.name)).Add(int64(replayed))
 	}
 	return nil
 }

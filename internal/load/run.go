@@ -137,6 +137,10 @@ type Options struct {
 	Debug bool
 	// Progress receives live status lines (nil: silent).
 	Progress io.Writer
+	// OnLaunch, when set, is handed the live cluster right after Launch —
+	// the CLI uses it to wire signal handlers (flight-recorder dumps on
+	// SIGTERM/SIGINT) to the run in flight.
+	OnLaunch func(*tart.Cluster)
 }
 
 func (o Options) withDefaults() Options {
@@ -320,6 +324,9 @@ func Run(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("load: launch: %w", err)
 	}
 	defer cluster.Stop()
+	if opts.OnLaunch != nil {
+		opts.OnLaunch(cluster)
+	}
 
 	var delivered, lastOutput atomic.Int64
 	lastOutput.Store(time.Now().UnixNano())

@@ -543,6 +543,17 @@ const (
 	MetricAdaptRecalibrations  = "tart_adapt_recalibrations_total"
 	MetricEstResidual          = "tart_estimator_residual_seconds"
 	MetricAdaptSilenceStrategy = "tart_adapt_silence_strategy"
+	// Cold-restart and rejoin-robustness families: redial attempts and the
+	// per-peer dial circuit breaker (0 closed, 1 open, 2 half-open), WAL
+	// records a cold start replayed from the durable suffix, durable
+	// checkpoint-store write/fsync accounting, and inputs shed at sources
+	// because the replay buffers hit their bound while a peer was down.
+	MetricRedials           = "tart_redial_attempts_total"
+	MetricDialBreaker       = "tart_dial_breaker_state"
+	MetricColdstartReplayed = "tart_coldstart_replayed_records"
+	MetricCkptStoreWrites   = "tart_ckpt_store_writes_total"
+	MetricCkptStoreFsyncs   = "tart_ckpt_store_fsyncs_total"
+	MetricSourceShed        = "tart_source_shed_total"
 )
 
 // InWireMetrics bundles the receiver-side per-wire handles a scheduler

@@ -4,12 +4,25 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"syscall"
 )
 
 // ErrInjected is the error surfaced by appends that an Injector chose to
 // fail. Callers treat it like any other transient disk error: the append
 // did not happen and may be retried.
 var ErrInjected = errors.New("wal: injected disk fault")
+
+// ErrNoSpace is the injected out-of-disk flavour of ErrInjected: it
+// unwraps to both ErrInjected (the chaos marker) and syscall.ENOSPC (what
+// a real full disk returns), so callers matching either see it.
+var ErrNoSpace = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+
+// ShortWriteArmer is implemented by logs that can physically tear their
+// next append mid-frame (FileLog). The Injector's short-write mode uses
+// it; wrapped logs without it degrade to a plain injected failure.
+type ShortWriteArmer interface {
+	ArmShortWrite()
+}
 
 // Injector is a chaos hook for stable-log disk faults: it wraps the Logs of
 // named engines and makes a configured number of upcoming appends fail.
@@ -19,13 +32,19 @@ type Injector struct {
 	mu        sync.Mutex
 	pending   map[string]int // engine -> remaining appends to fail
 	corrupt   map[string]int // engine -> remaining input appends to corrupt
+	noSpace   map[string]int // engine -> remaining appends to fail with ENOSPC
+	short     map[string]int // engine -> remaining appends to tear mid-frame
 	injected  uint64
 	corrupted uint64
+	shorted   uint64
 }
 
 // NewInjector returns an Injector with no faults armed.
 func NewInjector() *Injector {
-	return &Injector{pending: make(map[string]int), corrupt: make(map[string]int)}
+	return &Injector{
+		pending: make(map[string]int), corrupt: make(map[string]int),
+		noSpace: make(map[string]int), short: make(map[string]int),
+	}
 }
 
 // Wrap returns a Log view of inner whose appends consult the injector's
@@ -62,6 +81,35 @@ func (i *Injector) CorruptInputs(engine string, n int) {
 	i.mu.Unlock()
 }
 
+// FailAppendsENOSPC arms n additional append failures that surface as a
+// full disk (ErrNoSpace) instead of a generic injected fault. Like every
+// append failure, an ENOSPC'd append is retry-safe: nothing was admitted
+// to the log, so the same sequence number may be re-appended once space
+// "returns".
+func (i *Injector) FailAppendsENOSPC(engine string, n int) {
+	if n <= 0 {
+		return
+	}
+	i.mu.Lock()
+	i.noSpace[engine] += n
+	i.mu.Unlock()
+}
+
+// ShortWrites arms n additional torn appends for the named engine: the
+// frame physically reaches the disk truncated mid-body (simulated power
+// loss under the pen), the append fails, and the log is expected to heal
+// the tear — by in-process truncation on retry, or by open-time
+// truncation after a crash. Wrapped logs that cannot tear (no
+// ShortWriteArmer) degrade to a plain injected failure.
+func (i *Injector) ShortWrites(engine string, n int) {
+	if n <= 0 {
+		return
+	}
+	i.mu.Lock()
+	i.short[engine] += n
+	i.mu.Unlock()
+}
+
 // Injected reports how many appends have been failed so far.
 func (i *Injector) Injected() uint64 {
 	i.mu.Lock()
@@ -74,6 +122,37 @@ func (i *Injector) Corrupted() uint64 {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.corrupted
+}
+
+// ShortWritten reports how many appends have been torn mid-frame.
+func (i *Injector) ShortWritten() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.shorted
+}
+
+// takeNoSpace consumes one armed ENOSPC failure for the engine.
+func (i *Injector) takeNoSpace(engine string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.noSpace[engine] <= 0 {
+		return false
+	}
+	i.noSpace[engine]--
+	i.injected++
+	return true
+}
+
+// takeShort consumes one armed short write for the engine.
+func (i *Injector) takeShort(engine string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.short[engine] <= 0 {
+		return false
+	}
+	i.short[engine]--
+	i.shorted++
+	return true
 }
 
 // takeCorrupt consumes one armed corruption for the engine.
@@ -124,6 +203,16 @@ func (l *faultLog) AppendInput(rec InputRecord) error {
 	if l.inj.take(l.engine) {
 		return ErrInjected
 	}
+	if l.inj.takeNoSpace(l.engine) {
+		return ErrNoSpace
+	}
+	if l.inj.takeShort(l.engine) {
+		if armer, ok := l.inner.(ShortWriteArmer); ok {
+			armer.ArmShortWrite()
+			return l.inner.AppendInput(rec)
+		}
+		return ErrInjected
+	}
 	if l.inj.takeCorrupt(l.engine) {
 		rec.Payload = corruptPayload(rec.Payload)
 	}
@@ -133,6 +222,9 @@ func (l *faultLog) AppendInput(rec InputRecord) error {
 func (l *faultLog) AppendFault(rec FaultRecord) error {
 	if l.inj.take(l.engine) {
 		return ErrInjected
+	}
+	if l.inj.takeNoSpace(l.engine) {
+		return ErrNoSpace
 	}
 	return l.inner.AppendFault(rec)
 }

@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// openWrapped opens a FileLog at path and wraps it with a fresh injector.
+func openWrapped(t *testing.T, path string) (*Injector, *FileLog, Log) {
+	t.Helper()
+	fl, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector()
+	return inj, fl, inj.Wrap("e1", fl)
+}
+
+// TestInjectorENOSPCRetrySafe: an injected full-disk failure leaves
+// nothing in the log, so retrying the same sequence number succeeds and a
+// reopen sees the record exactly once.
+func TestInjectorENOSPCRetrySafe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "enospc.wal")
+	inj, fl, log := openWrapped(t, path)
+
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 1, Payload: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailAppendsENOSPC("e1", 1)
+	err := log.AppendInput(InputRecord{Source: "s", Seq: 2, Payload: "b"})
+	if err == nil {
+		t.Fatal("armed ENOSPC append succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ENOSPC error %v does not unwrap to ErrInjected", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC error %v does not unwrap to syscall.ENOSPC", err)
+	}
+	// Retry with the same seq: the failed append admitted nothing.
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 2, Payload: "b"}); err != nil {
+		t.Fatalf("retry after ENOSPC: %v", err)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	fl.Close()
+
+	r, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs, _ := r.Inputs("s", 0)
+	if len(recs) != 2 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("reopened log has %+v, want seqs 1,2 exactly once", recs)
+	}
+
+	// The ENOSPC mode also covers fault records.
+	inj.FailAppendsENOSPC("e1", 1)
+	wrapped := inj.Wrap("e1", r)
+	if err := wrapped.AppendFault(FaultRecord{Component: "c"}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("fault append under ENOSPC = %v, want ENOSPC", err)
+	}
+}
+
+// TestInjectorShortWriteHealsOnRetry: a torn append physically lands a
+// half-frame on disk; the in-process retry heals it (truncate back) and
+// succeeds, and a later reopen sees a clean log with no torn tail.
+func TestInjectorShortWriteHealsOnRetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short-heal.wal")
+	inj, fl, log := openWrapped(t, path)
+
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 1, Payload: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	inj.ShortWrites("e1", 1)
+	err := log.AppendInput(InputRecord{Source: "s", Seq: 2, Payload: "second"})
+	if err == nil {
+		t.Fatal("armed short write succeeded")
+	}
+	if !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("short-write error %v does not unwrap to ErrShortWrite", err)
+	}
+	if got := inj.ShortWritten(); got != 1 {
+		t.Fatalf("ShortWritten = %d, want 1", got)
+	}
+	// Retry: the append heals the tear before writing.
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 2, Payload: "second"}); err != nil {
+		t.Fatalf("retry after short write: %v", err)
+	}
+	fl.Close()
+
+	r, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.TruncatedBytes(); got != 0 {
+		t.Fatalf("healed log still had %d torn bytes at open", got)
+	}
+	recs, _ := r.Inputs("s", 0)
+	if len(recs) != 2 || recs[1].Seq != 2 {
+		t.Fatalf("reopened log has %+v, want seqs 1,2", recs)
+	}
+	if got := recs[1].Payload; got != "second" {
+		t.Fatalf("healed record payload = %v", got)
+	}
+}
+
+// TestInjectorShortWriteTruncatedAtOpen: if the process dies before
+// retrying a torn append (the power-loss scenario), open-time truncation
+// discards the half-frame, the good prefix survives, and appends extend
+// it normally.
+func TestInjectorShortWriteTruncatedAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short-crash.wal")
+	inj, fl, log := openWrapped(t, path)
+
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 1, Payload: "kept"}); err != nil {
+		t.Fatal(err)
+	}
+	inj.ShortWrites("e1", 1)
+	if err := log.AppendInput(InputRecord{Source: "s", Seq: 2, Payload: "torn"}); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("armed short write: %v", err)
+	}
+	// No retry: simulate the process dying with the tear on disk.
+	fl.f.Close()
+
+	r, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.TruncatedBytes(); got <= 0 {
+		t.Fatalf("TruncatedBytes = %d, want > 0 (torn tail discarded)", got)
+	}
+	recs, _ := r.Inputs("s", 0)
+	if len(recs) != 1 || recs[0].Seq != 1 || recs[0].Payload != "kept" {
+		t.Fatalf("surviving prefix = %+v, want only seq 1", recs)
+	}
+	// The log is fully usable: the lost record re-appends cleanly.
+	if err := r.AppendInput(InputRecord{Source: "s", Seq: 2, Payload: "torn"}); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	r2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.TruncatedBytes(); got != 0 {
+		t.Fatalf("second reopen TruncatedBytes = %d, want 0", got)
+	}
+	recs, _ = r2.Inputs("s", 0)
+	if len(recs) != 2 {
+		t.Fatalf("final log = %+v, want seqs 1,2", recs)
+	}
+}
+
+// TestFileLogDiskFirstIndexSecond pins the retry-safety invariant
+// directly: when the disk write fails, the in-memory index must not have
+// advanced, or the retry would trip the monotonicity check.
+func TestFileLogDiskFirstIndexSecond(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk-first.wal")
+	fl, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	fl.ArmShortWrite()
+	if err := fl.AppendInput(InputRecord{Source: "s", Seq: 1, Payload: "x"}); err == nil {
+		t.Fatal("armed append succeeded")
+	}
+	recs, _ := fl.Inputs("s", 0)
+	if len(recs) != 0 {
+		t.Fatalf("index advanced past failed disk write: %+v", recs)
+	}
+	if err := fl.AppendInput(InputRecord{Source: "s", Seq: 1, Payload: "x"}); err != nil {
+		t.Fatalf("same-seq retry: %v", err)
+	}
+}

@@ -155,6 +155,34 @@ func (l *MemLog) Faults(component string) ([]FaultRecord, error) {
 	return out, nil
 }
 
+// validateInput checks one record against the append rules (open log,
+// per-source monotone sequence) without mutating the log — the FileLog
+// pre-flight that keeps its index and its disk in step: the index is only
+// updated after the disk write succeeds, so a failed append leaves the
+// same sequence retryable.
+func (l *MemLog) validateInput(rec InputRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	recs := l.inputs[rec.Source]
+	if n := len(recs); n > 0 && rec.Seq <= recs[n-1].Seq {
+		return fmt.Errorf("wal: input seq %d for %q not increasing (last %d)", rec.Seq, rec.Source, recs[n-1].Seq)
+	}
+	return nil
+}
+
+// checkOpen reports whether the log still accepts appends.
+func (l *MemLog) checkOpen() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	return nil
+}
+
 // TrimInputs implements Log.
 func (l *MemLog) TrimInputs(source string, throughSeq uint64) error {
 	l.mu.Lock()
@@ -208,6 +236,13 @@ type FileLog struct {
 	f         *os.File
 	path      string
 	truncated int64
+	// healTo, when >= 0, is the offset of a torn frame a failed append
+	// left on disk; the next append truncates back to it before writing,
+	// so an in-process retry never orphans good frames behind garbage.
+	healTo int64
+	// shortArmed makes the next append physically tear mid-frame (chaos:
+	// power loss under the pen). Armed via ArmShortWrite.
+	shortArmed bool
 }
 
 var _ Log = (*FileLog)(nil)
@@ -222,7 +257,7 @@ func OpenFileLog(path string) (*FileLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &FileLog{mem: NewMemLog(), f: f, path: path}
+	l := &FileLog{mem: NewMemLog(), f: f, path: path, healTo: -1}
 	r := bufio.NewReader(f)
 	var good int64 // offset just past the last intact frame
 	for {
@@ -472,24 +507,35 @@ func writeFrame(w io.Writer, e fileEntry) error {
 	return err
 }
 
-// AppendInput implements Log.
+// AppendInput implements Log. Disk first, index second: the record is
+// validated, durably framed, and only then admitted to the in-memory
+// index. A failed disk write therefore leaves the log exactly as it was —
+// the same sequence number can be retried (the source's retry-safety
+// contract) instead of tripping the monotonicity check against an index
+// entry the disk never got.
 func (l *FileLog) AppendInput(rec InputRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.mem.AppendInput(rec); err != nil {
+	if err := l.mem.validateInput(rec); err != nil {
 		return err
 	}
-	return l.appendLocked(fileEntry{Kind: entryInput, Input: rec})
+	if err := l.appendLocked(fileEntry{Kind: entryInput, Input: rec}); err != nil {
+		return err
+	}
+	return l.mem.AppendInput(rec)
 }
 
-// AppendFault implements Log.
+// AppendFault implements Log. Same disk-first discipline as AppendInput.
 func (l *FileLog) AppendFault(rec FaultRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.mem.AppendFault(rec); err != nil {
+	if err := l.mem.checkOpen(); err != nil {
 		return err
 	}
-	return l.appendLocked(fileEntry{Kind: entryFault, Fault: rec})
+	if err := l.appendLocked(fileEntry{Kind: entryFault, Fault: rec}); err != nil {
+		return err
+	}
+	return l.mem.AppendFault(rec)
 }
 
 // Inputs implements Log.
@@ -502,15 +548,15 @@ func (l *FileLog) Faults(component string) ([]FaultRecord, error) {
 	return l.mem.Faults(component)
 }
 
-// TrimInputs implements Log. The trim is recorded as a log entry; space is
-// reclaimed only by Compact.
+// TrimInputs implements Log. The trim is recorded as a log entry (disk
+// first, like appends); space is reclaimed only by Compact.
 func (l *FileLog) TrimInputs(source string, throughSeq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.mem.TrimInputs(source, throughSeq); err != nil {
+	if err := l.appendLocked(fileEntry{Kind: entryTrim, Source: source, Through: throughSeq}); err != nil {
 		return err
 	}
-	return l.appendLocked(fileEntry{Kind: entryTrim, Source: source, Through: throughSeq})
+	return l.mem.TrimInputs(source, throughSeq)
 }
 
 // Compact rewrites the log file retaining only live records, reclaiming
@@ -587,12 +633,86 @@ func (l *FileLog) Close() error {
 	return l.f.Close()
 }
 
+// ErrShortWrite reports an append that physically tore mid-frame (the
+// injected power-loss fault). The frame is garbage on disk; the log heals
+// it — by truncation — before the next append, and open-time truncation
+// discards it if the process dies first.
+var ErrShortWrite = errors.New("wal: short write (torn frame)")
+
+// ArmShortWrite makes the next append tear mid-frame: the header and a
+// partial body reach the disk, then the append fails. This simulates
+// power loss during the write itself — the one failure open-time
+// truncation exists for — while keeping the log usable for retries.
+func (l *FileLog) ArmShortWrite() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.shortArmed = true
+}
+
 func (l *FileLog) appendLocked(e fileEntry) error {
+	if l.healTo >= 0 {
+		if err := l.rewindTo(l.healTo); err != nil {
+			return fmt.Errorf("wal: heal torn frame: %w", err)
+		}
+		l.healTo = -1
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	pre := fi.Size()
+	if l.shortArmed {
+		l.shortArmed = false
+		l.tearFrame(e)
+		l.healTo = pre
+		return fmt.Errorf("wal: append: %w", ErrShortWrite)
+	}
 	if err := writeFrame(l.f, e); err != nil {
+		l.recoverTo(pre)
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		l.recoverTo(pre)
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// tearFrame writes a deliberately truncated copy of e's frame — valid
+// header, roughly half the body — and syncs it, leaving exactly the
+// on-disk state a crash mid-write would.
+func (l *FileLog) tearFrame(e fileEntry) {
+	buf := msg.GetBuffer()
+	body, err := appendEntry((*buf)[:0], e)
+	if err != nil {
+		msg.PutBuffer(buf)
+		return
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	_, _ = l.f.Write(hdr[:])
+	_, _ = l.f.Write(body[:len(body)/2])
+	_ = l.f.Sync()
+	*buf = body[:0]
+	msg.PutBuffer(buf)
+}
+
+// recoverTo undoes a failed append immediately; if even the truncate
+// fails, the torn offset is remembered so the next append heals first.
+func (l *FileLog) recoverTo(pre int64) {
+	if err := l.rewindTo(pre); err != nil {
+		l.healTo = pre
+	}
+}
+
+// rewindTo truncates the file to off and repositions the write cursor.
+func (l *FileLog) rewindTo(off int64) error {
+	if err := l.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return err
 	}
 	return nil
 }

@@ -110,6 +110,10 @@ func TestMetricsExpositionAudit(t *testing.T) {
 		"tart_codec_fallbacks_total",
 		"tart_adapt_decisions_total", "tart_adapt_recalibrations_total",
 		"tart_estimator_residual_seconds", "tart_adapt_silence_strategy",
+		"tart_redial_attempts_total", "tart_dial_breaker_state",
+		"tart_coldstart_replayed_records",
+		"tart_ckpt_store_writes_total", "tart_ckpt_store_fsyncs_total",
+		"tart_source_shed_total",
 	} {
 		if !audited[want] {
 			t.Errorf("family %s missing from /metrics exposition", want)

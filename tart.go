@@ -36,6 +36,7 @@ package tart
 import (
 	"io"
 
+	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/msg"
 	"repro/internal/sched"
@@ -287,3 +288,15 @@ func NewWALFaultInjector() *WALFaultInjector { return wal.NewInjector() }
 // ErrWALFault reports a stable-log append rejected by an armed
 // WALFaultInjector fault (errors.Is-matchable through Source.Emit/EmitAt).
 var ErrWALFault = wal.ErrInjected
+
+// ErrWALNoSpace reports a stable-log append rejected by an armed ENOSPC
+// fault (errors.Is-matchable as both ErrWALFault and syscall.ENOSPC).
+var ErrWALNoSpace = wal.ErrNoSpace
+
+// ErrSourceShed reports an external input refused because the hosting
+// engine's buffered replay state hit the WithShedLimit bound — typically
+// a downstream peer is unreachable and unacked envelopes cannot be
+// trimmed. The input never entered the system (not logged, not
+// delivered), so the producer may retry the same virtual time later;
+// determinism of everything already ingested is unaffected.
+var ErrSourceShed = engine.ErrShed
